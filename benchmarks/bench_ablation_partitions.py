@@ -1,0 +1,99 @@
+"""Ablation — total-load partitioning vs pooled Eq. 1 fitting (§II-B2).
+
+"Our experimental design controls for total pool workload since we are
+modeling how pool QoS changes as a function of the number of servers
+processing a given total workload."  Without the r_idj partitions, the
+latency-vs-server-count fit confounds server count with the diurnal
+load level that happened to prevail at each count, biasing the
+response surface.  This bench quantifies the bias on simulated
+experiment history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.curves import fit_servers_qos_model
+from repro.core.partitions import partition_by_total_load, partition_observations
+from repro.core.report import render_table
+from repro.telemetry.counters import Counter
+
+
+@pytest.fixture(scope="module")
+def experiment_history():
+    """History spanning three pool sizes across full diurnal cycles."""
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=40, seed=201
+    )
+    sim = Simulator(
+        fleet, seed=201,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    for n_servers in (40, 34, 28):
+        sim.resize_pool("B", "DC1", n_servers)
+        sim.run(720)
+    return sim
+
+
+def _ground_truth_latency(n_servers, total_rps):
+    """True mean p95 at a (count, load) point, from the simulator model."""
+    from repro.cluster.service import service_catalog
+
+    profile = service_catalog()["B"]
+    rps = total_rps / n_servers
+    util = (profile.noise.idle_cpu_pct + profile.cpu_cost_per_rps() * rps) / 100.0
+    return profile.latency.p95_ms(rps, util)
+
+
+def test_ablation_partitioned_vs_pooled(benchmark, experiment_history):
+    sim = experiment_history
+    store = sim.store
+    total = store.pool_window_aggregate(
+        "B", Counter.REQUESTS.value, datacenter_id="DC1", reducer="sum"
+    )
+    counts = store.pool_window_aggregate(
+        "B", Counter.REQUESTS.value, datacenter_id="DC1", reducer="count"
+    )
+    latency = store.pool_window_aggregate(
+        "B", Counter.LATENCY_P95.value, datacenter_id="DC1"
+    )
+
+    def fit_both_ways():
+        # Partitioned: fit within the heaviest-load partition.
+        partitions = partition_by_total_load(total, 4)
+        heavy = partitions[-1]
+        ns, ls = partition_observations(store, "B", "DC1", heavy)
+        partitioned = fit_servers_qos_model(ns, ls, "B", "DC1", heavy.index)
+        # Pooled: fit across all windows regardless of load.
+        all_ns, all_ls = counts.align_with(latency)
+        pooled = fit_servers_qos_model(all_ns, all_ls, "B", "DC1", -1)
+        return partitioned, pooled, heavy
+
+    partitioned, pooled, heavy = benchmark.pedantic(
+        fit_both_ways, rounds=1, iterations=1
+    )
+
+    # Score both at a held-out reduction (24 servers) under the heavy
+    # partition's load level.
+    eval_load = heavy.midpoint
+    truth = _ground_truth_latency(24, eval_load)
+    part_err = abs(partitioned.forecast_latency(24) - truth)
+    pooled_err = abs(pooled.forecast_latency(24) - truth)
+
+    print()
+    print(render_table(
+        ["fit", "forecast @24 servers (ms)", "truth (ms)", "abs err"],
+        [
+            ["partitioned (r_idj)", f"{partitioned.forecast_latency(24):.1f}",
+             f"{truth:.1f}", f"{part_err:.1f}"],
+            ["pooled (no control)", f"{pooled.forecast_latency(24):.1f}",
+             f"{truth:.1f}", f"{pooled_err:.1f}"],
+        ],
+        title="Ablation: controlling for total load in Eq. 1 fits",
+    ))
+
+    # Partitioning materially reduces forecast error at the heavy load
+    # level that actually binds capacity decisions.
+    assert part_err < pooled_err
+    assert part_err < 3.0

@@ -1,0 +1,80 @@
+"""Ablation — RANSAC vs plain OLS for the latency fits (§II-B2).
+
+The paper fits Eq. 1 with "robust regressions (RANSAC)" because
+production data mixes in deployment- and traffic-shift windows that
+are not representative of steady-state response (visible as the
+stragglers in Fig 7's third iteration).  This bench contaminates the
+latency telemetry the way production does and measures how far OLS
+drifts while RANSAC holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.report import render_table
+from repro.stats.ransac import RansacRegressor
+from repro.stats.regression import fit_polynomial
+
+
+def _latency_data(rng, n=400, outlier_fraction=0.25):
+    """Ground truth: the paper's pool B quadratic, plus deployment spikes."""
+    x = rng.uniform(100.0, 600.0, n)
+    truth = 4.03e-5 * x**2 - 0.031 * x + 36.68
+    y = truth + rng.normal(0.0, 0.4, n)
+    n_out = int(outlier_fraction * n)
+    idx = rng.choice(n, size=n_out, replace=False)
+    # Deployment windows: drained caches and restarts inflate latency.
+    y[idx] += rng.uniform(15.0, 45.0, n_out)
+    return x, y
+
+
+def _forecast_error(model, x_eval=700.0):
+    truth = 4.03e-5 * x_eval**2 - 0.031 * x_eval + 36.68
+    return abs(model.predict_scalar(x_eval) - truth)
+
+
+def test_ablation_ransac_vs_ols(benchmark):
+    rng = np.random.default_rng(191)
+    x, y = _latency_data(rng)
+
+    def fit_both():
+        ols = fit_polynomial(x, y, degree=2)
+        ransac = RansacRegressor(degree=2, rng=np.random.default_rng(5)).fit(x, y)
+        return ols, ransac
+
+    ols, ransac = benchmark(fit_both)
+    ols_err = _forecast_error(ols)
+    ransac_err = _forecast_error(ransac.model)
+
+    print()
+    print(render_table(
+        ["fit", "forecast err @700 RPS (ms)", "inliers"],
+        [
+            ["OLS", f"{ols_err:.2f}", "all"],
+            ["RANSAC", f"{ransac_err:.2f}",
+             f"{ransac.n_inliers}/{ransac.n_inliers + ransac.n_outliers}"],
+        ],
+        title="Ablation: quadratic latency fit under deployment outliers",
+    ))
+
+    # RANSAC's extrapolated forecast is materially better.
+    assert ransac_err < 1.5
+    assert ols_err > 2.0 * ransac_err
+    assert ols_err > 1.0
+    # And it actually rejected the contaminated windows.
+    assert ransac.n_outliers >= 0.5 * 0.25 * x.size
+
+
+def test_ablation_ransac_no_cost_on_clean_data(benchmark):
+    """On clean data RANSAC must not be worse than OLS."""
+    rng = np.random.default_rng(193)
+    x = rng.uniform(100.0, 600.0, 400)
+    y = 4.03e-5 * x**2 - 0.031 * x + 36.68 + rng.normal(0.0, 0.4, 400)
+
+    def fit_both():
+        ols = fit_polynomial(x, y, degree=2)
+        ransac = RansacRegressor(degree=2, rng=np.random.default_rng(5)).fit(x, y)
+        return ols, ransac
+
+    ols, ransac = benchmark(fit_both)
+    assert _forecast_error(ransac.model) < _forecast_error(ols) + 0.5

@@ -1,0 +1,41 @@
+"""Fig 12 — CDF of per-server 95th-percentile CPU utilization.
+
+Paper read-outs: ~60 % of servers have a 95th-percentile CPU of 15 %
+or less; 80 % use less than 30 %; a small (~20 %) population spreads
+between 30 % and 100 %.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import study_fleet_utilization
+from repro.core.report import render_table
+
+
+def test_fig12_cpu_cdf(benchmark, paper_store):
+    study = benchmark.pedantic(
+        lambda: study_fleet_utilization(paper_store), rounds=1, iterations=1
+    )
+    cdf = study.p95_cdf()
+
+    thresholds = [10, 15, 20, 30, 40, 60]
+    rows = [
+        [f"<= {t}%", f"{cdf.fraction_at_or_below(float(t)):.0%}"]
+        for t in thresholds
+    ]
+    print()
+    print(render_table(
+        ["95th-pct CPU", "share of servers"],
+        rows,
+        title="Fig 12: CDF of per-server 95th-percentile CPU "
+              "(paper: 60% <= 15%, 80% < 30%)",
+    ))
+
+    # The paper's two anchor points, with scale tolerance.
+    assert cdf.fraction_at_or_below(15.0) > 0.35
+    assert cdf.fraction_at_or_below(30.0) > 0.70
+    # A visible minority of hotter servers exists (C/G run warmer).
+    assert cdf.fraction_at_or_below(30.0) < 0.999
+    # CDF is a proper distribution.
+    assert np.all(np.diff(cdf.ps) >= 0)
+    assert cdf.ps[-1] == pytest.approx(1.0)

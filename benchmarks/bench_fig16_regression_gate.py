@@ -1,0 +1,111 @@
+"""Fig 16 — the offline regression-test case study (§III-C).
+
+A change shipped to fix a memory leak.  The offline gate (two identical
+pools, identical seeded synthetic ramp, one pool per build) confirms
+the leak is gone but finds a latency regression that grows with
+workload — the box plot of Fig 16.  This bench regenerates the per-
+level latency distributions and the gate verdict.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.deployment import (
+    leak_fix_with_latency_regression,
+    leaky_version,
+)
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.regression_analysis import RegressionGate, profile_response
+from repro.core.report import render_table
+from repro.telemetry.counters import Counter
+from repro.workload.synthetic import RampPlan
+
+COUNTERS = (
+    Counter.REQUESTS.value,
+    Counter.PROCESSOR_UTILIZATION.value,
+    Counter.LATENCY_P95.value,
+    Counter.AVAILABILITY.value,
+    Counter.MEMORY_WORKING_SET.value,
+)
+
+
+class _RampPattern:
+    def __init__(self, plan: RampPlan) -> None:
+        self.plan = plan
+
+    def demand_at(self, window: int) -> float:
+        step = min(window, self.plan.total_windows - 1)
+        return self.plan.level_at(step)
+
+
+def _run_ramp(version, label, seed=171):
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=12, seed=seed
+    )
+    sim = Simulator(
+        fleet, seed=seed,
+        config=SimulationConfig(counters=COUNTERS, apply_availability_policies=False),
+    )
+    sim.set_version("B", version)
+    ramp = RampPlan.linear(600.0, 6_600.0, n_levels=12, windows_per_level=12)
+    sim.fleet.deployment("B", "DC1").pattern = _RampPattern(ramp)
+    sim.run(ramp.total_windows)
+    return sim.store
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    baseline_store = _run_ramp(leaky_version(), "baseline")
+    change_store = _run_ramp(
+        leak_fix_with_latency_regression(queue_multiplier=2.5), "change"
+    )
+    baseline = profile_response(baseline_store, "B", "baseline", "DC1")
+    change = profile_response(change_store, "B", "change", "DC1")
+    return baseline, change
+
+
+def test_fig16_regression_gate(benchmark, profiles):
+    baseline, change = profiles
+    gate = RegressionGate(latency_tolerance_ms=2.0, cpu_tolerance_pct=1.0)
+    report = benchmark(lambda: gate.compare(baseline, change))
+
+    # The Fig 16 box-plot data: per-workload-level latency spreads.
+    rows = []
+    levels = sorted(baseline.latency_by_level)
+    for level in levels:
+        base_vals = baseline.latency_by_level[level]
+        # Match the change profile's nearest level.
+        change_level = min(change.latency_by_level, key=lambda x: abs(x - level))
+        change_vals = change.latency_by_level[change_level]
+        rows.append([
+            f"{level:.0f}",
+            f"{np.median(base_vals):.1f}",
+            f"{np.median(change_vals):.1f}",
+            f"{np.median(change_vals) - np.median(base_vals):+.1f}",
+        ])
+    print()
+    print(render_table(
+        ["RPS/server", "baseline p95 (ms)", "change p95 (ms)", "delta"],
+        rows,
+        title="Fig 16: per-level latency, baseline vs change",
+    ))
+    print(report.describe())
+
+    # The verdicts of the paper's case study.
+    assert report.memory_leak_fixed
+    assert report.latency_regressed
+    assert not report.passed
+    # The regression grows with workload (invisible at low load).
+    assert report.latency_delta_ms[0] < 1.5
+    assert report.latency_delta_ms[-1] > 2.0
+    assert report.latency_delta_ms[-1] > 2 * max(report.latency_delta_ms[0], 0.1)
+
+
+def test_fig16_gate_passes_clean_change(benchmark, profiles):
+    """Control: comparing a build against itself must pass the gate."""
+    baseline, _change = profiles
+    gate = RegressionGate(latency_tolerance_ms=2.0, cpu_tolerance_pct=1.0)
+    report = benchmark(lambda: gate.compare(baseline, baseline))
+    assert report.max_latency_regression_ms == pytest.approx(0.0, abs=1e-9)
+    assert not report.latency_regressed

@@ -1,0 +1,95 @@
+"""Fig 3 — per-server (5th pct, 95th pct) CPU clusters.
+
+The paper's scatter shows tight clusters per datacenter, and one pool
+splitting into two clusters that turned out to be two hardware
+generations.  The bench regenerates both situations and checks that
+the grouping stage draws the same conclusions automatically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.hardware import GENERATION_2014, GENERATION_2017
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.grouping import identify_server_groups
+from repro.core.report import render_table
+
+
+@pytest.fixture(scope="module")
+def fig3_sims():
+    uniform_fleet = build_single_pool_fleet(
+        "F", n_datacenters=2, servers_per_deployment=20, seed=121
+    )
+    uniform = Simulator(
+        uniform_fleet, seed=121,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    uniform.run_days(1)
+
+    mixed_fleet = build_single_pool_fleet(
+        "F", n_datacenters=1, servers_per_deployment=24, seed=123,
+        hardware_mix={GENERATION_2014: 0.5, GENERATION_2017: 0.5},
+    )
+    mixed = Simulator(
+        mixed_fleet, seed=123,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    mixed.run_days(1)
+    return uniform, mixed
+
+
+def test_fig3_uniform_pool_tight_cluster(benchmark, fig3_sims):
+    uniform, _mixed = fig3_sims
+
+    def group():
+        return {
+            dc: identify_server_groups(uniform.store, "F", dc)
+            for dc in ("DC1", "DC2")
+        }
+
+    reports = benchmark(group)
+
+    rows = []
+    for dc, report in reports.items():
+        for g in report.groups:
+            rows.append([dc, g.group_index, g.size, f"{g.center_p5:.1f}", f"{g.center_p95:.1f}"])
+    print()
+    print(render_table(
+        ["DC", "group", "servers", "p5 CPU", "p95 CPU"],
+        rows, title="Fig 3: per-DC server clusters (uniform hardware)",
+    ))
+
+    for dc, report in reports.items():
+        # One tight cluster per datacenter, with a consistent daily
+        # upper and lower bound across the pool.
+        assert report.is_uniform, f"{dc}: expected a single cluster"
+        spread_p95 = report.points[:, 1].std()
+        assert spread_p95 < report.points[:, 1].mean() * 0.25
+
+
+def test_fig3_mixed_hardware_two_clusters(benchmark, fig3_sims):
+    _uniform, mixed = fig3_sims
+
+    report = benchmark(
+        lambda: identify_server_groups(mixed.store, "F", "DC1")
+    )
+
+    rows = [
+        [g.group_index, g.size, f"{g.center_p5:.1f}", f"{g.center_p95:.1f}"]
+        for g in report.groups
+    ]
+    print()
+    print(render_table(
+        ["group", "servers", "p5 CPU", "p95 CPU"],
+        rows, title="Fig 3: two-generation pool splits into two clusters",
+    ))
+
+    assert report.n_groups == 2
+    centers = sorted(g.center_p95 for g in report.groups)
+    # "All servers in the less utilized range are newer and more
+    # powerful": the cool cluster sits near cpu_scale (0.65) of the hot
+    # one, up to the shared idle offset.
+    assert centers[0] < centers[1] * 0.85
+    sizes = sorted(g.size for g in report.groups)
+    assert sizes == [12, 12]

@@ -1,0 +1,153 @@
+"""Figs 4-6 — the two natural experiments of §II-B1.
+
+Event 1 (Figs 4-5): a multi-datacenter failover raises surviving
+pools' workload by a median ~56 % (one DC +127 %); CPU follows the
+linear model fitted on the surrounding days, and latency stays within
+QoS.
+
+Event 2 (Fig 6): a 4x regional traffic surge; the quadratic latency
+trend fitted on calm data still predicts the event, and the elevated
+latency at *low* workload (cold caches) is visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.faults import DatacenterOutage, TrafficSurge
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.natural_experiments import (
+    analyze_natural_experiment,
+    detect_surge_events,
+)
+from repro.core.report import render_table
+from repro.telemetry.counters import Counter
+from repro.workload.diurnal import WINDOWS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def event1_sim():
+    """Failover event: 3 of 6 DCs go dark for 2 hours (median +56 %-ish)."""
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=6, servers_per_deployment=12, seed=141
+    )
+    sim = Simulator(
+        fleet, seed=141,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    start = 2 * WINDOWS_PER_DAY + 60
+    for dc in ("DC1", "DC3", "DC6"):
+        sim.add_outage(DatacenterOutage(dc, start, 60))
+    sim.run(4 * WINDOWS_PER_DAY)
+    return sim, start
+
+
+@pytest.fixture(scope="module")
+def event2_sim():
+    """Fig 6: a 4x surge into one datacenter of pool D."""
+    fleet = build_single_pool_fleet(
+        "D", n_datacenters=5, servers_per_deployment=14, seed=143
+    )
+    sim = Simulator(
+        fleet, seed=143,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    start = 2 * WINDOWS_PER_DAY + 80
+    sim.add_surge(TrafficSurge("DC5", start, 50, factor=4.0, pool_id="D"))
+    sim.run(4 * WINDOWS_PER_DAY)
+    return sim, start
+
+
+def test_fig4_workload_step(benchmark, event1_sim):
+    sim, start = event1_sim
+    survivors = ("DC2", "DC4", "DC5")
+
+    def detect():
+        events = []
+        for dc in survivors:
+            events.extend(
+                detect_surge_events(sim.store, "B", dc, threshold=0.15)
+            )
+        return events
+
+    events = benchmark(detect)
+    assert events, "failover surge not detected"
+    increases = [e.median_increase_fraction for e in events]
+    rows = [
+        [e.datacenter_id, e.start_window, f"+{e.median_increase_fraction:.0%}",
+         f"+{e.peak_increase_fraction:.0%}"]
+        for e in events
+    ]
+    print()
+    print(render_table(
+        ["survivor DC", "start", "median increase", "peak increase"],
+        rows,
+        title="Fig 4: workload step during the failover event "
+              "(paper: median +56%, max +127%)",
+    ))
+    # Median increase across surviving pools lands in the paper's
+    # half-again band.
+    assert 0.3 <= float(np.median(increases)) <= 1.3
+    # The events coincide with the injected outage.
+    assert any(abs(e.start_window - start) <= 10 for e in events)
+
+
+def test_fig5_cpu_follows_linear_model(benchmark, event1_sim):
+    sim, _start = event1_sim
+    events = detect_surge_events(sim.store, "B", "DC2", threshold=0.15)
+    event = max(events, key=lambda e: e.peak_increase_fraction)
+
+    report = benchmark(lambda: analyze_natural_experiment(sim.store, event))
+    print(
+        f"\nFig 5: CPU model {report.resource_model.model.describe()}; "
+        f"event-period error {report.cpu_relative_error:.1%}"
+    )
+    assert report.cpu_relative_error < 0.1
+
+
+def test_fig6_latency_trend_holds_at_4x(benchmark, event2_sim):
+    sim, _start = event2_sim
+    events = detect_surge_events(sim.store, "D", "DC5", threshold=0.5)
+    assert events
+    event = max(events, key=lambda e: e.peak_increase_fraction)
+
+    report = benchmark(lambda: analyze_natural_experiment(sim.store, event))
+    print(
+        f"\nFig 6: latency model {report.qos_model.model.describe()}; "
+        f"event error {report.latency_relative_error:.1%}, "
+        f"load extension {report.load_extension_factor:.2f}x"
+    )
+    # The quadratic trend predicted DC5's behaviour at 4x load.
+    assert report.latency_relative_error < 0.25
+    assert report.load_extension_factor > 1.5
+
+    # During the event latency stayed finite and bounded (the paper's
+    # event peaked below 26 ms for their service; ours below the SLO
+    # blow-up region).
+    lat = sim.store.pool_window_aggregate(
+        "D", Counter.LATENCY_P95.value, datacenter_id="DC5",
+        start=event.start_window, stop=event.stop_window,
+    )
+    assert lat.percentile(95) < 120.0
+
+
+def test_fig6_cold_start_elevation(benchmark, event2_sim):
+    """The elevated latency at low workload (left edge of Fig 6)."""
+    sim, _start = event2_sim
+    store = sim.store
+
+    def low_vs_mid():
+        rps = store.pool_window_aggregate(
+            "D", Counter.REQUESTS.value, datacenter_id="DC1"
+        )
+        lat = store.pool_window_aggregate(
+            "D", Counter.LATENCY_P95.value, datacenter_id="DC1"
+        )
+        x, y = rps.align_with(lat)
+        low = y[x < np.percentile(x, 10)].mean()
+        mid = y[(x > np.percentile(x, 40)) & (x < np.percentile(x, 60))].mean()
+        return float(low), float(mid)
+
+    low, mid = benchmark(low_vs_mid)
+    print(f"\nFig 6 left edge: mean p95 at low load {low:.1f} ms vs mid load {mid:.1f} ms")
+    assert low > mid

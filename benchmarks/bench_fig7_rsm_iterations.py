@@ -1,0 +1,100 @@
+"""Fig 7 — RSM iterations shrinking a pool toward its QoS limit.
+
+The paper's chart shows latency climbing over successive supervised
+server reductions until the 14 ms QoS limit is reached, at which point
+the optimizer stops.  The bench runs the full loop against the
+simulator and regenerates the iteration series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.rsm import ResponseSurfaceOptimizer
+from repro.core.slo import QoSRequirement
+from repro.core.report import render_table
+from repro.experiments import SimulatorRunner
+
+
+@pytest.fixture(scope="module")
+def rsm_outcome():
+    fleet = build_single_pool_fleet(
+        "F", n_datacenters=1, servers_per_deployment=40, seed=151
+    )
+    sim = Simulator(
+        fleet, seed=151,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    sim.run(720)  # history before the first experiment
+    qos = QoSRequirement(latency_p95_ms=14.0)  # the paper's Fig 7 limit
+    optimizer = ResponseSurfaceOptimizer(
+        store=sim.store,
+        pool_id="F",
+        datacenter_id="DC1",
+        qos=qos,
+        runner=SimulatorRunner(sim),
+        iteration_windows=240,
+        reduction_step=0.12,
+        max_iterations=10,
+    )
+    return optimizer.optimize(initial_servers=40), sim
+
+
+def test_fig7_rsm_iterations(benchmark, rsm_outcome):
+    result, _sim = rsm_outcome
+
+    # The benchmarked step: refitting the Eq. 1 partition models over
+    # the accumulated history (the "Model" move of each iteration).
+    from repro.core.partitions import partition_by_total_load, partition_observations
+    from repro.core.curves import fit_servers_qos_model
+    from repro.telemetry.counters import Counter
+
+    store = _sim.store
+
+    def refit():
+        total = store.pool_window_aggregate(
+            "F", Counter.REQUESTS.value, datacenter_id="DC1", reducer="sum"
+        )
+        models = []
+        for partition in partition_by_total_load(total, 4):
+            ns, ls = partition_observations(store, "F", "DC1", partition)
+            if ns.size >= 6 and np.unique(ns).size >= 2:
+                models.append(
+                    fit_servers_qos_model(ns, ls, "F", "DC1", partition.index)
+                )
+        return models
+
+    models = benchmark(refit)
+    assert models
+
+    rows = [
+        [
+            it.iteration,
+            it.n_servers,
+            f"{it.measured_latency_p95_ms:.1f}",
+            f"{it.forecast_next_latency_ms:.1f}" if it.forecast_next_latency_ms else "-",
+            "yes" if it.qos_violated else "no",
+        ]
+        for it in result.iterations
+    ]
+    print()
+    print(render_table(
+        ["iter", "servers", "measured p95 ms", "forecast next ms", "QoS hit"],
+        rows,
+        title="Fig 7: RSM iterations toward the 14 ms QoS limit",
+    ))
+    print(f"recommendation: {result.initial_servers} -> {result.recommended_servers} servers")
+
+    # Shape checks: multiple iterations, monotone reductions, latency
+    # climbing toward (but compliant stages staying under) the limit.
+    assert len(result.iterations) >= 3
+    sizes = [it.n_servers for it in result.iterations]
+    assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+    compliant = [it for it in result.iterations if not it.qos_violated]
+    assert all(it.measured_latency_p95_ms <= 14.0 for it in compliant)
+    assert result.recommended_servers < result.initial_servers
+    # The last compliant stage sits close to the limit (within 25 %),
+    # i.e. the loop actually approached the response surface boundary.
+    final = compliant[-1].measured_latency_p95_ms
+    assert final > 14.0 * 0.6

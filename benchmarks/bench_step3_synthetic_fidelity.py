@@ -1,0 +1,112 @@
+"""Methodology Step 3 — synthetic-workload fidelity (§II-C).
+
+Not a numbered figure, but a step the paper calls "novel and important":
+before any offline validation is trusted, the synthetic workload must
+reproduce production's response — "for the same volume of synthetic
+workload we see the same QoS and resource usage values."
+
+The bench fits a synthetic model on production telemetry, drives an
+identical offline pool with the synthetic trace, and compares the two
+fitted response curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.curves import fit_pool_response
+from repro.core.report import render_table
+from repro.telemetry.counters import Counter
+from repro.workload.synthetic import SyntheticWorkloadModel, compare_traces
+from repro.workload.traces import WorkloadTrace
+
+
+class _TracePattern:
+    """Drive a deployment from a recorded/synthetic trace."""
+
+    def __init__(self, trace: WorkloadTrace) -> None:
+        self.trace = trace
+
+    def demand_at(self, window: int) -> float:
+        idx = min(window, len(self.trace) - 1) + self.trace.start_window
+        return self.trace.total_at(idx)
+
+
+def _simulate(pattern_override=None, seed=211, windows=1440):
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=16, seed=seed
+    )
+    sim = Simulator(
+        fleet, seed=seed,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    if pattern_override is not None:
+        sim.fleet.deployment("B", "DC1").pattern = pattern_override
+    sim.run(windows)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def production_and_synthetic():
+    production = _simulate()
+    # Record production's offered workload as a trace.
+    recorded = production.store.pool_window_aggregate(
+        "B", Counter.REQUESTS.value, datacenter_id="DC1", reducer="sum"
+    )
+    prod_trace = WorkloadTrace(
+        start_window=0,
+        totals=recorded.values,
+        class_volumes={"query": recorded.values},
+    )
+    model = SyntheticWorkloadModel().fit(prod_trace)
+    synthetic_trace = model.generate(1440, np.random.default_rng(5))
+    offline = _simulate(
+        pattern_override=_TracePattern(synthetic_trace), seed=213
+    )
+    return production, offline, prod_trace, synthetic_trace
+
+
+def test_step3_synthetic_fidelity(benchmark, production_and_synthetic):
+    production, offline, prod_trace, synthetic_trace = production_and_synthetic
+
+    def score():
+        workload_report = compare_traces(prod_trace, synthetic_trace)
+        prod_resource, prod_qos = fit_pool_response(
+            production.store, "B", "DC1"
+        )
+        syn_resource, syn_qos = fit_pool_response(offline.store, "B", "DC1")
+        return workload_report, prod_resource, prod_qos, syn_resource, syn_qos
+
+    workload_report, prod_resource, prod_qos, syn_resource, syn_qos = (
+        benchmark.pedantic(score, rounds=1, iterations=1)
+    )
+
+    # Compare responses at matched volumes across the common range.
+    lo = max(prod_qos.model.x_min, syn_qos.model.x_min)
+    hi = min(prod_qos.model.x_max, syn_qos.model.x_max)
+    grid = np.linspace(lo, hi, 20)
+    cpu_gap = np.abs(prod_resource.model.predict(grid) - syn_resource.model.predict(grid))
+    lat_gap = np.abs(prod_qos.model.predict(grid) - syn_qos.model.predict(grid))
+
+    print()
+    print(render_table(
+        ["check", "result"],
+        [
+            ["workload fidelity", workload_report.describe()],
+            ["CPU slope prod vs synth",
+             f"{prod_resource.model.slope:.4f} vs {syn_resource.model.slope:.4f}"],
+            ["max CPU gap on common range", f"{cpu_gap.max():.2f} pts"],
+            ["max latency gap on common range", f"{lat_gap.max():.2f} ms"],
+        ],
+        title="Step 3: synthetic workload drives the same response",
+    ))
+
+    assert workload_report.passed
+    # "For the same volume of synthetic workload we see the same QoS
+    # and resource usage values."
+    assert cpu_gap.max() < 1.0
+    assert lat_gap.max() < 2.0
+    assert syn_resource.model.slope == pytest.approx(
+        prod_resource.model.slope, rel=0.05
+    )

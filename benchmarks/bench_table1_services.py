@@ -1,0 +1,60 @@
+"""Table I — the micro-service catalogue.
+
+Regenerates the table of micro-services running in server pools and
+checks the catalogue's structural properties (each service has a
+distinct cost/latency profile and a working demand model).
+"""
+
+import pytest
+
+from repro.cluster.builders import peak_rps_per_server
+from repro.cluster.hardware import GENERATION_2014
+from repro.cluster.service import CATALOG_POOLS, service_catalog
+from repro.core.report import render_table
+
+PAPER_DESCRIPTIONS = {
+    "A": "In-Memory Storage",
+    "B": "spelling corrections",
+    "C": "stateless processing modules",
+    "D": "formatted web pages",
+    "E": "load balancer",
+    "F": "custom processing logic",
+    "G": "metrics collection",
+}
+
+
+def test_table1_catalogue(benchmark):
+    catalog = benchmark(service_catalog)
+
+    rows = []
+    for letter in CATALOG_POOLS:
+        profile = catalog[letter]
+        rows.append(
+            [
+                letter,
+                profile.description[:58],
+                f"{profile.cpu_cost_per_rps():.4f}",
+                f"{profile.latency.base_ms:g}",
+                f"{profile.slo_latency_ms:g}",
+                f"{profile.availability_mean:.0%}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Pool", "Description", "CPU %/RPS", "base ms", "SLO ms", "avail"],
+            rows,
+            title="Table I: micro-services in server pools",
+        )
+    )
+
+    # Every paper service is present with a matching description.
+    assert set(catalog) == set(CATALOG_POOLS)
+    for letter, needle in PAPER_DESCRIPTIONS.items():
+        assert needle.lower() in catalog[letter].description.lower()
+    # Profiles are genuinely heterogeneous (distinct request costs).
+    costs = {round(p.cpu_cost_per_rps(), 5) for p in catalog.values()}
+    assert len(costs) == len(catalog)
+    # Every profile supports the provisioning inversion used everywhere.
+    for profile in catalog.values():
+        assert peak_rps_per_server(profile, GENERATION_2014) > 0

@@ -1,0 +1,72 @@
+"""Table II + Figs 8-9 — the pool B 30 % reduction experiment (§III-A1).
+
+Paper numbers: five weekdays of baseline at ~377 RPS/server (95th pct),
+then a 30 % reduction coinciding with a traffic increase, landing at
+~540 RPS/server (+43 %).  The linear CPU model (0.028x + 1.37,
+R^2 = 0.984) forecast 16.5 % CPU vs 17.4 % measured; the quadratic
+latency model forecast 31.5 ms vs 30.9 ms measured.
+"""
+
+import pytest
+
+from repro.core.report import render_table
+from repro.experiments import run_reduction_experiment
+from repro.workload.diurnal import WINDOWS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def report(pool_b_experiment_sim):
+    return run_reduction_experiment(
+        pool_b_experiment_sim,
+        "B",
+        "DC1",
+        reduction_fraction=0.30,
+        baseline_windows=5 * WINDOWS_PER_DAY,
+        reduced_windows=2 * WINDOWS_PER_DAY,
+        demand_scale_during_reduction=1.10,
+    )
+
+
+def test_table2_pool_b_reduction(benchmark, report, pool_b_experiment_sim):
+    # Benchmark the pure model-training step on the recorded baseline.
+    from repro.core.curves import fit_pool_response
+
+    store = pool_b_experiment_sim.store
+    benchmark(
+        lambda: fit_pool_response(store, "B", "DC1", start=0, stop=5 * WINDOWS_PER_DAY)
+    )
+
+    print()
+    print(report.render_percentile_table())
+    print()
+    print(render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ["CPU slope (%/RPS)", "0.028", f"{report.resource_model.model.slope:.4f}"],
+            ["CPU fit R^2", "0.984", f"{report.resource_model.model.r2:.3f}"],
+            ["latency x^2 coeff", "4.03e-5", f"{report.qos_model.model.coefficients[0]:.2e}"],
+            ["forecast CPU @ stage 2", "16.5%", f"{report.forecast_cpu_pct:.1f}%"],
+            ["measured CPU @ stage 2", "17.4%", f"{report.measured_cpu_pct:.1f}%"],
+            ["forecast p95 latency", "31.5ms", f"{report.forecast_latency_ms:.1f}ms"],
+            ["measured p95 latency", "30.9ms", f"{report.measured_latency_ms:.1f}ms"],
+        ],
+        title="Table II / Figs 8-9: pool B (paper vs measured)",
+    ))
+
+    # --- Table II shape: per-server load rises at every percentile ---
+    assert report.reduced.rps_per_server_p50 > report.baseline.rps_per_server_p50
+    assert report.reduced.rps_per_server_p75 > report.baseline.rps_per_server_p75
+    assert report.reduced.rps_per_server_p95 > report.baseline.rps_per_server_p95
+    # Reduction (30 %) plus traffic growth pushes load up by >= 1/3.
+    assert report.rps_increase_at_p95 > 0.33
+
+    # --- Fig 8: linear CPU prediction holds ---
+    assert report.resource_model.model.r2 > 0.95
+    assert report.resource_model.model.slope == pytest.approx(0.028, rel=0.1)
+    assert report.cpu_forecast_error_pct < 1.5
+
+    # --- Fig 9: quadratic latency prediction holds within ~1-2 ms ---
+    assert report.qos_model.model.coefficients[0] > 0
+    assert report.latency_forecast_error_ms < 2.5
+    # Negative linear coefficient — the cold-start dip the paper saw.
+    assert report.qos_model.model.coefficients[1] < 0

@@ -1,0 +1,97 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The
+expensive part — simulating the fleet — happens once per session in
+these fixtures; the benchmarked callables are the pure analyses that
+read the resulting telemetry, so pytest-benchmark can run them
+repeatedly without re-simulating.
+
+Scale note: the paper's fleet is 100K+ servers over 90 days; these
+fixtures use hundreds of servers over a few days.  Shapes (who wins,
+by what factor, where crossovers fall) are the reproduction target,
+not absolute magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import (
+    PAPER_DATACENTERS,
+    build_paper_fleet,
+    build_single_pool_fleet,
+)
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.telemetry.counters import Counter
+
+RESOURCE_COUNTERS = (
+    Counter.REQUESTS.value,
+    Counter.PROCESSOR_UTILIZATION.value,
+    Counter.LATENCY_P95.value,
+    Counter.AVAILABILITY.value,
+    Counter.NETWORK_BYTES_TOTAL.value,
+    Counter.NETWORK_PACKETS.value,
+    Counter.DISK_READ_BYTES.value,
+    Counter.DISK_QUEUE_LENGTH.value,
+    Counter.MEMORY_PAGES.value,
+)
+
+
+@pytest.fixture(scope="session")
+def paper_sim():
+    """The full Table I fleet: 7 pools x 9 DCs x 12 servers, 2 days."""
+    fleet = build_paper_fleet(servers_per_deployment=12, seed=101)
+    sim = Simulator(
+        fleet,
+        seed=101,
+        config=SimulationConfig(record_request_classes=True),
+    )
+    sim.run_days(2)
+    return sim
+
+
+@pytest.fixture(scope="session")
+def paper_store(paper_sim):
+    return paper_sim.store
+
+
+def _flatten_weekends(fleet) -> None:
+    """Remove the weekend demand dip for §III-A experiment fleets.
+
+    The paper's two-stage experiments compared weekday baselines with
+    weekday reduction stages; a weekend dip in stage two would
+    understate the per-server load shift the tables report.
+    """
+    from dataclasses import replace
+
+    for deployment in fleet.deployments():
+        deployment.pattern = replace(deployment.pattern, weekend_factor=1.0)
+
+
+@pytest.fixture(scope="session")
+def pool_b_experiment_sim():
+    """Pool B, one DC, 50 servers — the §III-A1 experiment substrate."""
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=50, seed=103
+    )
+    _flatten_weekends(fleet)
+    return Simulator(
+        fleet,
+        seed=103,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+
+
+@pytest.fixture(scope="session")
+def pool_d_experiment_sim():
+    """Pool D, one DC, 50 servers — the §III-A2 experiment substrate."""
+    fleet = build_single_pool_fleet(
+        "D", n_datacenters=1, servers_per_deployment=50, seed=107
+    )
+    _flatten_weekends(fleet)
+    return Simulator(
+        fleet,
+        seed=107,
+        config=SimulationConfig(apply_availability_policies=False),
+    )

@@ -1,0 +1,86 @@
+"""Fleet-wide capacity study (§III-B): utilization, availability, savings.
+
+Simulates the full nine-datacenter Table I fleet for two days with each
+pool's real-world maintenance habits (rolling deployments, off-peak
+repurposing), then reproduces the paper's fleet analyses:
+
+* global CPU utilization and the Fig 12 / Fig 13 distributions;
+* the Fig 14 availability distribution and per-pool availability;
+* the Table IV savings summary combining headroom and availability
+  savings, rendered next to the paper's published numbers.
+
+Run:
+    python examples/fleet_savings_analysis.py
+"""
+
+from repro import CapacityPlanner, QoSRequirement, Simulator, build_paper_fleet
+from repro.cluster.simulation import SimulationConfig
+from repro.analysis.savings import summarize_savings
+from repro.analysis.utilization import study_fleet_utilization
+from repro.cluster.service import service_catalog
+from repro.core.availability import study_fleet_availability
+
+
+def main() -> None:
+    fleet = build_paper_fleet(servers_per_deployment=6, seed=29)
+    print(
+        f"simulating {fleet.total_servers()} servers across "
+        f"{len(fleet.datacenters)} datacenters for 2 days ..."
+    )
+    simulator = Simulator(
+        fleet, seed=29,
+        config=SimulationConfig(record_request_classes=True),
+    )
+    simulator.run_days(2)
+    store = simulator.store
+
+    # ------------------------------------------------------------------
+    # Utilization (Figs 12-13, §I headline stats)
+    # ------------------------------------------------------------------
+    utilization = study_fleet_utilization(store)
+    print("\n=== utilization (paper vs measured) ===")
+    print(f"global mean CPU:            23%    vs  {utilization.global_mean_utilization:.0f}%")
+    print(
+        "servers below 30% CPU:      80%    vs  "
+        f"{utilization.fraction_of_servers_below(30.0):.0%}"
+    )
+    print(
+        "samples above 40% CPU:      <0.1%  vs  "
+        f"{utilization.fraction_of_samples_above(40.0):.2%}"
+    )
+    print(
+        "servers spiking over 40%:   15%    vs  "
+        f"{utilization.fraction_of_servers_spiking_above(40.0):.0%}"
+    )
+    print(
+        "theoretical efficiency:     ~4x    vs  "
+        f"{utilization.theoretical_efficiency_factor:.1f}x"
+    )
+
+    # ------------------------------------------------------------------
+    # Availability (Figs 14-15, §III-B2)
+    # ------------------------------------------------------------------
+    availability = study_fleet_availability(store)
+    print("\n=== availability ===")
+    print(f"fleet mean availability: {availability.overall_mean:.1%} (paper: 83%)")
+    print(
+        f"infrastructure overhead: {availability.infrastructure_overhead:.1%} "
+        "(paper: ~2%)"
+    )
+    for report in availability.reports:
+        print(f"  {report.describe()}")
+
+    # ------------------------------------------------------------------
+    # Savings (Table IV)
+    # ------------------------------------------------------------------
+    qos = {
+        name: QoSRequirement(latency_p95_ms=profile.slo_latency_ms)
+        for name, profile in service_catalog().items()
+    }
+    plan = CapacityPlanner(store, qos, survive_dc_loss=True).plan()
+    print()
+    print(summarize_savings(plan).render_comparison())
+
+
+if __name__ == "__main__":
+    main()

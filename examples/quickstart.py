@@ -1,0 +1,63 @@
+"""Quickstart: right-size a small geo-distributed service.
+
+Builds the Table I micro-service fleet across three datacenters,
+simulates two days of diurnal production traffic, then runs the
+black-box capacity planner over the recorded telemetry and prints the
+per-pool savings table (the paper's Table IV layout).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import CapacityPlanner, QoSRequirement, Simulator, build_paper_fleet
+from repro.cluster.simulation import SimulationConfig
+from repro.cluster.builders import PAPER_DATACENTERS
+from repro.cluster.service import service_catalog
+
+
+def main() -> None:
+    # Every pool of Table I across all nine regions.  Nine matters:
+    # the survive-one-datacenter headroom is then ~1/8 of demand, as in
+    # the paper's fleet; with very few regions the disaster-recovery
+    # constraint alone would consume all the reclaimable capacity.
+    fleet = build_paper_fleet(
+        servers_per_deployment=6,
+        datacenters=PAPER_DATACENTERS,
+        seed=7,
+    )
+    print(
+        f"simulating {fleet.total_servers()} servers, "
+        f"{len(fleet.pool_ids)} micro-services, "
+        f"{len(fleet.datacenters)} datacenters ..."
+    )
+    simulator = Simulator(
+        fleet, seed=7,
+        config=SimulationConfig(record_request_classes=True),
+    )
+    simulator.run_days(2)
+
+    # Each pool's QoS contract comes from its owning team; here we use
+    # the catalogue's SLOs.
+    qos = {
+        name: QoSRequirement(latency_p95_ms=profile.slo_latency_ms)
+        for name, profile in service_catalog().items()
+    }
+
+    planner = CapacityPlanner(simulator.store, qos, survive_dc_loss=True)
+    plan = planner.plan()
+    print()
+    print(plan.render_savings_table())
+    print()
+    print(
+        f"fleet-wide: {plan.mean_total_savings:.0%} of servers reclaimable "
+        f"at an average +{plan.mean_latency_impact_ms:.1f} ms latency cost"
+    )
+
+    # Every number above came from telemetry alone: the planner never
+    # saw the simulator's ground-truth cost or latency parameters.
+    for summary in plan.summaries:
+        print(f"  {summary.validation.describe().splitlines()[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Forward-looking and counterfactual capacity planning.
+
+The methodology exists so that capacity questions can be answered
+*offline*, before money is spent or a change is deployed (§II: "It
+needs to enable offline 'what-if' regression analysis of changes to
+determine their capacity and QoS consequences").  This example:
+
+1. simulates three weeks of a growing service (+6 % demand per week);
+2. forecasts the next week of demand (seasonal shape + trend + an
+   empirical 95 % band);
+3. answers what-if questions against the fitted black-box models:
+   demand growth, SLO changes, a costlier software version, and a
+   datacenter retirement.
+
+Run:
+    python examples/whatif_planning.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import QoSRequirement, Simulator, build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig
+from repro.core.forecasting import SeasonalTrendForecaster
+from repro.core.whatif import Scenario, WhatIfAnalyzer
+from repro.telemetry.counters import Counter
+from repro.workload.diurnal import WINDOWS_PER_DAY
+
+
+def main() -> None:
+    fleet = build_single_pool_fleet(
+        "D", n_datacenters=3, servers_per_deployment=14, seed=23
+    )
+    # The service is growing 6 % per week.
+    for deployment in fleet.deployments():
+        deployment.pattern = replace(deployment.pattern, weekly_growth=0.06)
+
+    simulator = Simulator(
+        fleet, seed=23,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    print("simulating 21 days of a growing service ...")
+    simulator.run_days(21)
+    store = simulator.store
+
+    # ------------------------------------------------------------------
+    # Forecast next week's demand for one datacenter.
+    # ------------------------------------------------------------------
+    history = store.pool_window_aggregate(
+        "D", Counter.REQUESTS.value, datacenter_id="DC1", reducer="sum"
+    )
+    forecaster = SeasonalTrendForecaster(band_quantile=0.95).fit(history)
+    forecast = forecaster.forecast(7 * WINDOWS_PER_DAY)
+    print(
+        f"\nDC1 demand forecast for next week: "
+        f"peak {forecast.peak_expected():,.0f} RPS expected, "
+        f"{forecast.peak_upper():,.0f} RPS at the 95% band "
+        f"(historical peak {history.values.max():,.0f} RPS)"
+    )
+
+    # ------------------------------------------------------------------
+    # What-if analysis against the fitted response curves.
+    # ------------------------------------------------------------------
+    qos = QoSRequirement(latency_p95_ms=58.0)
+    analyzer = WhatIfAnalyzer(store, "D", qos, rng=np.random.default_rng(1))
+    growth_factor = forecast.peak_upper() / history.values.max()
+    scenarios = [
+        Scenario(label="next week's growth (forecast band)", demand_factor=growth_factor),
+        Scenario(label="demand doubles", demand_factor=2.0),
+        Scenario(label="loosen SLO by 5 ms", latency_slo_delta_ms=5.0),
+        Scenario(label="tighten SLO by 5 ms", latency_slo_delta_ms=-5.0),
+        Scenario(label="deploy 1.2x-cost version", cpu_cost_factor=1.2),
+        Scenario(label="retire DC3", retired_datacenters=("DC3",)),
+    ]
+    print(f"\nwhat-if analysis (SLO p95 <= {qos.latency_p95_ms:g} ms):")
+    for outcome in analyzer.evaluate(scenarios):
+        print(f"  {outcome.describe()}")
+    print(
+        "\nNote the §II trade-off: loosening the latency SLO buys a "
+        "measurable capacity reduction, computed entirely offline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — black-box capacity-headroom right-sizing for global online services.
+
+A full reproduction of Verbowski et al., "Right-sizing Server Capacity
+Headroom for Global Online Services" (ICDCS 2018): the four-step
+black-box capacity-planning methodology, a simulated geo-distributed
+micro-service fleet standing in for the paper's proprietary 100K-server
+substrate, baseline planners, and the analyses behind every table and
+figure in the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        CapacityPlanner, QoSRequirement, Simulator, build_paper_fleet,
+    )
+
+    fleet = build_paper_fleet(servers_per_deployment=8)
+    simulator = Simulator(fleet, seed=7)
+    simulator.run_days(2)
+
+    qos = {p: QoSRequirement(latency_p95_ms=60.0) for p in fleet.pool_ids}
+    planner = CapacityPlanner(simulator.store, qos)
+    print(planner.plan().render_savings_table())
+"""
+
+__version__ = "0.1.0"
+
+from repro.cluster import (
+    Datacenter,
+    DatacenterOutage,
+    Fleet,
+    HardwareSpec,
+    LatencyModel,
+    MicroServiceProfile,
+    PoolDeployment,
+    Server,
+    ServerPool,
+    SimulationConfig,
+    Simulator,
+    SoftwareVersion,
+    build_paper_fleet,
+    build_single_pool_fleet,
+    service_catalog,
+)
+from repro.core import (
+    CapacityPlanner,
+    FleetPlan,
+    GroupingModel,
+    HeadroomPlan,
+    HeadroomPlanner,
+    MetricValidator,
+    QoSRequirement,
+    RegressionGate,
+    ResponseSurfaceOptimizer,
+    SLO,
+    analyze_natural_experiment,
+    detect_surge_events,
+    identify_server_groups,
+)
+from repro.telemetry import Counter, MetricStore, TimeSeries
+from repro.workload import (
+    DiurnalPattern,
+    RampPlan,
+    RequestClass,
+    RequestMix,
+    SyntheticWorkloadModel,
+    WorkloadTrace,
+)
+
+__all__ = [
+    "__version__",
+    "Datacenter",
+    "DatacenterOutage",
+    "Fleet",
+    "HardwareSpec",
+    "LatencyModel",
+    "MicroServiceProfile",
+    "PoolDeployment",
+    "Server",
+    "ServerPool",
+    "SimulationConfig",
+    "Simulator",
+    "SoftwareVersion",
+    "build_paper_fleet",
+    "build_single_pool_fleet",
+    "service_catalog",
+    "CapacityPlanner",
+    "FleetPlan",
+    "GroupingModel",
+    "HeadroomPlan",
+    "HeadroomPlanner",
+    "MetricValidator",
+    "QoSRequirement",
+    "RegressionGate",
+    "ResponseSurfaceOptimizer",
+    "SLO",
+    "analyze_natural_experiment",
+    "detect_surge_events",
+    "identify_server_groups",
+    "Counter",
+    "MetricStore",
+    "TimeSeries",
+    "DiurnalPattern",
+    "RampPlan",
+    "RequestClass",
+    "RequestMix",
+    "SyntheticWorkloadModel",
+    "WorkloadTrace",
+]

@@ -1,0 +1,139 @@
+"""Table IV — summary of server savings for the largest pools.
+
+Combines the headroom (efficiency) savings and availability (online)
+savings per pool, and carries the paper's published Table IV values so
+benches can print paper-vs-measured rows side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.planner import FleetPlan
+from repro.core.report import format_ms, format_percent, render_table
+
+#: The paper's Table IV, keyed by pool letter:
+#: (efficiency savings, latency impact ms, online savings, total savings).
+PAPER_TABLE_IV: Dict[str, Tuple[float, float, float, float]] = {
+    "A": (0.15, 9.0, 0.04, 0.19),
+    "B": (0.33, 2.0, 0.27, 0.60),
+    "C": (0.04, 7.0, 0.07, 0.11),
+    "D": (0.33, 8.0, 0.00, 0.33),
+    "E": (0.33, 2.0, 0.02, 0.35),
+    "F": (0.33, 4.0, 0.00, 0.33),
+    "G": (0.05, 1.0, 0.00, 0.05),
+}
+
+#: The paper's aggregate row: ~20 % efficiency, ~5 ms, ~10 % online, ~30 % total.
+PAPER_AGGREGATE: Tuple[float, float, float, float] = (0.20, 5.0, 0.10, 0.30)
+
+
+@dataclass(frozen=True)
+class SavingsRow:
+    """One pool's measured savings next to the paper's."""
+
+    pool_id: str
+    efficiency_savings: float
+    latency_impact_ms: float
+    online_savings: float
+    total_savings: float
+
+    @property
+    def paper_values(self) -> Tuple[float, float, float, float]:
+        return PAPER_TABLE_IV.get(self.pool_id, (float("nan"),) * 4)
+
+
+@dataclass(frozen=True)
+class SavingsSummary:
+    """Measured Table IV with paper-vs-measured rendering."""
+
+    rows: Tuple[SavingsRow, ...]
+
+    @property
+    def mean_efficiency(self) -> float:
+        return float(np.mean([r.efficiency_savings for r in self.rows]))
+
+    @property
+    def mean_online(self) -> float:
+        return float(np.mean([r.online_savings for r in self.rows]))
+
+    @property
+    def mean_total(self) -> float:
+        return float(np.mean([r.total_savings for r in self.rows]))
+
+    @property
+    def mean_latency_impact_ms(self) -> float:
+        return float(np.mean([r.latency_impact_ms for r in self.rows]))
+
+    def row_for(self, pool_id: str) -> SavingsRow:
+        for row in self.rows:
+            if row.pool_id == pool_id:
+                return row
+        raise KeyError(f"no savings row for pool {pool_id!r}")
+
+    def render_comparison(self) -> str:
+        """Paper-vs-measured Table IV."""
+        table_rows: List[List[object]] = []
+        for row in self.rows:
+            paper_eff, paper_ms, paper_online, paper_total = row.paper_values
+            table_rows.append(
+                [
+                    row.pool_id,
+                    format_percent(paper_eff) if not np.isnan(paper_eff) else "-",
+                    format_percent(row.efficiency_savings),
+                    format_ms(paper_ms, 0) if not np.isnan(paper_ms) else "-",
+                    format_ms(row.latency_impact_ms, 0),
+                    format_percent(paper_online) if not np.isnan(paper_online) else "-",
+                    format_percent(row.online_savings),
+                    format_percent(paper_total) if not np.isnan(paper_total) else "-",
+                    format_percent(row.total_savings),
+                ]
+            )
+        table_rows.append(
+            [
+                "mean",
+                format_percent(PAPER_AGGREGATE[0]),
+                format_percent(self.mean_efficiency),
+                format_ms(PAPER_AGGREGATE[1], 0),
+                format_ms(self.mean_latency_impact_ms, 0),
+                format_percent(PAPER_AGGREGATE[2]),
+                format_percent(self.mean_online),
+                format_percent(PAPER_AGGREGATE[3]),
+                format_percent(self.mean_total),
+            ]
+        )
+        return render_table(
+            [
+                "Pool",
+                "Eff (paper)",
+                "Eff (ours)",
+                "QoS (paper)",
+                "QoS (ours)",
+                "Online (paper)",
+                "Online (ours)",
+                "Total (paper)",
+                "Total (ours)",
+            ],
+            table_rows,
+            title="Table IV: paper vs measured",
+        )
+
+
+def summarize_savings(plan: FleetPlan) -> SavingsSummary:
+    """Extract the Table IV rows from a planner outcome."""
+    rows = tuple(
+        SavingsRow(
+            pool_id=s.pool_id,
+            efficiency_savings=s.efficiency_savings,
+            latency_impact_ms=s.latency_impact_ms,
+            online_savings=s.online_savings,
+            total_savings=s.total_savings,
+        )
+        for s in plan.summaries
+    )
+    if not rows:
+        raise ValueError("fleet plan has no pool summaries")
+    return SavingsSummary(rows=rows)

@@ -1,0 +1,110 @@
+"""§III-B1 — fleet-wide utilization analysis (Figs 12-13, §I stats).
+
+The paper's headline resource findings:
+
+* global CPU utilization averages ~23 %;
+* ~60 % of servers have a 95th-percentile CPU of <= 15 % and 80 % use
+  less than 30 % (Fig 12);
+* high-CPU *samples* are rare: only ~1 % of 120 s samples exceed 25 %
+  and fewer than 0.1 % exceed 40 % (Fig 13);
+* only ~15 % of servers ever spike above 40 %.
+
+This module computes the same read-outs from the metric store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.stats.descriptive import Cdf, empirical_cdf, histogram_fractions
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class FleetUtilizationStudy:
+    """All fleet-wide CPU utilization read-outs."""
+
+    #: 95th-percentile CPU per server (the Fig 12 population).
+    server_p95: np.ndarray
+    #: Every 120 s CPU sample in the study (the Fig 13 population).
+    all_samples: np.ndarray
+    #: Per-server maximum CPU sample (for the spike analysis).
+    server_spike_max: np.ndarray
+
+    # ------------------------------------------------------------------
+    # §I / §III-B1 headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def global_mean_utilization(self) -> float:
+        """Fleet-wide mean CPU (the paper's 23 %), in percent."""
+        return float(self.all_samples.mean())
+
+    @property
+    def theoretical_efficiency_factor(self) -> float:
+        """Upper-bound efficiency multiple (paper: 'nearly 4x').
+
+        If the fleet could run perfectly mixed at 100 % CPU, current
+        demand would need 1/utilization of today's capacity.
+        """
+        mean = self.global_mean_utilization
+        if mean <= 0:
+            raise ValueError("mean utilization is zero; factor undefined")
+        return 100.0 / mean
+
+    def fraction_of_servers_below(self, p95_cpu_pct: float) -> float:
+        """Share of servers whose 95th-pct CPU is <= the threshold."""
+        return float((self.server_p95 <= p95_cpu_pct).mean())
+
+    def fraction_of_servers_spiking_above(self, cpu_pct: float) -> float:
+        """Share of servers with any sample above the threshold."""
+        return float((self.server_spike_max > cpu_pct).mean())
+
+    def fraction_of_samples_above(self, cpu_pct: float) -> float:
+        """Share of 120 s samples above the threshold (Fig 13)."""
+        return float((self.all_samples > cpu_pct).mean())
+
+    # ------------------------------------------------------------------
+    # Figure series
+    # ------------------------------------------------------------------
+    def p95_cdf(self) -> Cdf:
+        """Fig 12: CDF of per-server 95th-percentile CPU."""
+        return empirical_cdf(self.server_p95)
+
+    def sample_histogram(
+        self, bin_width_pct: float = 2.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fig 13: fraction of samples per CPU bin."""
+        edges = np.arange(0.0, 100.0 + bin_width_pct, bin_width_pct)
+        return edges, histogram_fractions(self.all_samples, edges)
+
+
+def study_fleet_utilization(
+    store: MetricStore,
+    pool_ids: Optional[List[str]] = None,
+) -> FleetUtilizationStudy:
+    """Build the utilization study over the whole store (or some pools)."""
+    pools = pool_ids if pool_ids is not None else list(store.pools)
+    p95s: List[float] = []
+    maxima: List[float] = []
+    chunks: List[np.ndarray] = []
+    for pool in pools:
+        per_server = store.per_server_values(
+            pool, Counter.PROCESSOR_UTILIZATION.value
+        )
+        for _server_id, values in sorted(per_server.items()):
+            if values.size < 10:
+                continue
+            p95s.append(float(np.percentile(values, 95.0)))
+            maxima.append(float(values.max()))
+            chunks.append(values)
+    if not chunks:
+        raise ValueError("no CPU telemetry found for the requested pools")
+    return FleetUtilizationStudy(
+        server_p95=np.asarray(p95s, dtype=float),
+        all_samples=np.concatenate(chunks),
+        server_spike_max=np.asarray(maxima, dtype=float),
+    )

@@ -1,0 +1,24 @@
+"""Baseline capacity-planning approaches the paper argues against.
+
+* :mod:`~repro.baselines.queuing` — the white-box queuing-theory
+  planner (M/M/c / Erlang-C): accurate only while its hand-maintained
+  service-time model matches reality (§I: "models based on simplified
+  assumptions are either inaccurate, or are quickly invalidated").
+* :mod:`~repro.baselines.autoscaler` — reactive dynamic allocation:
+  ignores provisioning lag at its peril (§I's second objection).
+* :mod:`~repro.baselines.static_peak` — provision for peak plus a fixed
+  headroom fudge factor: the industry default the paper's savings are
+  measured against.
+"""
+
+from repro.baselines.queuing import MMcPlanner, erlang_c_wait_probability
+from repro.baselines.autoscaler import AutoscalerOutcome, ReactiveAutoscaler
+from repro.baselines.static_peak import StaticPeakPlanner
+
+__all__ = [
+    "MMcPlanner",
+    "erlang_c_wait_probability",
+    "AutoscalerOutcome",
+    "ReactiveAutoscaler",
+    "StaticPeakPlanner",
+]

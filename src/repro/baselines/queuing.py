@@ -1,0 +1,117 @@
+"""Queuing-theory (M/M/c) capacity planner — the white-box baseline.
+
+The classical approach the paper contrasts with (§I): model each pool
+as an M/M/c queue, parameterised by a measured mean service time, and
+size c so the Erlang-C waiting time stays within the latency budget.
+
+Its weakness is exactly the one the paper calls out: the service-time
+parameter is part of a hand-maintained model.  When a deployment
+changes per-request cost, the queuing plan silently under- or
+over-provisions until someone re-measures — the ablation bench
+exercises that failure mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+def erlang_c_wait_probability(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Erlang-C probability that an arriving request must queue.
+
+    ``arrival_rate`` (lambda) and ``service_rate`` (mu, per server) in
+    the same time unit; ``servers`` is c.  Returns 1.0 for an unstable
+    system (rho >= 1).
+    """
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive (arrival may be zero)")
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    offered = arrival_rate / service_rate  # a = lambda / mu
+    rho = offered / servers
+    if rho >= 1.0:
+        return 1.0
+    # Sum_{k=0}^{c-1} a^k / k! computed iteratively to stay stable.
+    term = 1.0
+    total = 1.0
+    for k in range(1, servers):
+        term *= offered / k
+        total += term
+    last = term * offered / servers  # a^c / c!
+    numerator = last / (1.0 - rho)
+    return numerator / (total + numerator)
+
+
+def mmc_mean_wait_seconds(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean queueing delay W_q of an M/M/c system (seconds)."""
+    p_wait = erlang_c_wait_probability(arrival_rate, service_rate, servers)
+    if p_wait >= 1.0:
+        return math.inf
+    return p_wait / (servers * service_rate - arrival_rate)
+
+
+@dataclass(frozen=True)
+class MMcPlanner:
+    """Size a pool with the M/M/c model.
+
+    ``service_time_s`` is the hand-measured mean request service time;
+    ``requests_per_server_slot`` converts one physical server into the
+    number of concurrent service slots it provides (cores, workers).
+    """
+
+    service_time_s: float
+    target_latency_s: float
+    requests_per_server_slot: int = 16
+    max_servers: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.service_time_s <= 0:
+            raise ValueError("service_time_s must be positive")
+        if self.target_latency_s <= self.service_time_s:
+            raise ValueError(
+                "target latency must exceed the service time; an M/M/c "
+                "system can never respond faster than one service time"
+            )
+        if self.requests_per_server_slot < 1:
+            raise ValueError("requests_per_server_slot must be >= 1")
+
+    def required_servers(self, demand_rps: float) -> int:
+        """Minimal servers keeping mean latency within target."""
+        if demand_rps < 0:
+            raise ValueError("demand must be non-negative")
+        if demand_rps == 0:
+            return 1
+        mu = 1.0 / self.service_time_s  # per-slot service rate
+        budget_wait = self.target_latency_s - self.service_time_s
+        # Lower bound: stability requires c*mu > lambda.  The mean wait
+        # is monotone decreasing in the slot count, so exponential
+        # search for a feasible upper bound then bisect.
+        min_slots = int(math.floor(demand_rps / mu)) + 1
+        max_slots_cap = self.max_servers * self.requests_per_server_slot
+
+        hi = min_slots
+        while mmc_mean_wait_seconds(demand_rps, mu, hi) > budget_wait:
+            if hi > max_slots_cap:
+                raise ValueError("demand exceeds max_servers capacity")
+            hi = max(hi * 2, hi + 1)
+        lo = min_slots
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if mmc_mean_wait_seconds(demand_rps, mu, mid) <= budget_wait:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo > max_slots_cap:
+            raise ValueError("demand exceeds max_servers capacity")
+        return max(math.ceil(lo / self.requests_per_server_slot), 1)
+
+    def with_service_time(self, service_time_s: float) -> "MMcPlanner":
+        """A re-measured copy (what keeping the model current requires)."""
+        return MMcPlanner(
+            service_time_s=service_time_s,
+            target_latency_s=self.target_latency_s,
+            requests_per_server_slot=self.requests_per_server_slot,
+            max_servers=self.max_servers,
+        )

@@ -1,0 +1,47 @@
+"""Static peak-plus-headroom planner — the industry default.
+
+"Service owners told us the over allocation of capacity was to absorb
+unexpected increases in traffic and unplanned capacity outages"
+(§III-B1).  In practice that becomes: measure the historical peak,
+multiply by a fixed fudge factor, and never revisit.  This baseline
+quantifies exactly that policy so the savings of the black-box plan
+have a concrete reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StaticPeakPlanner:
+    """Provision for observed peak demand times a fixed headroom factor.
+
+    ``rps_per_server_at_target`` is the per-server rate the operator
+    considers safe (typically derived from a conservative utilization
+    target rather than the QoS curve); ``headroom_factor`` is the fudge
+    multiplier (1.5 = 50 % extra capacity).
+    """
+
+    rps_per_server_at_target: float
+    headroom_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.rps_per_server_at_target <= 0:
+            raise ValueError("rps_per_server_at_target must be positive")
+        if self.headroom_factor < 1.0:
+            raise ValueError("headroom_factor must be >= 1")
+
+    def required_servers(self, demand_rps: Sequence[float]) -> int:
+        """Servers for the observed peak, inflated by the headroom factor."""
+        demand = np.asarray(demand_rps, dtype=float)
+        if demand.size == 0:
+            raise ValueError("demand series must be non-empty")
+        peak = float(demand.max())
+        return max(
+            int(np.ceil(peak * self.headroom_factor / self.rps_per_server_at_target)),
+            1,
+        )

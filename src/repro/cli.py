@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the common workflows so the library is usable without writing
+Python:
+
+* ``simulate`` — build a canonical fleet, run it for N days, and write
+  the telemetry archive;
+* ``plan`` — run the capacity planner over an archive and print the
+  Table IV savings summary;
+* ``validate`` — run Step-1 metric validation over an archive;
+* ``availability`` — the §III-B2 availability study over an archive.
+
+Archives are the CSV format of :mod:`repro.telemetry.export` (gzip
+when the filename ends in ``.gz``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.builders import PAPER_DATACENTERS, build_paper_fleet
+from repro.cluster.service import service_catalog
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.availability import study_fleet_availability
+from repro.core.metric_validation import MetricValidator
+from repro.core.planner import CapacityPlanner
+from repro.core.slo import QoSRequirement
+from repro.telemetry.export import export_store, import_store
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    datacenters = PAPER_DATACENTERS[: args.datacenters]
+    fleet = build_paper_fleet(
+        servers_per_deployment=args.servers,
+        datacenters=datacenters,
+        pools=args.pools.split(",") if args.pools else None,
+        seed=args.seed,
+    )
+    print(
+        f"simulating {fleet.total_servers()} servers "
+        f"({len(fleet.pool_ids)} pools x {len(datacenters)} DCs) "
+        f"for {args.days} day(s) ...",
+        file=sys.stderr,
+    )
+    simulator = Simulator(
+        fleet,
+        seed=args.seed,
+        config=SimulationConfig(record_request_classes=True),
+    )
+    simulator.run_days(args.days)
+    rows = export_store(simulator.store, args.output)
+    print(f"wrote {rows} samples to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _qos_for_pools(store) -> dict:
+    catalog = service_catalog()
+    qos = {}
+    for pool_id in store.pools:
+        if pool_id in catalog:
+            qos[pool_id] = QoSRequirement(
+                latency_p95_ms=catalog[pool_id].slo_latency_ms
+            )
+    return qos
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    store = import_store(args.archive)
+    qos = _qos_for_pools(store)
+    if args.slo_ms is not None:
+        qos = {pool: QoSRequirement(latency_p95_ms=args.slo_ms) for pool in store.pools}
+    if not qos:
+        print("no pools with known QoS in the archive; pass --slo-ms", file=sys.stderr)
+        return 2
+    planner = CapacityPlanner(
+        store, qos, survive_dc_loss=not args.no_dr
+    )
+    plan = planner.plan()
+    print(plan.render_savings_table())
+    print(
+        f"\nfleet-wide: {plan.mean_total_savings:.0%} total savings at "
+        f"+{plan.mean_latency_impact_ms:.1f} ms average peak-latency impact"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    store = import_store(args.archive)
+    validator = MetricValidator(store, min_r2=args.min_r2)
+    failures = 0
+    for report in validator.validate_all():
+        print(report.describe())
+        if not report.status.is_valid:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    store = import_store(args.archive)
+    study = study_fleet_availability(store)
+    print(f"fleet mean availability: {study.overall_mean:.1%}")
+    print(f"infrastructure overhead: {study.infrastructure_overhead:.1%}")
+    for report in study.reports:
+        print(f"  {report.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Black-box capacity-headroom right-sizing "
+        "(reproduction of Verbowski et al., ICDCS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate a fleet and archive telemetry")
+    simulate.add_argument("output", help="archive path (.csv or .csv.gz)")
+    simulate.add_argument("--days", type=float, default=2.0)
+    simulate.add_argument("--servers", type=int, default=6, help="servers per deployment")
+    simulate.add_argument(
+        "--datacenters", type=int, default=9, choices=range(1, 10), metavar="1-9"
+    )
+    simulate.add_argument("--pools", default=None, help="comma-separated pool letters")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    plan = sub.add_parser("plan", help="right-size pools from an archive")
+    plan.add_argument("archive")
+    plan.add_argument("--slo-ms", type=float, default=None,
+                      help="override every pool's latency SLO")
+    plan.add_argument("--no-dr", action="store_true",
+                      help="drop the survive-one-DC constraint")
+    plan.set_defaults(func=_cmd_plan)
+
+    validate = sub.add_parser("validate", help="Step-1 metric validation")
+    validate.add_argument("archive")
+    validate.add_argument("--min-r2", type=float, default=0.85)
+    validate.set_defaults(func=_cmd_validate)
+
+    availability = sub.add_parser("availability", help="availability study")
+    availability.add_argument("archive")
+    availability.set_defaults(func=_cmd_availability)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,271 @@
+"""Canonical fleet builders.
+
+Construct fleets that mirror the paper's environment: 9 datacenters
+across timezones, the seven Table I micro-services, pool sizes derived
+from each team's provisioning habit (peak utilization target), and the
+optional pathologies the paper studied — mixed hardware generations
+(Fig 3) and multi-workload "noisy" pools (§II-A2's non-tight 45 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.datacenter import Datacenter, Fleet, PoolDeployment
+from repro.cluster.hardware import GENERATION_2014, GENERATION_2017, HardwareSpec
+from repro.cluster.pool import ServerPool
+from repro.cluster.service import BackgroundNoise, MicroServiceProfile, service_catalog
+from repro.workload.diurnal import DiurnalPattern
+
+#: The nine regions of the studied service (§I), with UTC offsets that
+#: rotate the diurnal peak around the globe.
+PAPER_DATACENTERS: Tuple[Datacenter, ...] = (
+    Datacenter("DC1", "us-west", -8.0),
+    Datacenter("DC2", "us-east", -5.0),
+    Datacenter("DC3", "brazil", -3.0),
+    Datacenter("DC4", "europe-west", 0.0),
+    Datacenter("DC5", "europe-central", 1.0),
+    Datacenter("DC6", "india", 5.5),
+    Datacenter("DC7", "china", 8.0),
+    Datacenter("DC8", "japan", 9.0),
+    Datacenter("DC9", "australia", 10.0),
+)
+
+#: Relative demand weight of each datacenter (population served).
+_DC_WEIGHTS: Dict[str, float] = {
+    "DC1": 1.0,
+    "DC2": 1.2,
+    "DC3": 0.6,
+    "DC4": 1.1,
+    "DC5": 0.9,
+    "DC6": 0.8,
+    "DC7": 1.3,
+    "DC8": 0.7,
+    "DC9": 0.4,
+}
+
+
+def peak_rps_per_server(profile: MicroServiceProfile, hardware: HardwareSpec) -> float:
+    """Per-server RPS at which CPU hits the provisioning target."""
+    target_cpu = profile.provisioned_peak_utilization * 100.0
+    idle = profile.noise.idle_cpu_pct
+    cost = profile.cpu_cost_per_rps() * hardware.cpu_scale
+    if target_cpu <= idle:
+        raise ValueError(
+            f"profile {profile.name}: provisioning target below idle CPU"
+        )
+    return (target_cpu - idle) / cost
+
+
+def pattern_for_deployment(
+    profile: MicroServiceProfile,
+    datacenter: Datacenter,
+    n_servers: int,
+    hardware: HardwareSpec,
+    demand_weight: float = 1.0,
+) -> DiurnalPattern:
+    """Demand pattern sized so pool CPU peaks at the provisioning target.
+
+    Inverts the provisioning logic: given the pool size the owning team
+    chose, the observed diurnal demand is whatever makes the pool's
+    daily CPU peak land on ``provisioned_peak_utilization``.
+    """
+    shape = DiurnalPattern(
+        base_rps=1.0,
+        timezone_offset_hours=datacenter.timezone_offset_hours,
+    )
+    peak_factor = shape.daily_peak()  # peak demand per unit of base
+    per_server_peak = peak_rps_per_server(profile, hardware)
+    base_total = n_servers * per_server_peak / peak_factor * demand_weight
+    return shape.with_base(base_total)
+
+
+def build_paper_fleet(
+    servers_per_deployment: int = 12,
+    datacenters: Sequence[Datacenter] = PAPER_DATACENTERS,
+    pools: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    mixed_hardware_pools: Sequence[str] = (),
+    newer_hardware_fraction: float = 0.4,
+) -> Fleet:
+    """The full Table I service: 7 pools x 9 datacenters by default.
+
+    ``mixed_hardware_pools`` lists pool letters deployed on two hardware
+    generations (the Fig 3 two-cluster signature).
+    """
+    if servers_per_deployment < 2:
+        raise ValueError("servers_per_deployment must be >= 2")
+    rng = np.random.default_rng(seed)
+    catalog = service_catalog()
+    selected = list(pools) if pools is not None else sorted(catalog)
+    unknown = [p for p in selected if p not in catalog]
+    if unknown:
+        raise KeyError(f"unknown pools: {unknown}")
+
+    fleet = Fleet(list(datacenters))
+    for pool_letter in selected:
+        profile = catalog[pool_letter]
+        for dc in datacenters:
+            weight = _DC_WEIGHTS.get(dc.datacenter_id, 1.0)
+            hardware_mix: Optional[Dict[HardwareSpec, float]] = None
+            if pool_letter in mixed_hardware_pools:
+                hardware_mix = {
+                    GENERATION_2014: 1.0 - newer_hardware_fraction,
+                    GENERATION_2017: newer_hardware_fraction,
+                }
+            pool = ServerPool.build(
+                pool_id=pool_letter,
+                datacenter_id=dc.datacenter_id,
+                profile=profile,
+                n_servers=servers_per_deployment,
+                hardware=GENERATION_2014,
+                rng=rng,
+                hardware_mix=hardware_mix,
+            )
+            pattern = pattern_for_deployment(
+                profile, dc, servers_per_deployment, GENERATION_2014, weight
+            )
+            fleet.add_deployment(
+                PoolDeployment(pool=pool, datacenter=dc, pattern=pattern)
+            )
+    return fleet
+
+
+def build_single_pool_fleet(
+    pool_letter: str = "B",
+    n_datacenters: int = 1,
+    servers_per_deployment: int = 50,
+    seed: int = 0,
+    profile: Optional[MicroServiceProfile] = None,
+    hardware_mix: Optional[Dict[HardwareSpec, float]] = None,
+) -> Fleet:
+    """A focused fleet: one micro-service across a few datacenters.
+
+    Used for the controlled reduction experiments (§III-A) where only
+    one pool is under study.
+    """
+    if n_datacenters < 1 or n_datacenters > len(PAPER_DATACENTERS):
+        raise ValueError(
+            f"n_datacenters must be in [1, {len(PAPER_DATACENTERS)}]"
+        )
+    rng = np.random.default_rng(seed)
+    if profile is None:
+        catalog = service_catalog()
+        if pool_letter not in catalog:
+            raise KeyError(f"unknown pool {pool_letter!r}")
+        profile = catalog[pool_letter]
+    datacenters = list(PAPER_DATACENTERS[:n_datacenters])
+    fleet = Fleet(datacenters)
+    for dc in datacenters:
+        weight = _DC_WEIGHTS.get(dc.datacenter_id, 1.0)
+        pool = ServerPool.build(
+            pool_id=profile.name,
+            datacenter_id=dc.datacenter_id,
+            profile=profile,
+            n_servers=servers_per_deployment,
+            hardware=GENERATION_2014,
+            rng=rng,
+            hardware_mix=hardware_mix,
+        )
+        pattern = pattern_for_deployment(
+            profile, dc, servers_per_deployment, GENERATION_2014, weight
+        )
+        fleet.add_deployment(PoolDeployment(pool=pool, datacenter=dc, pattern=pattern))
+    return fleet
+
+
+def noisy_variant(profile: MicroServiceProfile, suffix: str = "-noisy") -> MicroServiceProfile:
+    """A multi-workload variant of a profile.
+
+    §II-A2: 45 % of pools did *not* show a tight CPU band because they
+    ran background administrative tasks alongside the primary workload.
+    The variant injects heavy, frequent background activity so its CPU
+    percentiles spread out and the workload->CPU regression degrades.
+    """
+    noise = BackgroundNoise(
+        idle_cpu_pct=profile.noise.idle_cpu_pct + 2.0,
+        idle_cpu_noise_pct=profile.noise.idle_cpu_noise_pct + 3.5,
+        log_upload_period_windows=40,
+        log_upload_duration_windows=12,
+        log_upload_cpu_pct=9.0,
+        log_upload_disk_bytes=profile.noise.log_upload_disk_bytes * 3,
+        disk_noise_bytes=profile.noise.disk_noise_bytes * 2,
+        memory_pages_noise=profile.noise.memory_pages_noise * 2,
+        disk_queue_mean=profile.noise.disk_queue_mean,
+    )
+    return replace(
+        profile,
+        name=profile.name + suffix,
+        description=profile.description + " (plus background admin tasks)",
+        noise=noise,
+        cpu_observation_noise=profile.cpu_observation_noise + 0.06,
+    )
+
+
+def build_grouping_study_fleet(
+    n_tight_pools: int = 11,
+    n_noisy_pools: int = 9,
+    servers_per_pool: int = 24,
+    n_datacenters: int = 2,
+    seed: int = 0,
+) -> Tuple[Fleet, Dict[str, int]]:
+    """Many small pools, some tight and some noisy, with labels.
+
+    Returns the fleet and a dict pool_id -> label (1 = tight/predictable,
+    0 = noisy/multi-workload), the training data for the §II-A2 decision
+    tree.  Base profiles are drawn round-robin from the catalogue and
+    perturbed slightly so pools are not duplicates.
+    """
+    rng = np.random.default_rng(seed)
+    catalog = service_catalog()
+    base_profiles = [catalog[k] for k in sorted(catalog)]
+    datacenters = list(PAPER_DATACENTERS[:n_datacenters])
+    fleet = Fleet(datacenters)
+    labels: Dict[str, int] = {}
+
+    def perturbed(profile: MicroServiceProfile, name: str) -> MicroServiceProfile:
+        factor = float(rng.uniform(0.8, 1.25))
+        util = float(
+            np.clip(
+                profile.provisioned_peak_utilization * rng.uniform(0.8, 1.2),
+                0.05,
+                0.6,
+            )
+        )
+        return replace(
+            profile,
+            name=name,
+            typical_rps_per_server=profile.typical_rps_per_server * factor,
+            provisioned_peak_utilization=util,
+        )
+
+    total = n_tight_pools + n_noisy_pools
+    for i in range(total):
+        base = base_profiles[i % len(base_profiles)]
+        is_tight = i < n_tight_pools
+        name = f"P{i:02d}"
+        profile = perturbed(base, name)
+        if not is_tight:
+            profile = noisy_variant(profile, suffix="")
+            profile = replace(profile, name=name)
+        labels[name] = 1 if is_tight else 0
+        for dc in datacenters:
+            pool = ServerPool.build(
+                pool_id=name,
+                datacenter_id=dc.datacenter_id,
+                profile=profile,
+                n_servers=servers_per_pool,
+                hardware=GENERATION_2014,
+                rng=rng,
+            )
+            pattern = pattern_for_deployment(
+                profile, dc, servers_per_pool, GENERATION_2014,
+                _DC_WEIGHTS.get(dc.datacenter_id, 1.0),
+            )
+            fleet.add_deployment(
+                PoolDeployment(pool=pool, datacenter=dc, pattern=pattern)
+            )
+    return fleet, labels

@@ -1,0 +1,112 @@
+"""Datacenters, regions and the fleet topology.
+
+The studied service spans 9 geographic regions; diurnal peaks rotate
+around the globe because each region's demand follows its local
+timezone.  A :class:`Fleet` holds the datacenters and the per-(service,
+datacenter) pool deployments, together with each deployment's demand
+pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cluster.pool import ServerPool
+from repro.workload.diurnal import DiurnalPattern
+from repro.workload.request_mix import RequestMix
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """One datacenter in one geographic region."""
+
+    datacenter_id: str
+    region: str
+    timezone_offset_hours: float
+
+    def __post_init__(self) -> None:
+        if not self.datacenter_id:
+            raise ValueError("datacenter_id must be non-empty")
+
+
+@dataclass
+class PoolDeployment:
+    """One micro-service pool deployed in one datacenter.
+
+    Couples the pool (servers) with the demand pattern that drives it.
+    """
+
+    pool: ServerPool
+    datacenter: Datacenter
+    pattern: DiurnalPattern
+
+    @property
+    def pool_id(self) -> str:
+        return self.pool.pool_id
+
+    @property
+    def datacenter_id(self) -> str:
+        return self.datacenter.datacenter_id
+
+    @property
+    def mix(self) -> RequestMix:
+        return self.pool.profile.mix
+
+
+class Fleet:
+    """All datacenters and pool deployments of the service."""
+
+    def __init__(self, datacenters: List[Datacenter]) -> None:
+        if not datacenters:
+            raise ValueError("a fleet needs at least one datacenter")
+        ids = [dc.datacenter_id for dc in datacenters]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate datacenter ids")
+        self._datacenters: Dict[str, Datacenter] = {
+            dc.datacenter_id: dc for dc in datacenters
+        }
+        self._deployments: Dict[Tuple[str, str], PoolDeployment] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def datacenters(self) -> Tuple[Datacenter, ...]:
+        return tuple(self._datacenters[k] for k in sorted(self._datacenters))
+
+    def datacenter(self, datacenter_id: str) -> Datacenter:
+        if datacenter_id not in self._datacenters:
+            raise KeyError(f"unknown datacenter {datacenter_id!r}")
+        return self._datacenters[datacenter_id]
+
+    def add_deployment(self, deployment: PoolDeployment) -> None:
+        key = (deployment.pool_id, deployment.datacenter_id)
+        if key in self._deployments:
+            raise ValueError(f"deployment {key} already exists")
+        if deployment.datacenter_id not in self._datacenters:
+            raise KeyError(f"unknown datacenter {deployment.datacenter_id!r}")
+        self._deployments[key] = deployment
+
+    def deployment(self, pool_id: str, datacenter_id: str) -> PoolDeployment:
+        key = (pool_id, datacenter_id)
+        if key not in self._deployments:
+            raise KeyError(f"no deployment of pool {pool_id!r} in {datacenter_id!r}")
+        return self._deployments[key]
+
+    def deployments(self) -> Iterator[PoolDeployment]:
+        for key in sorted(self._deployments):
+            yield self._deployments[key]
+
+    def deployments_of_pool(self, pool_id: str) -> List[PoolDeployment]:
+        return [d for d in self.deployments() if d.pool_id == pool_id]
+
+    @property
+    def pool_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted({pool_id for (pool_id, _dc) in self._deployments}))
+
+    def total_servers(self) -> int:
+        return sum(d.pool.size for d in self.deployments())
+
+    def servers_of_pool(self, pool_id: str) -> int:
+        return sum(d.pool.size for d in self.deployments_of_pool(pool_id))

@@ -1,0 +1,74 @@
+"""Software versions and their resource/QoS deltas.
+
+Step 4 (offline capacity validation) and the Fig 16 case study hinge on
+software changes that shift the workload->resource or workload->QoS
+curves.  A :class:`SoftwareVersion` carries those ground-truth deltas;
+the regression-analysis machinery must *detect* them from telemetry
+without ever reading them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SoftwareVersion:
+    """One released build of a micro-service.
+
+    Parameters
+    ----------
+    name:
+        Build identifier (e.g. ``"v42"``).
+    cpu_multiplier:
+        Scales per-request CPU cost (1.0 = no change; 1.15 = a 15 %
+        capacity regression).
+    latency_base_delta_ms:
+        Additive shift of the latency floor.
+    latency_queue_multiplier:
+        Scales the queueing term — regressions of this kind only appear
+        *under load*, which is exactly why Fig 16's defect escaped
+        ordinary testing and was caught by the ramped regression
+        analysis.
+    memory_leak_mb_per_window:
+        Working-set growth per telemetry window; the Fig 16 baseline
+        leaks, and the fix sets this to zero (while accidentally
+        regressing the queue multiplier).
+    """
+
+    name: str
+    cpu_multiplier: float = 1.0
+    latency_base_delta_ms: float = 0.0
+    latency_queue_multiplier: float = 1.0
+    memory_leak_mb_per_window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("version name must be non-empty")
+        if self.cpu_multiplier <= 0:
+            raise ValueError("cpu_multiplier must be positive")
+        if self.latency_queue_multiplier <= 0:
+            raise ValueError("latency_queue_multiplier must be positive")
+        if self.memory_leak_mb_per_window < 0:
+            raise ValueError("memory_leak_mb_per_window must be non-negative")
+
+
+#: The default, well-behaved build.
+BASELINE_VERSION = SoftwareVersion(name="v1")
+
+
+def leaky_version(name: str = "v1-leaky", mb_per_window: float = 4.0) -> SoftwareVersion:
+    """A build with the Fig 16 memory leak."""
+    return SoftwareVersion(name=name, memory_leak_mb_per_window=mb_per_window)
+
+
+def leak_fix_with_latency_regression(
+    name: str = "v2-leakfix",
+    queue_multiplier: float = 1.9,
+) -> SoftwareVersion:
+    """The Fig 16 change: fixes the leak, regresses latency under load."""
+    return SoftwareVersion(
+        name=name,
+        memory_leak_mb_per_window=0.0,
+        latency_queue_multiplier=queue_multiplier,
+    )

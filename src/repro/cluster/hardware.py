@@ -1,0 +1,53 @@
+"""Hardware generations (SKUs).
+
+Fig 3's two-cluster pool turned out to be two hardware generations:
+"all servers in the less utilized range are newer and more powerful
+than the other" (§II-A2).  A :class:`HardwareSpec` captures the only
+property the capacity model cares about — how much CPU a unit of work
+costs on that SKU — plus descriptive fields for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One server SKU.
+
+    ``cpu_scale`` multiplies the per-request CPU cost: newer, faster
+    hardware has a smaller scale (the same workload consumes fewer
+    percentage points of CPU).
+    """
+
+    generation: str
+    cpu_scale: float
+    cores: int = 16
+    memory_gb: int = 64
+    network_gbps: int = 40
+
+    def __post_init__(self) -> None:
+        if self.cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+
+#: The older consumer-grade SKU most pools run on.
+GENERATION_2014 = HardwareSpec(
+    generation="gen2014",
+    cpu_scale=1.0,
+    cores=16,
+    memory_gb=64,
+    network_gbps=40,
+)
+
+#: The newer SKU: ~35 % less CPU per unit of work.
+GENERATION_2017 = HardwareSpec(
+    generation="gen2017",
+    cpu_scale=0.65,
+    cores=24,
+    memory_gb=128,
+    network_gbps=40,
+)

@@ -1,0 +1,192 @@
+"""Server resource model.
+
+A :class:`Server` converts the request volume routed to it into the
+observable counter values of Fig 2.  The translation is the simulator's
+ground truth; the planner only ever sees the emitted counters.
+
+Behaviours reproduced from the paper's measurements:
+
+* CPU tracks per-class workload linearly (plus idle base and noise);
+* network bytes/packets track workload linearly with moderate,
+  per-datacenter-varying noise;
+* disk reads and memory paging are dominated by background activity
+  (paging, periodic log uploads) — vertical bands at any workload;
+* disk queue length is near-constant in steady state;
+* latency follows the service's ground-truth
+  :class:`~repro.cluster.latency.LatencyModel`;
+* a leaky software version grows its working set each window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.deployment import BASELINE_VERSION, SoftwareVersion
+from repro.cluster.hardware import GENERATION_2014, HardwareSpec
+from repro.cluster.service import MicroServiceProfile
+from repro.telemetry.counters import Counter, workload_counter
+
+#: Average network packet size (bytes) used to derive the packet counter.
+_PACKET_BYTES = 1_100.0
+
+#: Baseline resident working set (MB) for a freshly started server.
+_BASE_WORKING_SET_MB = 9_000.0
+
+
+class ServerState(enum.Enum):
+    """Operational state; only ONLINE servers receive traffic."""
+
+    ONLINE = "online"
+    OFFLINE_MAINTENANCE = "offline_maintenance"
+    OFFLINE_REPURPOSED = "offline_repurposed"
+    OFFLINE_FAILED = "offline_failed"
+
+    @property
+    def is_online(self) -> bool:
+        return self is ServerState.ONLINE
+
+
+@dataclass
+class Server:
+    """One simulated server in a pool."""
+
+    server_id: str
+    pool_id: str
+    datacenter_id: str
+    profile: MicroServiceProfile
+    hardware: HardwareSpec = field(default=GENERATION_2014)
+    version: SoftwareVersion = field(default=BASELINE_VERSION)
+    state: ServerState = field(default=ServerState.ONLINE)
+    #: Per-server phase for the periodic log-upload spike so that the
+    #: fleet's spikes are decorrelated.
+    noise_phase: int = 0
+    working_set_mb: float = field(default=_BASE_WORKING_SET_MB)
+
+    def restart(self) -> None:
+        """Restart the service process: the working set resets."""
+        self.working_set_mb = _BASE_WORKING_SET_MB
+
+    # ------------------------------------------------------------------
+    # Ground-truth resource math
+    # ------------------------------------------------------------------
+    def true_cpu_pct(self, class_rps: Dict[str, float]) -> float:
+        """Noise-free CPU percentage for a per-class request volume."""
+        work = self.profile.mix.cpu_for(class_rps)
+        scaled = work * self.hardware.cpu_scale * self.version.cpu_multiplier
+        return self.profile.noise.idle_cpu_pct + scaled
+
+    def true_latency_p95_ms(self, rps: float, utilization: float) -> float:
+        """Noise-free 95th-percentile latency for a load point."""
+        model = self.profile.latency
+        base = model.p95_ms(rps, utilization)
+        queue_part = base - model.base_ms - model.cold_ms * np.exp(
+            -rps / model.warmup_rps
+        )
+        adjusted_queue = queue_part * self.version.latency_queue_multiplier
+        return (
+            model.base_ms
+            + self.version.latency_base_delta_ms
+            + model.cold_ms * np.exp(-rps / model.warmup_rps)
+            + adjusted_queue
+        )
+
+    def _log_upload_active(self, window: int) -> bool:
+        noise = self.profile.noise
+        if noise.log_upload_period_windows <= 0:
+            return False
+        phase = (window + self.noise_phase) % noise.log_upload_period_windows
+        return phase < noise.log_upload_duration_windows
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        window: int,
+        class_rps: Dict[str, float],
+        rng: np.random.Generator,
+    ) -> Dict[str, float]:
+        """Emit one window of counter values.
+
+        ``class_rps`` is the per-request-class volume the load balancer
+        routed to this server for the window.  Offline servers emit only
+        the availability counter.
+        """
+        if not self.state.is_online:
+            return {Counter.AVAILABILITY.value: 0.0}
+
+        profile = self.profile
+        noise = profile.noise
+        total_rps = float(sum(class_rps.values()))
+
+        # --- CPU ------------------------------------------------------
+        cpu = self.true_cpu_pct(class_rps)
+        cpu += rng.normal(0.0, noise.idle_cpu_noise_pct)
+        if self._log_upload_active(window):
+            cpu += noise.log_upload_cpu_pct
+        cpu *= rng.normal(1.0, profile.cpu_observation_noise)
+        cpu = float(np.clip(cpu, 0.0, 100.0))
+
+        # --- Latency ----------------------------------------------------
+        utilization = cpu / 100.0
+        p95 = self.true_latency_p95_ms(total_rps, utilization)
+        p95 *= rng.normal(1.0, profile.latency_observation_noise)
+        p95 = max(p95, 0.1)
+        p50 = profile.latency.median_fraction * p95
+
+        # --- Network ----------------------------------------------------
+        by_name = {c.name: c for c in profile.mix.classes}
+        bytes_total = sum(
+            by_name[name].bytes_per_request * rps
+            for name, rps in class_rps.items()
+            if name in by_name
+        )
+        # Network counters are linear in workload but visibly noisier
+        # than CPU (Fig 2 "we see more variation of bytes and packets"):
+        # retransmits, connection churn and co-located control traffic.
+        bytes_total *= rng.normal(1.0, 0.15)
+        bytes_total = max(bytes_total, 0.0)
+        packets = bytes_total / _PACKET_BYTES
+
+        # --- Disk and memory (background-dominated; Fig 2's bands) -----
+        disk_read = abs(rng.normal(0.0, noise.disk_noise_bytes))
+        if self._log_upload_active(window):
+            disk_read += noise.log_upload_disk_bytes
+        memory_pages = abs(rng.normal(0.0, noise.memory_pages_noise))
+        # Paging correlates with disk reads (the paper infers most disk
+        # activity is paging); couple them loosely.
+        memory_pages += disk_read / 8e3 * rng.uniform(0.5, 1.5)
+        disk_queue = max(rng.normal(noise.disk_queue_mean, 1.0), 0.0)
+
+        # --- Memory working set (leak accounting) ----------------------
+        self.working_set_mb += self.version.memory_leak_mb_per_window
+
+        # --- Errors -----------------------------------------------------
+        # Near zero in steady state; grows only at extreme utilization.
+        error_rate = 0.0
+        if utilization > 0.9:
+            error_rate = (utilization - 0.9) * total_rps * 0.5
+        errors = max(rng.normal(error_rate, 0.01), 0.0)
+
+        return {
+            Counter.AVAILABILITY.value: 1.0,
+            Counter.REQUESTS.value: total_rps,
+            Counter.PROCESSOR_UTILIZATION.value: cpu,
+            Counter.LATENCY_P95.value: float(p95),
+            Counter.LATENCY_P50.value: float(p50),
+            Counter.NETWORK_BYTES_TOTAL.value: float(bytes_total),
+            Counter.NETWORK_PACKETS.value: float(packets),
+            Counter.DISK_READ_BYTES.value: float(disk_read),
+            Counter.DISK_QUEUE_LENGTH.value: float(disk_queue),
+            Counter.MEMORY_PAGES.value: float(memory_pages),
+            Counter.MEMORY_WORKING_SET.value: float(self.working_set_mb * 1e6),
+            Counter.ERRORS.value: float(errors),
+            **{
+                workload_counter(name): float(rps)
+                for name, rps in class_rps.items()
+            },
+        }

@@ -1,0 +1,210 @@
+"""Micro-service profiles (the paper's Table I catalogue).
+
+Each :class:`MicroServiceProfile` is the ground truth for one
+micro-service: how requests translate into CPU, network, disk and
+memory activity, how latency responds to load, what background noise
+the servers generate, and how generously the owning team provisioned
+the pool.  The catalogue mirrors Table I:
+
+====  ==========================================================
+Pool  Description
+====  ==========================================================
+A     In-memory storage (similar to MemCached)
+B     Modifies incoming requests such as spelling corrections
+C     Orchestrates a workflow of stateless processing modules
+D     Converts responses from data to formatted web pages
+E     Split-TCP proxy, CDN, load balancer and authentication
+F     In-memory storage with custom processing logic
+G     High volume, low latency metrics collection
+====  ==========================================================
+
+Parameter choices are tuned so that the planner, observing only
+telemetry, recovers the Table IV savings profile: heavily
+overprovisioned pools (B, D, E, F) yield ~33 % headroom savings,
+nearly right-sized pools (C, G) yield single digits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cluster.latency import LatencyModel
+from repro.workload.request_mix import RequestClass, RequestMix
+
+
+@dataclass(frozen=True)
+class BackgroundNoise:
+    """Non-workload activity on every server.
+
+    ``log_upload_period_windows`` / ``log_upload_cpu_pct`` model the
+    periodic many-GB/hour log uploads §II-A1 discovered as resource
+    spikes uncorrelated with workload.  Disk and memory scales drive
+    the vertical noise bands of Fig 2.
+    """
+
+    idle_cpu_pct: float = 1.2
+    idle_cpu_noise_pct: float = 0.35
+    log_upload_period_windows: int = 180
+    log_upload_duration_windows: int = 3
+    log_upload_cpu_pct: float = 4.0
+    log_upload_disk_bytes: float = 25e6
+    disk_noise_bytes: float = 8e6
+    memory_pages_noise: float = 3_000.0
+    disk_queue_mean: float = 1.2
+
+
+@dataclass(frozen=True)
+class MicroServiceProfile:
+    """Ground-truth behaviour of one micro-service."""
+
+    name: str
+    description: str
+    mix: RequestMix
+    latency: LatencyModel
+    noise: BackgroundNoise = field(default_factory=BackgroundNoise)
+    #: Typical per-server request rate the owning team sizes around.
+    typical_rps_per_server: float = 300.0
+    #: Peak utilization the owning team provisions for (the headroom
+    #: the paper right-sizes away lives in the gap between this and
+    #: what the SLO actually allows).
+    provisioned_peak_utilization: float = 0.15
+    #: The pool's latency SLO (95th percentile, milliseconds).
+    slo_latency_ms: float = 60.0
+    #: Mean fraction of the day servers are online (planned
+    #: maintenance, repurposing).  Drives Figs 14-15.
+    availability_mean: float = 0.98
+    #: CPU measurement noise (multiplicative std).
+    cpu_observation_noise: float = 0.03
+    #: Latency measurement noise (multiplicative std).
+    latency_observation_noise: float = 0.04
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.provisioned_peak_utilization < 1.0:
+            raise ValueError("provisioned_peak_utilization must be in (0, 1)")
+        if self.slo_latency_ms <= 0:
+            raise ValueError("slo_latency_ms must be positive")
+        if not 0.0 < self.availability_mean <= 1.0:
+            raise ValueError("availability_mean must be in (0, 1]")
+
+    def cpu_cost_per_rps(self) -> float:
+        """Mean ground-truth CPU percentage points per request/second."""
+        return self.mix.mean_cpu_cost()
+
+
+def _mix_single(name: str, cpu_cost: float, bytes_per_request: float) -> RequestMix:
+    return RequestMix(
+        classes=(
+            RequestClass(
+                name=name,
+                cpu_cost=cpu_cost,
+                bytes_per_request=bytes_per_request,
+            ),
+        ),
+        proportions=(1.0,),
+    )
+
+
+def service_catalog() -> Dict[str, MicroServiceProfile]:
+    """The seven micro-services of Table I, keyed by pool letter."""
+    catalog: Dict[str, MicroServiceProfile] = {}
+
+    # A: in-memory storage, two tables with very different per-request
+    # cost and a drifting mix — the §II-A1 noisy-metric case study.
+    catalog["A"] = MicroServiceProfile(
+        name="A",
+        description="In-Memory Storage (similar to MemCached)",
+        mix=RequestMix(
+            classes=(
+                RequestClass(name="table_user", cpu_cost=0.004, bytes_per_request=900.0),
+                RequestClass(name="table_index", cpu_cost=0.016, bytes_per_request=3_200.0),
+            ),
+            proportions=(0.7, 0.3),
+            drift=0.5,
+        ),
+        latency=LatencyModel(base_ms=3.5, cold_ms=2.0, warmup_rps=400.0, queue_coeff_ms=60.0),
+        typical_rps_per_server=1_500.0,
+        provisioned_peak_utilization=0.22,
+        slo_latency_ms=13.5,
+        availability_mean=0.94,
+    )
+
+    # B: query modification.  Parameters chosen near the paper's pool B
+    # fits: CPU slope ~0.028 %/RPS, latency ~30 ms at ~380 RPS/server.
+    catalog["B"] = MicroServiceProfile(
+        name="B",
+        description="Modifies incoming requests such as spelling corrections",
+        mix=_mix_single("query", cpu_cost=0.028, bytes_per_request=5_500.0),
+        latency=LatencyModel(base_ms=28.0, cold_ms=7.0, warmup_rps=130.0, queue_coeff_ms=120.0),
+        typical_rps_per_server=380.0,
+        provisioned_peak_utilization=0.12,
+        slo_latency_ms=36.0,
+        availability_mean=0.71,  # pool repurposed off-peak (§III-B2)
+    )
+
+    # C: workflow orchestrator — nearly right-sized already.
+    catalog["C"] = MicroServiceProfile(
+        name="C",
+        description="Orchestrates a workflow of stateless processing modules",
+        mix=_mix_single("workflow", cpu_cost=0.055, bytes_per_request=9_000.0),
+        latency=LatencyModel(base_ms=38.0, cold_ms=10.0, warmup_rps=60.0, queue_coeff_ms=31.0),
+        typical_rps_per_server=160.0,
+        provisioned_peak_utilization=0.34,
+        slo_latency_ms=51.0,
+        availability_mean=0.90,
+    )
+
+    # D: web-page formatting (the Fig 2 / pool-D experiment service).
+    # CPU slope ~0.09 %/RPS, latency ~52 ms around 80 RPS/server.
+    catalog["D"] = MicroServiceProfile(
+        name="D",
+        description="Converts responses from data to formatted web pages",
+        mix=_mix_single("render", cpu_cost=0.092, bytes_per_request=42_000.0),
+        latency=LatencyModel(base_ms=46.0, cold_ms=18.0, warmup_rps=45.0, queue_coeff_ms=180.0),
+        typical_rps_per_server=80.0,
+        provisioned_peak_utilization=0.12,
+        slo_latency_ms=58.0,
+        availability_mean=0.98,
+    )
+
+    # E: split-TCP proxy / CDN / auth — high volume, cheap requests.
+    catalog["E"] = MicroServiceProfile(
+        name="E",
+        description="Split-TCP proxy, CDN, load balancer, and authentication service",
+        mix=_mix_single("proxy", cpu_cost=0.0065, bytes_per_request=18_000.0),
+        latency=LatencyModel(base_ms=6.0, cold_ms=2.5, warmup_rps=500.0, queue_coeff_ms=80.0),
+        typical_rps_per_server=1_800.0,
+        provisioned_peak_utilization=0.13,
+        slo_latency_ms=12.5,
+        availability_mean=0.96,
+    )
+
+    # F: in-memory storage with custom processing logic.
+    catalog["F"] = MicroServiceProfile(
+        name="F",
+        description="In-Memory storage with custom processing logic",
+        mix=_mix_single("kv_custom", cpu_cost=0.018, bytes_per_request=2_600.0),
+        latency=LatencyModel(base_ms=8.0, cold_ms=3.0, warmup_rps=300.0, queue_coeff_ms=100.0),
+        typical_rps_per_server=600.0,
+        provisioned_peak_utilization=0.12,
+        slo_latency_ms=14.5,
+        availability_mean=0.98,
+    )
+
+    # G: metrics collection — latency budget is tiny and the pool is
+    # already run hot, so there is little to reclaim.
+    catalog["G"] = MicroServiceProfile(
+        name="G",
+        description="High volume, low latency, metrics collection system",
+        mix=_mix_single("metrics", cpu_cost=0.0035, bytes_per_request=700.0),
+        latency=LatencyModel(base_ms=2.0, cold_ms=0.8, warmup_rps=900.0, queue_coeff_ms=4.6),
+        typical_rps_per_server=4_000.0,
+        provisioned_peak_utilization=0.33,
+        slo_latency_ms=3.8,
+        availability_mean=0.98,
+    )
+    return catalog
+
+
+#: Pool letters in catalogue order.
+CATALOG_POOLS: Tuple[str, ...] = ("A", "B", "C", "D", "E", "F", "G")

@@ -1,0 +1,276 @@
+"""Discrete-time fleet simulation engine.
+
+Advances the fleet window by window (one telemetry window = 120 s):
+
+1. compute each deployment's offered demand from its diurnal pattern,
+   multiplicative noise, active surges, and outage-driven failover;
+2. apply availability policies, random failures and outages to decide
+   which servers are online;
+3. route traffic evenly across online servers and collect each
+   server's counter observations into the :class:`MetricStore`.
+
+Interventions — resizing pools, deploying software versions, injecting
+outages and surges — are the experimental controls of §II-B and §II-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.datacenter import Fleet, PoolDeployment
+from repro.cluster.deployment import SoftwareVersion
+from repro.cluster.faults import (
+    AvailabilityPolicy,
+    DatacenterOutage,
+    RandomFailures,
+    RepurposingPolicy,
+    TrafficSurge,
+    policy_for_availability,
+)
+from repro.cluster.server import ServerState
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+#: Counters recorded by default — the planner's working set.
+DEFAULT_COUNTERS: Tuple[str, ...] = (
+    Counter.REQUESTS.value,
+    Counter.PROCESSOR_UTILIZATION.value,
+    Counter.LATENCY_P95.value,
+    Counter.AVAILABILITY.value,
+)
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of the simulation engine."""
+
+    #: Which counters to persist (None = all emitted counters).
+    counters: Optional[Tuple[str, ...]] = DEFAULT_COUNTERS
+    #: Also persist the per-request-class workload counters
+    #: ("Requests/sec[...]"), which metric validation needs to split a
+    #: noisy aggregate metric (§II-A1).  Their names are per-service,
+    #: so they cannot be listed statically in ``counters``.
+    record_request_classes: bool = False
+    #: Coefficient of variation of per-window demand noise.
+    workload_noise: float = 0.04
+    #: Enable rare random server crashes.
+    random_failures: Optional[RandomFailures] = None
+    #: Apply each profile's availability_mean as a policy (True for
+    #: fleet studies; False for controlled reduction experiments).
+    apply_availability_policies: bool = True
+
+
+class Simulator:
+    """Drives a :class:`~repro.cluster.datacenter.Fleet` through time."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        store: Optional[MetricStore] = None,
+        seed: int = 0,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.store = store if store is not None else MetricStore()
+        self.config = config if config is not None else SimulationConfig()
+        self._rng = np.random.default_rng(seed)
+        self._window = 0
+        self._outages: List[DatacenterOutage] = []
+        self._surges: List[TrafficSurge] = []
+        self._policies: Dict[Tuple[str, str], AvailabilityPolicy] = {}
+        if self.config.apply_availability_policies:
+            for deployment in fleet.deployments():
+                policy = policy_for_availability(
+                    deployment.pool.profile.availability_mean
+                )
+                if isinstance(policy, RepurposingPolicy):
+                    # Repurposing happens during the *local* nightly
+                    # trough; shift the window by the region's timezone.
+                    local_night = (
+                        policy.night_start_hour
+                        - deployment.datacenter.timezone_offset_hours
+                    ) % 24.0
+                    policy = replace(policy, night_start_hour=local_night)
+                self._policies[(deployment.pool_id, deployment.datacenter_id)] = policy
+
+    # ------------------------------------------------------------------
+    # Experimental controls
+    # ------------------------------------------------------------------
+    @property
+    def current_window(self) -> int:
+        """Next window to be simulated."""
+        return self._window
+
+    def add_outage(self, outage: DatacenterOutage) -> None:
+        self.fleet.datacenter(outage.datacenter_id)  # validate id
+        self._outages.append(outage)
+
+    def add_surge(self, surge: TrafficSurge) -> None:
+        self.fleet.datacenter(surge.datacenter_id)  # validate id
+        self._surges.append(surge)
+
+    def set_availability_policy(
+        self,
+        pool_id: str,
+        datacenter_id: str,
+        policy: Optional[AvailabilityPolicy],
+    ) -> None:
+        """Override (or with None, remove) a deployment's policy."""
+        self.fleet.deployment(pool_id, datacenter_id)  # validate
+        key = (pool_id, datacenter_id)
+        if policy is None:
+            self._policies.pop(key, None)
+        else:
+            self._policies[key] = policy
+
+    def resize_pool(self, pool_id: str, datacenter_id: str, n_servers: int) -> None:
+        """Change a deployment's server count (the §II-B2 control)."""
+        deployment = self.fleet.deployment(pool_id, datacenter_id)
+        deployment.pool.resize(n_servers, self._rng)
+
+    def set_version(
+        self,
+        pool_id: str,
+        version: SoftwareVersion,
+        datacenter_id: Optional[str] = None,
+    ) -> None:
+        """Deploy a software version pool-wide or to one datacenter."""
+        deployments = (
+            [self.fleet.deployment(pool_id, datacenter_id)]
+            if datacenter_id is not None
+            else self.fleet.deployments_of_pool(pool_id)
+        )
+        if not deployments:
+            raise KeyError(f"pool {pool_id!r} has no deployments")
+        for deployment in deployments:
+            deployment.pool.set_version(version)
+
+    # ------------------------------------------------------------------
+    # Demand
+    # ------------------------------------------------------------------
+    def _outage_active(self, datacenter_id: str, window: int) -> bool:
+        return any(
+            o.datacenter_id == datacenter_id and o.active_at(window)
+            for o in self._outages
+        )
+
+    def _surge_factor(self, pool_id: str, datacenter_id: str, window: int) -> float:
+        factor = 1.0
+        for surge in self._surges:
+            if surge.applies_to(pool_id, datacenter_id, window):
+                factor *= surge.factor
+        return factor
+
+    def offered_demand(self, window: int) -> Dict[Tuple[str, str], float]:
+        """Noise-free demand per (pool, datacenter) after failover.
+
+        Base diurnal demand, scaled by surges, with failed datacenters'
+        demand redistributed proportionally over survivors of the same
+        pool.
+        """
+        base: Dict[Tuple[str, str], float] = {}
+        for deployment in self.fleet.deployments():
+            demand = deployment.pattern.demand_at(window)
+            demand *= self._surge_factor(
+                deployment.pool_id, deployment.datacenter_id, window
+            )
+            base[(deployment.pool_id, deployment.datacenter_id)] = demand
+
+        for pool_id in self.fleet.pool_ids:
+            failed = [
+                dc
+                for (pid, dc) in base
+                if pid == pool_id and self._outage_active(dc, window)
+            ]
+            if not failed:
+                continue
+            survivors = [
+                dc
+                for (pid, dc) in base
+                if pid == pool_id and dc not in failed
+            ]
+            displaced = sum(base[(pool_id, dc)] for dc in failed)
+            for dc in failed:
+                base[(pool_id, dc)] = 0.0
+            if not survivors or displaced == 0.0:
+                continue
+            survivor_total = sum(base[(pool_id, dc)] for dc in survivors)
+            for dc in survivors:
+                if survivor_total > 0:
+                    share = base[(pool_id, dc)] / survivor_total
+                else:
+                    share = 1.0 / len(survivors)
+                base[(pool_id, dc)] += displaced * share
+        return base
+
+    # ------------------------------------------------------------------
+    # State updates
+    # ------------------------------------------------------------------
+    def _update_server_states(self, deployment: PoolDeployment, window: int) -> None:
+        pool = deployment.pool
+        key = (deployment.pool_id, deployment.datacenter_id)
+        policy = self._policies.get(key)
+        outage = self._outage_active(deployment.datacenter_id, window)
+        failures = self.config.random_failures
+        n = pool.size
+        for index, server in enumerate(pool.servers):
+            if outage:
+                server.state = ServerState.OFFLINE_FAILED
+            elif failures is not None and failures.is_failed(index, window):
+                server.state = ServerState.OFFLINE_FAILED
+            elif policy is not None and not policy.is_online(index, n, window):
+                server.state = ServerState.OFFLINE_MAINTENANCE
+            else:
+                server.state = ServerState.ONLINE
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _noisy(self, demand: float) -> float:
+        noise = self.config.workload_noise
+        if noise <= 0 or demand <= 0:
+            return demand
+        sigma = np.sqrt(np.log1p(noise**2))
+        return float(demand * self._rng.lognormal(-0.5 * sigma**2, sigma))
+
+    def step(self) -> None:
+        """Simulate one telemetry window."""
+        window = self._window
+        demand = self.offered_demand(window)
+        wanted = set(self.config.counters) if self.config.counters else None
+        record = self.store.record_fast
+        for deployment in self.fleet.deployments():
+            self._update_server_states(deployment, window)
+            total = self._noisy(
+                demand[(deployment.pool_id, deployment.datacenter_id)]
+            )
+            class_volumes = deployment.mix.split_volume(total, window, self._rng)
+            observations = deployment.pool.step(window, class_volumes, self._rng)
+            pool_id = deployment.pool_id
+            dc_id = deployment.datacenter_id
+            record_classes = self.config.record_request_classes
+            for server_id, counters in observations.items():
+                for counter, value in counters.items():
+                    if wanted is not None and counter not in wanted:
+                        if not (
+                            record_classes and counter.startswith("Requests/sec[")
+                        ):
+                            continue
+                    record(window, server_id, pool_id, dc_id, counter, value)
+        self._window += 1
+
+    def run(self, n_windows: int) -> None:
+        """Simulate ``n_windows`` consecutive windows."""
+        if n_windows < 0:
+            raise ValueError("n_windows must be non-negative")
+        for _ in range(n_windows):
+            self.step()
+
+    def run_days(self, days: float) -> None:
+        """Simulate a number of days (720 windows per day)."""
+        from repro.workload.diurnal import WINDOWS_PER_DAY
+
+        self.run(int(round(days * WINDOWS_PER_DAY)))

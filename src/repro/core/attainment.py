@@ -1,0 +1,128 @@
+"""Measuring SLO attainment from telemetry.
+
+Planning sets capacity; attainment measurement closes the loop by
+reporting how often the service actually met its QoS contract —
+"services typically require between 99.95 % and 99.999+ % availability
+with peak workload despite portions of the system being offline"
+(§II).  The planner's verification step ("it is best to remove servers
+slowly and monitor the accuracy of these forecasts", §III-A) consumes
+exactly this read-out.
+
+Attainment is computed per deployment over telemetry windows:
+
+* **latency attainment** — fraction of windows whose pool-average
+  p95 latency met the SLO;
+* **availability attainment** — fraction of server-windows online;
+* **served-demand attainment** — fraction of windows where at least
+  one server was online to take traffic (a whole-pool blackout is the
+  catastrophic case DR headroom exists to prevent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.slo import QoSRequirement
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class AttainmentReport:
+    """SLO attainment for one pool in one datacenter (or fleet-wide)."""
+
+    pool_id: str
+    datacenter_id: Optional[str]
+    qos: QoSRequirement
+    latency_attainment: float
+    availability: float
+    serving_attainment: float
+    n_windows: int
+    worst_window_latency_ms: float
+
+    @property
+    def meets_contract(self) -> bool:
+        """True when the measured period satisfied the QoS contract."""
+        return (
+            self.latency_attainment >= 0.95
+            and self.availability >= self.qos.availability_min
+            and self.serving_attainment >= self.qos.availability_min
+        )
+
+    def describe(self) -> str:
+        scope = f"@{self.datacenter_id}" if self.datacenter_id else "(all DCs)"
+        verdict = "OK" if self.meets_contract else "VIOLATED"
+        return (
+            f"pool {self.pool_id}{scope}: latency attainment "
+            f"{self.latency_attainment:.1%}, availability "
+            f"{self.availability:.2%}, serving {self.serving_attainment:.2%} "
+            f"over {self.n_windows} windows [{verdict}]"
+        )
+
+
+def measure_attainment(
+    store: MetricStore,
+    pool_id: str,
+    qos: QoSRequirement,
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+) -> AttainmentReport:
+    """Compute an attainment report over a window range."""
+    latency = store.pool_window_aggregate(
+        pool_id, Counter.LATENCY_P95.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    if latency.is_empty:
+        raise ValueError(
+            f"no latency telemetry for pool {pool_id!r}"
+            + (f" in {datacenter_id!r}" if datacenter_id else "")
+        )
+    met = latency.values <= qos.latency_p95_ms
+    latency_attainment = float(met.mean())
+
+    availability_series = store.pool_window_aggregate(
+        pool_id, Counter.AVAILABILITY.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    if availability_series.is_empty:
+        availability = 1.0
+        serving = 1.0
+    else:
+        availability = float(availability_series.values.mean())
+        serving = float((availability_series.values > 0.0).mean())
+
+    return AttainmentReport(
+        pool_id=pool_id,
+        datacenter_id=datacenter_id,
+        qos=qos,
+        latency_attainment=latency_attainment,
+        availability=availability,
+        serving_attainment=serving,
+        n_windows=len(latency),
+        worst_window_latency_ms=float(latency.values.max()),
+    )
+
+
+def measure_fleet_attainment(
+    store: MetricStore,
+    qos_by_pool: Dict[str, QoSRequirement],
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+) -> List[AttainmentReport]:
+    """Attainment for every pool with a registered QoS contract."""
+    reports = []
+    for pool_id in store.pools:
+        if pool_id not in qos_by_pool:
+            continue
+        reports.append(
+            measure_attainment(
+                store, pool_id, qos_by_pool[pool_id], start=start, stop=stop
+            )
+        )
+    if not reports:
+        raise ValueError("no pools with both telemetry and QoS contracts")
+    return reports

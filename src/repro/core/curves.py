@@ -1,0 +1,284 @@
+"""Step 2 — the black-box response curves.
+
+Three fitted relationships drive every forecast in the paper:
+
+* :class:`WorkloadResourceModel` — per-server workload vs the limiting
+  resource (CPU): **linear** (Figs 5, 8, 10);
+* :class:`WorkloadQoSModel` — per-server workload vs 95th-percentile
+  latency: **quadratic**, robustly fitted (Figs 6, 9, 11);
+* :class:`ServersQoSModel` — Eq. 1: latency vs *server count* within a
+  total-load partition, the response surface RSM climbs along.
+
+"Since we do not know the underlying model for the system we are
+analyzing, our analysis techniques did not assume the shape of the
+underlying data distribution.  We started by trying the simplest
+techniques first and found that quadratic polynomials worked" (§III-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.stats.ransac import RansacModel, RansacRegressor
+from repro.stats.regression import LinearModel, PolynomialModel, fit_linear, fit_polynomial
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class WorkloadResourceModel:
+    """Linear workload -> limiting-resource model for one deployment."""
+
+    pool_id: str
+    datacenter_id: Optional[str]
+    model: LinearModel
+
+    def forecast_cpu(self, rps_per_server: float) -> float:
+        """Forecast mean CPU (%) at a per-server request rate."""
+        return self.model.predict_scalar(rps_per_server)
+
+    def max_rps_at_cpu(self, cpu_pct: float) -> float:
+        """Invert the line: the RPS at which CPU reaches ``cpu_pct``."""
+        if self.model.slope <= 0:
+            raise ValueError("resource model has non-positive slope; cannot invert")
+        return (cpu_pct - self.model.intercept) / self.model.slope
+
+    @property
+    def r2(self) -> float:
+        return self.model.r2
+
+
+@dataclass(frozen=True)
+class WorkloadQoSModel:
+    """Quadratic workload -> latency model for one deployment."""
+
+    pool_id: str
+    datacenter_id: Optional[str]
+    model: PolynomialModel
+    inlier_fraction: float = 1.0
+
+    def forecast_latency(self, rps_per_server: float) -> float:
+        """Forecast 95th-percentile latency (ms) at a per-server rate."""
+        return self.model.predict_scalar(rps_per_server)
+
+    def is_extrapolating(self, rps_per_server: float) -> bool:
+        return self.model.is_extrapolating(rps_per_server)
+
+    def max_rps_within(
+        self,
+        latency_limit_ms: float,
+        search_upper_factor: float = 3.0,
+    ) -> float:
+        """Largest per-server RPS whose forecast latency meets the limit.
+
+        Scans from the fitted range outward (the paper's forecasts are
+        deliberate extrapolations); returns the highest admissible rate
+        found, or raises if even the lowest observed load violates the
+        limit.
+        """
+        lo = max(self.model.x_min, 0.0)
+        hi = self.model.x_max * search_upper_factor
+        grid = np.linspace(lo, hi, 2_000)
+        latencies = self.model.predict(grid)
+        ok = grid[latencies <= latency_limit_ms]
+        if ok.size == 0:
+            raise ValueError(
+                f"latency limit {latency_limit_ms} ms is below the forecast "
+                "at every workload level"
+            )
+        # The curve is convex upward in the operating range; take the
+        # largest admissible rate at or beyond the observed range.
+        return float(ok.max())
+
+    @property
+    def r2(self) -> float:
+        return self.model.r2
+
+
+@dataclass(frozen=True)
+class ServersQoSModel:
+    """Eq. 1 — latency as a quadratic in server count, per partition.
+
+    ``l ~= a2 * n^2 + a1 * n + a0`` fitted with RANSAC because
+    production observations include deployment- and traffic-shift
+    outliers (§II-B2).
+    """
+
+    pool_id: str
+    datacenter_id: str
+    partition_index: int
+    model: PolynomialModel
+    inlier_fraction: float
+
+    def forecast_latency(self, n_servers: float) -> float:
+        return self.model.predict_scalar(n_servers)
+
+    def min_servers_within(
+        self,
+        latency_limit_ms: float,
+        n_current: int,
+        n_floor: int = 1,
+    ) -> int:
+        """Smallest server count whose forecast latency meets the limit.
+
+        Scans downward from the current size — the direction RSM
+        explores — and stops at the last count that still meets QoS.
+        """
+        if n_current < n_floor:
+            raise ValueError("n_current must be >= n_floor")
+        best = n_current
+        for n in range(n_current, n_floor - 1, -1):
+            if self.forecast_latency(n) <= latency_limit_ms:
+                best = n
+            else:
+                break
+        return best
+
+
+def fit_resource_model(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+) -> WorkloadResourceModel:
+    """Fit per-server workload vs CPU from pool-average telemetry."""
+    rps = store.pool_window_aggregate(
+        pool_id, Counter.REQUESTS.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    cpu = store.pool_window_aggregate(
+        pool_id, Counter.PROCESSOR_UTILIZATION.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    x, y = rps.align_with(cpu)
+    if x.size < 10:
+        raise ValueError(
+            f"insufficient aligned telemetry for pool {pool_id!r} "
+            f"({x.size} windows)"
+        )
+    return WorkloadResourceModel(
+        pool_id=pool_id,
+        datacenter_id=datacenter_id,
+        model=fit_linear(x, y),
+    )
+
+
+def fit_qos_model(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+    use_ransac: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> WorkloadQoSModel:
+    """Fit per-server workload vs p95 latency (quadratic)."""
+    rps = store.pool_window_aggregate(
+        pool_id, Counter.REQUESTS.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    latency = store.pool_window_aggregate(
+        pool_id, Counter.LATENCY_P95.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    x, y = rps.align_with(latency)
+    if x.size < 10:
+        raise ValueError(
+            f"insufficient aligned telemetry for pool {pool_id!r} "
+            f"({x.size} windows)"
+        )
+    if use_ransac:
+        regressor = RansacRegressor(
+            degree=2,
+            rng=rng if rng is not None else np.random.default_rng(0),
+        )
+        result: RansacModel = regressor.fit(x, y)
+        model = result.model
+        inlier_fraction = result.inlier_fraction
+        # RANSAC refits on inliers only; preserve the observed x-range
+        # so extrapolation flags stay meaningful.
+        if isinstance(model, PolynomialModel):
+            model = PolynomialModel(
+                coefficients=model.coefficients,
+                r2=model.r2,
+                n=model.n,
+                residual_std=model.residual_std,
+                x_min=float(x.min()),
+                x_max=float(x.max()),
+            )
+    else:
+        model = fit_polynomial(x, y, degree=2)
+        inlier_fraction = 1.0
+    return WorkloadQoSModel(
+        pool_id=pool_id,
+        datacenter_id=datacenter_id,
+        model=model,
+        inlier_fraction=inlier_fraction,
+    )
+
+
+def fit_pool_response(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[WorkloadResourceModel, WorkloadQoSModel]:
+    """Fit both response curves for one deployment."""
+    resource = fit_resource_model(store, pool_id, datacenter_id, start, stop)
+    qos = fit_qos_model(store, pool_id, datacenter_id, start, stop, rng=rng)
+    return resource, qos
+
+
+def fit_servers_qos_model(
+    n_servers: np.ndarray,
+    latencies: np.ndarray,
+    pool_id: str,
+    datacenter_id: str,
+    partition_index: int,
+    rng: Optional[np.random.Generator] = None,
+) -> ServersQoSModel:
+    """Fit Eq. 1 on (server count, latency) observations via RANSAC."""
+    ns = np.asarray(n_servers, dtype=float)
+    ls = np.asarray(latencies, dtype=float)
+    if ns.size < 4:
+        raise ValueError(
+            f"Eq. 1 fit needs at least 4 observations, got {ns.size}"
+        )
+    degree = 2 if np.unique(ns).size >= 3 else 1
+    regressor = RansacRegressor(
+        degree=degree,
+        rng=rng if rng is not None else np.random.default_rng(0),
+    )
+    result = regressor.fit(ns, ls)
+    model = result.model
+    if isinstance(model, LinearModel):
+        model = PolynomialModel(
+            coefficients=(0.0, model.slope, model.intercept),
+            r2=model.r2,
+            n=model.n,
+            residual_std=model.residual_std,
+            x_min=float(ns.min()),
+            x_max=float(ns.max()),
+        )
+    else:
+        model = PolynomialModel(
+            coefficients=model.coefficients,
+            r2=model.r2,
+            n=model.n,
+            residual_std=model.residual_std,
+            x_min=float(ns.min()),
+            x_max=float(ns.max()),
+        )
+    return ServersQoSModel(
+        pool_id=pool_id,
+        datacenter_id=datacenter_id,
+        partition_index=partition_index,
+        model=model,
+        inlier_fraction=result.inlier_fraction,
+    )

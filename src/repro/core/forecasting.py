@@ -1,0 +1,196 @@
+"""Workload forecasting for forward-looking capacity plans.
+
+Capacity planners "use this in conjunction with workload trends,
+expected failure rates, and QoS business requirements to determine how
+many servers are needed" (§II).  Right-sizing against *yesterday's*
+demand is only half the job: the allocation must hold until the next
+planning cycle, and pool resizes take "weeks or months" (§I), so the
+plan must anticipate growth.
+
+The forecaster is deliberately simple and black-box, in the spirit of
+the paper's modelling philosophy ("we started by trying the simplest
+techniques first"):
+
+* a **seasonal-naive** component captures the diurnal/weekly shape —
+  the expected value at a future window is the historical median at the
+  same time-of-day (and optionally day-of-week);
+* a **multiplicative linear trend** fitted on daily totals captures
+  growth;
+* residual quantiles give an empirical **uncertainty band**, so the
+  planner can provision against e.g. the 95th-percentile forecast
+  rather than the mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.stats.regression import LinearModel, fit_linear
+from repro.telemetry.counters import Counter
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.store import MetricStore
+from repro.workload.diurnal import WINDOWS_PER_DAY, WINDOWS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class DemandForecast:
+    """A forecast of total pool demand over a future horizon."""
+
+    start_window: int
+    expected: np.ndarray
+    upper: np.ndarray  # the quantile band used for provisioning
+    quantile: float
+
+    def __len__(self) -> int:
+        return int(self.expected.size)
+
+    @property
+    def windows(self) -> np.ndarray:
+        return np.arange(self.start_window, self.start_window + len(self))
+
+    def peak_expected(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty forecast")
+        return float(self.expected.max())
+
+    def peak_upper(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty forecast")
+        return float(self.upper.max())
+
+
+class SeasonalTrendForecaster:
+    """Seasonal-naive + linear-trend demand forecaster.
+
+    Parameters
+    ----------
+    season_windows:
+        Length of one season; defaults to a day.  Use
+        ``WINDOWS_PER_WEEK`` when weekends matter and at least two weeks
+        of history exist.
+    band_quantile:
+        The residual quantile forming the upper provisioning band.
+    """
+
+    def __init__(
+        self,
+        season_windows: int = WINDOWS_PER_DAY,
+        band_quantile: float = 0.95,
+    ) -> None:
+        if season_windows < 2:
+            raise ValueError("season_windows must be >= 2")
+        if not 0.5 <= band_quantile < 1.0:
+            raise ValueError("band_quantile must be in [0.5, 1)")
+        self.season_windows = season_windows
+        self.band_quantile = band_quantile
+        self._profile: Optional[np.ndarray] = None
+        self._trend: Optional[LinearModel] = None
+        self._residual_quantile: float = 0.0
+        self._history_end: int = 0
+        self._mean_level: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._profile is not None
+
+    # ------------------------------------------------------------------
+    def fit(self, history: TimeSeries) -> "SeasonalTrendForecaster":
+        """Fit the seasonal profile, trend and residual band."""
+        if len(history) < 2 * self.season_windows:
+            raise ValueError(
+                "need at least two full seasons of history "
+                f"({2 * self.season_windows} windows), got {len(history)}"
+            )
+        windows = history.windows
+        values = history.values
+        phase = windows % self.season_windows
+
+        profile = np.empty(self.season_windows, dtype=float)
+        for p in range(self.season_windows):
+            bucket = values[phase == p]
+            profile[p] = float(np.median(bucket)) if bucket.size else np.nan
+        # Fill any empty phases by interpolation over the circular profile.
+        if np.isnan(profile).any():
+            valid = ~np.isnan(profile)
+            profile = np.interp(
+                np.arange(self.season_windows),
+                np.flatnonzero(valid),
+                profile[valid],
+                period=self.season_windows,
+            )
+        self._profile = profile
+        self._mean_level = float(values.mean())
+
+        # Trend on per-season means, expressed multiplicatively.
+        season_index = windows // self.season_windows
+        seasons = np.unique(season_index)
+        if seasons.size >= 2 and self._mean_level > 0:
+            season_means = np.array(
+                [values[season_index == s].mean() for s in seasons], dtype=float
+            )
+            self._trend = fit_linear(
+                seasons.astype(float), season_means / self._mean_level
+            )
+        else:
+            self._trend = None
+
+        fitted = self._predict_windows(windows)
+        residual_ratio = np.where(fitted > 0, values / fitted, 1.0)
+        self._residual_quantile = float(
+            np.quantile(residual_ratio, self.band_quantile)
+        )
+        self._history_end = int(windows.max()) + 1
+        return self
+
+    # ------------------------------------------------------------------
+    def _trend_factor(self, window) -> np.ndarray:
+        if self._trend is None:
+            return np.ones_like(np.asarray(window, dtype=float))
+        season = np.asarray(window, dtype=float) / self.season_windows
+        factor = self._trend.predict(season)
+        return np.clip(factor, 0.0, None)
+
+    def _predict_windows(self, windows) -> np.ndarray:
+        assert self._profile is not None
+        windows = np.asarray(windows, dtype=int)
+        seasonal = self._profile[windows % self.season_windows]
+        return seasonal * self._trend_factor(windows)
+
+    def forecast(self, horizon_windows: int, start_window: Optional[int] = None) -> DemandForecast:
+        """Forecast ``horizon_windows`` windows past the history."""
+        if not self.is_fitted:
+            raise RuntimeError("forecaster has not been fitted")
+        if horizon_windows < 1:
+            raise ValueError("horizon_windows must be >= 1")
+        start = start_window if start_window is not None else self._history_end
+        windows = np.arange(start, start + horizon_windows)
+        expected = self._predict_windows(windows)
+        upper = expected * self._residual_quantile
+        return DemandForecast(
+            start_window=start,
+            expected=expected,
+            upper=upper,
+            quantile=self.band_quantile,
+        )
+
+
+def forecast_pool_demand(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: str,
+    horizon_windows: int,
+    season_windows: int = WINDOWS_PER_DAY,
+    band_quantile: float = 0.95,
+) -> DemandForecast:
+    """Convenience: fit on a pool's recorded demand and forecast ahead."""
+    history = store.pool_window_aggregate(
+        pool_id, Counter.REQUESTS.value, datacenter_id=datacenter_id, reducer="sum"
+    )
+    forecaster = SeasonalTrendForecaster(
+        season_windows=season_windows, band_quantile=band_quantile
+    )
+    forecaster.fit(history)
+    return forecaster.forecast(horizon_windows)

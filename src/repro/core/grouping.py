@@ -1,0 +1,295 @@
+"""Step 1 — identifying capacity-planning server groups (§II-A2).
+
+Two complementary mechanisms:
+
+* **Within-pool clustering** — scatter each server's (5th pct, 95th
+  pct) CPU over a representative period; tight single clusters mean
+  the whole pool is one planning unit, while multiple clusters reveal
+  sub-groups (Fig 3's two hardware generations) that must be planned
+  separately.
+
+* **Fleet-wide predictability classification** — a decision tree over
+  per-server feature vectors (the 5/25/50/75/95 CPU percentiles plus
+  the pool's percentile-regression slope/intercept/R^2) separates pools
+  with a predictable workload->CPU relationship from multi-workload
+  pools, evaluated with 5-fold CV / AUC exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.clustering import ClusteringResult, select_k
+from repro.stats.crossval import CrossValidationResult, cross_validate_classifier
+from repro.stats.decision_tree import DecisionTreeClassifier
+from repro.stats.descriptive import STANDARD_PERCENTILES, percentile_profile
+from repro.stats.regression import fit_linear
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class ServerGroup:
+    """A set of servers planned as one unit."""
+
+    pool_id: str
+    datacenter_id: str
+    group_index: int
+    server_ids: Tuple[str, ...]
+    center_p5: float
+    center_p95: float
+
+    @property
+    def size(self) -> int:
+        return len(self.server_ids)
+
+
+@dataclass(frozen=True)
+class PoolGroupReport:
+    """Grouping outcome for one pool in one datacenter."""
+
+    pool_id: str
+    datacenter_id: str
+    groups: Tuple[ServerGroup, ...]
+    silhouette_like_quality: float
+    points: np.ndarray  # (n_servers, 2) of (p5, p95) CPU
+    server_ids: Tuple[str, ...]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when the pool is a single planning group."""
+        return self.n_groups == 1
+
+
+def server_percentile_points(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Per-server (5th, 95th) CPU percentile points (Fig 3's axes).
+
+    Only windows where the server was serving traffic contribute —
+    offline windows would drag the 5th percentile to zero and make
+    every pool look bimodal.
+    """
+    per_server = store.per_server_values(
+        pool_id,
+        Counter.PROCESSOR_UTILIZATION.value,
+        datacenter_id=datacenter_id,
+        start=start,
+        stop=stop,
+    )
+    ids: List[str] = []
+    points: List[Tuple[float, float]] = []
+    for server_id in sorted(per_server):
+        values = per_server[server_id]
+        if values.size < 10:
+            continue
+        p5, p95 = np.percentile(values, [5.0, 95.0])
+        ids.append(server_id)
+        points.append((float(p5), float(p95)))
+    return np.asarray(points, dtype=float), tuple(ids)
+
+
+def identify_server_groups(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: str,
+    max_groups: int = 3,
+    min_silhouette: float = 0.6,
+    rng: Optional[np.random.Generator] = None,
+) -> PoolGroupReport:
+    """Cluster one deployment's servers into planning groups."""
+    points, server_ids = server_percentile_points(store, pool_id, datacenter_id)
+    if points.shape[0] == 0:
+        raise ValueError(
+            f"no usable CPU telemetry for pool {pool_id!r} in {datacenter_id!r}"
+        )
+    result: ClusteringResult = select_k(
+        points, max_k=max_groups, min_silhouette=min_silhouette, rng=rng
+    )
+    groups: List[ServerGroup] = []
+    for g in range(result.k):
+        member_mask = result.labels == g
+        member_ids = tuple(
+            sid for sid, keep in zip(server_ids, member_mask) if keep
+        )
+        if not member_ids:
+            continue
+        groups.append(
+            ServerGroup(
+                pool_id=pool_id,
+                datacenter_id=datacenter_id,
+                group_index=len(groups),
+                server_ids=member_ids,
+                center_p5=float(result.centers[g, 0]),
+                center_p95=float(result.centers[g, 1]),
+            )
+        )
+    from repro.stats.clustering import silhouette_score
+
+    quality = silhouette_score(points, result.labels) if result.k > 1 else 1.0
+    return PoolGroupReport(
+        pool_id=pool_id,
+        datacenter_id=datacenter_id,
+        groups=tuple(groups),
+        silhouette_like_quality=quality,
+        points=points,
+        server_ids=server_ids,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide predictability classification
+# ----------------------------------------------------------------------
+
+#: Feature layout: 5 per-server CPU percentiles + pool slope/intercept/R^2.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "cpu_p5",
+    "cpu_p25",
+    "cpu_p50",
+    "cpu_p75",
+    "cpu_p95",
+    "pool_slope",
+    "pool_intercept",
+    "pool_r2",
+)
+
+
+def _pool_percentile_regression(
+    profiles: Sequence[np.ndarray],
+) -> Tuple[float, float, float]:
+    """Fit the §II-A2 pool-level regression across (p_i, c_i) points.
+
+    Every server contributes its five (percentile, cpu) pairs; the
+    slope/intercept/R^2 of the pooled fit summarise how consistently
+    CPU spreads with percentile across the pool.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for profile in profiles:
+        xs.extend(STANDARD_PERCENTILES)
+        ys.extend(profile.tolist())
+    model = fit_linear(xs, ys)
+    return model.slope, model.intercept, model.r2
+
+
+def server_feature_matrix(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: Optional[str] = None,
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Per-server feature vectors for the predictability tree."""
+    per_server = store.per_server_values(
+        pool_id,
+        Counter.PROCESSOR_UTILIZATION.value,
+        datacenter_id=datacenter_id,
+    )
+    ids = []
+    profiles = []
+    for server_id in sorted(per_server):
+        values = per_server[server_id]
+        if values.size < 10:
+            continue
+        ids.append(server_id)
+        profiles.append(percentile_profile(values))
+    if not profiles:
+        return np.empty((0, len(FEATURE_NAMES))), ()
+    slope, intercept, r2 = _pool_percentile_regression(profiles)
+    rows = [
+        np.concatenate([profile, [slope, intercept, r2]]) for profile in profiles
+    ]
+    return np.asarray(rows, dtype=float), tuple(ids)
+
+
+@dataclass
+class GroupingModel:
+    """Decision-tree classifier of pool predictability.
+
+    Train on pools with operator labels (1 = tight, single-workload;
+    0 = noisy, multi-workload), then classify unlabelled pools.  The
+    paper's tree used a 2000-machine minimum leaf on a 100K+ fleet;
+    ``min_leaf_fraction`` scales that to any fleet size.
+    """
+
+    min_leaf_fraction: float = 0.02
+    max_depth: int = 10
+    tree: Optional[DecisionTreeClassifier] = None
+    cv_result: Optional[CrossValidationResult] = None
+
+    def _build_dataset(
+        self,
+        store: MetricStore,
+        labels: Dict[str, int],
+    ) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+        feature_rows: List[np.ndarray] = []
+        label_rows: List[int] = []
+        row_pools: List[str] = []
+        for pool_id, label in sorted(labels.items()):
+            features, ids = server_feature_matrix(store, pool_id)
+            for row in features:
+                feature_rows.append(row)
+                label_rows.append(int(label))
+                row_pools.append(pool_id)
+            del ids
+        if not feature_rows:
+            raise ValueError("no features extracted for any labelled pool")
+        return (
+            np.asarray(feature_rows, dtype=float),
+            np.asarray(label_rows, dtype=int),
+            row_pools,
+        )
+
+    def fit(
+        self,
+        store: MetricStore,
+        labels: Dict[str, int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> "GroupingModel":
+        """Train and cross-validate on labelled pools."""
+        features, y, _pools = self._build_dataset(store, labels)
+        min_leaf = max(int(self.min_leaf_fraction * y.size), 5)
+
+        def factory() -> DecisionTreeClassifier:
+            return DecisionTreeClassifier(min_leaf_size=min_leaf, max_depth=self.max_depth)
+
+        self.cv_result = cross_validate_classifier(
+            factory, features, y, k=5, rng=rng
+        )
+        self.tree = factory().fit(features, y)
+        return self
+
+    def predict_pool(
+        self,
+        store: MetricStore,
+        pool_id: str,
+    ) -> Tuple[bool, float]:
+        """Classify one pool: (is_predictable, mean probability)."""
+        if self.tree is None:
+            raise RuntimeError("grouping model has not been fitted")
+        features, _ids = server_feature_matrix(store, pool_id)
+        if features.shape[0] == 0:
+            raise ValueError(f"no telemetry for pool {pool_id!r}")
+        probs = self.tree.predict_proba(features)
+        mean_prob = float(probs.mean())
+        return mean_prob >= 0.5, mean_prob
+
+    def predictable_fraction(
+        self,
+        store: MetricStore,
+        pool_ids: Sequence[str],
+    ) -> float:
+        """Share of pools classified predictable (paper: ~55 %)."""
+        if not pool_ids:
+            raise ValueError("pool_ids must be non-empty")
+        flags = [self.predict_pool(store, p)[0] for p in pool_ids]
+        return float(np.mean(flags))

@@ -1,0 +1,294 @@
+"""Step 1 — workload-metric validation (§II-A1).
+
+"We assume proper workload metrics have a tight linear correlation
+between units of work and increases in their primary limiting
+resource. ... If the metric does not correlate well with the limiting
+resource then we likely failed to accurately capture the resources
+used to process a request.  We use this validation in a feedback loop,
+until an accurate result is obtained."
+
+The validator runs exactly that loop against the metric store:
+
+1. fit aggregate workload (RPS) against the limiting resource (CPU)
+   per window; accept if R^2 clears the threshold;
+2. otherwise split the workload into its per-request-class counters
+   (the MemCached per-table fix) and fit a multivariate linear model;
+3. independently scan CPU residuals for *periodic* spikes uncorrelated
+   with workload (the GB/hour log-upload anomaly) and refit with the
+   affected windows removed.
+
+The result records every step so operators can see which fix made the
+metric trustworthy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.regression import (
+    LinearModel,
+    MultiLinearModel,
+    fit_linear,
+    fit_multilinear,
+)
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+class ValidationStatus(enum.Enum):
+    """Outcome of the validation loop."""
+
+    VALID_AGGREGATE = "valid_aggregate"
+    VALID_PER_CLASS = "valid_per_class"
+    VALID_AFTER_ANOMALY_REMOVAL = "valid_after_anomaly_removal"
+    INVALID = "invalid"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not ValidationStatus.INVALID
+
+
+@dataclass(frozen=True)
+class AnomalyFinding:
+    """Periodic background activity discovered in the residuals."""
+
+    period_windows: int
+    affected_window_fraction: float
+    mean_spike_magnitude: float
+
+    def describe(self) -> str:
+        return (
+            f"periodic background spike every ~{self.period_windows} windows "
+            f"({self.affected_window_fraction:.1%} of windows, "
+            f"+{self.mean_spike_magnitude:.1f} CPU pts)"
+        )
+
+
+@dataclass(frozen=True)
+class MetricValidationReport:
+    """Everything the validation loop learned about one pool's metrics."""
+
+    pool_id: str
+    datacenter_id: Optional[str]
+    status: ValidationStatus
+    aggregate_r2: float
+    final_r2: float
+    aggregate_model: Optional[LinearModel]
+    per_class_model: Optional[MultiLinearModel]
+    workload_counters: Tuple[str, ...]
+    anomaly: Optional[AnomalyFinding]
+    steps: Tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"pool {self.pool_id}"
+            + (f" @ {self.datacenter_id}" if self.datacenter_id else "")
+            + f": {self.status.value} "
+            f"(aggregate R^2 = {self.aggregate_r2:.3f}, final R^2 = {self.final_r2:.3f})"
+        ]
+        lines.extend(f"  - {step}" for step in self.steps)
+        return "\n".join(lines)
+
+
+def _remove_windows(
+    x: np.ndarray, y: np.ndarray, remove_mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    keep = ~remove_mask
+    return x[keep], y[keep]
+
+
+def _detect_periodic_spikes(
+    residuals: np.ndarray,
+    min_fraction: float = 0.01,
+    max_fraction: float = 0.4,
+    sigma_threshold: float = 2.5,
+) -> Tuple[Optional[AnomalyFinding], np.ndarray]:
+    """Look for sparse positive residual spikes with regular spacing.
+
+    Returns the finding (or None) and a boolean mask of spike windows.
+    """
+    n = residuals.size
+    no_mask = np.zeros(n, dtype=bool)
+    if n < 30:
+        return None, no_mask
+    scale = float(np.std(residuals))
+    if scale == 0:
+        return None, no_mask
+    spikes = residuals > sigma_threshold * scale
+    fraction = float(spikes.mean())
+    if not min_fraction <= fraction <= max_fraction:
+        return None, no_mask
+    spike_positions = np.flatnonzero(spikes)
+    if spike_positions.size < 3:
+        return None, no_mask
+    gaps = np.diff(spike_positions)
+    gaps = gaps[gaps > 1]  # ignore consecutive windows of one upload
+    if gaps.size == 0:
+        return None, no_mask
+    period = int(np.median(gaps))
+    spread = float(np.std(gaps))
+    # Regular spacing: most gaps near the median.
+    if period >= 2 and spread <= max(0.5 * period, 3.0):
+        finding = AnomalyFinding(
+            period_windows=period,
+            affected_window_fraction=fraction,
+            mean_spike_magnitude=float(residuals[spikes].mean()),
+        )
+        return finding, spikes
+    return None, no_mask
+
+
+class MetricValidator:
+    """The §II-A1 feedback loop over a metric store."""
+
+    def __init__(
+        self,
+        store: MetricStore,
+        min_r2: float = 0.9,
+        resource_counter: str = Counter.PROCESSOR_UTILIZATION.value,
+        workload_counter: str = Counter.REQUESTS.value,
+    ) -> None:
+        self.store = store
+        self.min_r2 = min_r2
+        self.resource_counter = resource_counter
+        self.workload_counter = workload_counter
+
+    # ------------------------------------------------------------------
+    def _aligned_pool_series(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str],
+    ):
+        return self.store.pool_window_aggregate(
+            pool_id, counter, datacenter_id=datacenter_id
+        )
+
+    def _per_class_counters(self, pool_id: str) -> List[str]:
+        prefix = "Requests/sec["
+        return [
+            c
+            for c in self.store.counters_for_pool(pool_id)
+            if c.startswith(prefix)
+        ]
+
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        pool_id: str,
+        datacenter_id: Optional[str] = None,
+    ) -> MetricValidationReport:
+        """Run the full feedback loop for one pool (optionally one DC)."""
+        steps: List[str] = []
+        workload = self._aligned_pool_series(pool_id, self.workload_counter, datacenter_id)
+        resource = self._aligned_pool_series(pool_id, self.resource_counter, datacenter_id)
+        x, y = workload.align_with(resource)
+        if x.size < 10:
+            return MetricValidationReport(
+                pool_id=pool_id,
+                datacenter_id=datacenter_id,
+                status=ValidationStatus.INVALID,
+                aggregate_r2=0.0,
+                final_r2=0.0,
+                aggregate_model=None,
+                per_class_model=None,
+                workload_counters=(),
+                anomaly=None,
+                steps=("insufficient data: fewer than 10 aligned windows",),
+            )
+
+        aggregate = fit_linear(x, y)
+        aggregate_r2 = aggregate.r2
+        steps.append(
+            f"aggregate workload vs {self.resource_counter}: {aggregate.describe()}"
+        )
+        best_r2 = aggregate.r2
+        status = ValidationStatus.INVALID
+        per_class_model: Optional[MultiLinearModel] = None
+        counters: Tuple[str, ...] = (self.workload_counter,)
+        anomaly: Optional[AnomalyFinding] = None
+
+        if aggregate.r2 >= self.min_r2:
+            status = ValidationStatus.VALID_AGGREGATE
+            steps.append("accepted: aggregate metric is tight")
+
+        # Step 2: per-class split (the MemCached per-table fix).
+        if status is ValidationStatus.INVALID:
+            class_counters = self._per_class_counters(pool_id)
+            if len(class_counters) >= 2:
+                series = [
+                    self._aligned_pool_series(pool_id, c, datacenter_id)
+                    for c in class_counters
+                ]
+                # Align every class series with the resource series.
+                columns = []
+                ys = None
+                for s in series:
+                    xs_c, ys_c = s.align_with(resource)
+                    columns.append(xs_c)
+                    ys = ys_c
+                lengths = {c.size for c in columns}
+                if len(lengths) == 1 and ys is not None and ys.size >= 10:
+                    design = np.column_stack(columns)
+                    per_class_model = fit_multilinear(design, ys)
+                    steps.append(
+                        "split workload into "
+                        f"{len(class_counters)} per-class metrics: "
+                        f"{per_class_model.describe()}"
+                    )
+                    if per_class_model.r2 >= self.min_r2:
+                        status = ValidationStatus.VALID_PER_CLASS
+                        counters = tuple(class_counters)
+                        best_r2 = per_class_model.r2
+                        steps.append("accepted: per-class metrics are tight")
+
+        # Step 3: periodic-anomaly removal (the log-upload discovery).
+        if status is ValidationStatus.INVALID:
+            residuals = y - aggregate.predict(x)
+            anomaly, spike_mask = _detect_periodic_spikes(residuals)
+            if anomaly is not None:
+                steps.append("found " + anomaly.describe())
+                x_clean, y_clean = _remove_windows(x, y, spike_mask)
+                if x_clean.size >= 10:
+                    cleaned = fit_linear(x_clean, y_clean)
+                    steps.append(
+                        f"refit without spike windows: {cleaned.describe()}"
+                    )
+                    if cleaned.r2 >= self.min_r2:
+                        status = ValidationStatus.VALID_AFTER_ANOMALY_REMOVAL
+                        aggregate = cleaned
+                        best_r2 = cleaned.r2
+                        steps.append(
+                            "accepted: metric is tight once background "
+                            "upload windows are excluded"
+                        )
+
+        if status is ValidationStatus.INVALID:
+            steps.append(
+                "rejected: no metric decomposition reached "
+                f"R^2 >= {self.min_r2} — instrument new per-workload metrics"
+            )
+
+        return MetricValidationReport(
+            pool_id=pool_id,
+            datacenter_id=datacenter_id,
+            status=status,
+            aggregate_r2=aggregate_r2,
+            final_r2=best_r2,
+            aggregate_model=aggregate,
+            per_class_model=per_class_model,
+            workload_counters=counters,
+            anomaly=anomaly,
+            steps=tuple(steps),
+        )
+
+    def validate_all(
+        self,
+        datacenter_id: Optional[str] = None,
+    ) -> List[MetricValidationReport]:
+        """Validate every pool present in the store."""
+        return [self.validate(pool, datacenter_id) for pool in self.store.pools]

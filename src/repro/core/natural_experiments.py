@@ -1,0 +1,255 @@
+"""§II-B1 — capacity planning using natural experiments.
+
+Unplanned capacity events (datacenter failovers, regional surges) push
+pools far beyond their normal operating range, "providing us with
+additional data to perform our capacity optimization" without the risk
+of deliberate experiments.  This module detects such events in workload
+telemetry and checks whether the response models fitted on calm data
+still hold through them — the paper's Figs 4-6 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.curves import (
+    WorkloadQoSModel,
+    WorkloadResourceModel,
+    fit_qos_model,
+    fit_resource_model,
+)
+from repro.telemetry.counters import Counter
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.store import MetricStore
+from repro.workload.diurnal import WINDOWS_PER_DAY
+
+
+@dataclass(frozen=True)
+class SurgeEvent:
+    """A detected workload surge in one deployment."""
+
+    pool_id: str
+    datacenter_id: str
+    start_window: int
+    stop_window: int
+    peak_increase_fraction: float
+    median_increase_fraction: float
+
+    @property
+    def duration_windows(self) -> int:
+        return self.stop_window - self.start_window
+
+    def describe(self) -> str:
+        return (
+            f"surge in {self.pool_id}@{self.datacenter_id}: windows "
+            f"[{self.start_window}, {self.stop_window}), median "
+            f"+{self.median_increase_fraction:.0%}, peak "
+            f"+{self.peak_increase_fraction:.0%}"
+        )
+
+
+def _expected_baseline(series: TimeSeries) -> np.ndarray:
+    """Per-window expected workload from the same time-of-day history.
+
+    For each window, the median of the values observed at the same
+    window-of-day on *other* days; diurnal services need a seasonal
+    baseline, not a flat one.
+    """
+    values = series.values
+    windows = series.windows
+    time_of_day = windows % WINDOWS_PER_DAY
+    expected = np.empty_like(values)
+    buckets: Dict[int, np.ndarray] = {}
+    for tod in np.unique(time_of_day):
+        buckets[int(tod)] = values[time_of_day == tod]
+    for i, tod in enumerate(time_of_day):
+        bucket = buckets[int(tod)]
+        if bucket.size > 1:
+            expected[i] = np.median(bucket)
+        else:
+            expected[i] = np.median(values)
+    return expected
+
+
+def detect_surge_events(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: str,
+    threshold: float = 0.3,
+    min_duration_windows: int = 5,
+) -> List[SurgeEvent]:
+    """Find contiguous runs of workload >= (1 + threshold) x expected."""
+    series = store.pool_window_aggregate(
+        pool_id, Counter.REQUESTS.value, datacenter_id=datacenter_id, reducer="sum"
+    )
+    if len(series) < 2 * WINDOWS_PER_DAY:
+        # Less than two days of data: a seasonal baseline is undefined.
+        return []
+    expected = _expected_baseline(series)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        excess = np.where(expected > 0, series.values / expected - 1.0, 0.0)
+    above = excess >= threshold
+
+    events: List[SurgeEvent] = []
+    run_start: Optional[int] = None
+    for i, flag in enumerate(np.append(above, False)):
+        if flag and run_start is None:
+            run_start = i
+        elif not flag and run_start is not None:
+            length = i - run_start
+            if length >= min_duration_windows:
+                chunk = excess[run_start:i]
+                events.append(
+                    SurgeEvent(
+                        pool_id=pool_id,
+                        datacenter_id=datacenter_id,
+                        start_window=int(series.windows[run_start]),
+                        stop_window=int(series.windows[i - 1]) + 1,
+                        peak_increase_fraction=float(chunk.max()),
+                        median_increase_fraction=float(np.median(chunk)),
+                    )
+                )
+            run_start = None
+    return events
+
+
+@dataclass(frozen=True)
+class NaturalExperimentReport:
+    """Did the calm-weather models hold through an event?
+
+    The paper's Fig 5 check: fit on the days around the event, predict
+    the event windows, and measure the error.  Small errors mean the
+    event *extends* the model's trusted range to loads far beyond what
+    deliberate experiments could safely reach.
+    """
+
+    event: SurgeEvent
+    resource_model: WorkloadResourceModel
+    qos_model: WorkloadQoSModel
+    cpu_mean_abs_error_pct: float
+    cpu_mean_observed_pct: float
+    latency_mean_abs_error_ms: float
+    latency_mean_observed_ms: float
+    max_event_rps_per_server: float
+    max_calm_rps_per_server: float
+
+    @property
+    def cpu_relative_error(self) -> float:
+        if self.cpu_mean_observed_pct == 0:
+            return 0.0
+        return self.cpu_mean_abs_error_pct / self.cpu_mean_observed_pct
+
+    @property
+    def latency_relative_error(self) -> float:
+        if self.latency_mean_observed_ms == 0:
+            return 0.0
+        return self.latency_mean_abs_error_ms / self.latency_mean_observed_ms
+
+    @property
+    def load_extension_factor(self) -> float:
+        """How far beyond the calm range the event pushed the pool."""
+        if self.max_calm_rps_per_server == 0:
+            return 1.0
+        return self.max_event_rps_per_server / self.max_calm_rps_per_server
+
+    def model_held(self, tolerance: float = 0.15) -> bool:
+        """True when both models predicted the event within tolerance."""
+        return (
+            self.cpu_relative_error <= tolerance
+            and self.latency_relative_error <= tolerance
+        )
+
+
+def analyze_natural_experiment(
+    store: MetricStore,
+    event: SurgeEvent,
+    calm_days_before: int = 2,
+    calm_days_after: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> NaturalExperimentReport:
+    """Fit on calm windows around the event; score on event windows."""
+    pool, dc = event.pool_id, event.datacenter_id
+    calm_start = max(event.start_window - calm_days_before * WINDOWS_PER_DAY, 0)
+    calm_stop = event.stop_window + calm_days_after * WINDOWS_PER_DAY
+
+    def pool_series(counter: str, start: int, stop: int) -> TimeSeries:
+        return store.pool_window_aggregate(
+            pool, counter, datacenter_id=dc, start=start, stop=stop
+        )
+
+    # Calm-period fits exclude the event windows.
+    rps_before = pool_series(Counter.REQUESTS.value, calm_start, event.start_window)
+    cpu_before = pool_series(
+        Counter.PROCESSOR_UTILIZATION.value, calm_start, event.start_window
+    )
+    lat_before = pool_series(Counter.LATENCY_P95.value, calm_start, event.start_window)
+    rps_after = pool_series(Counter.REQUESTS.value, event.stop_window, calm_stop)
+    cpu_after = pool_series(
+        Counter.PROCESSOR_UTILIZATION.value, event.stop_window, calm_stop
+    )
+    lat_after = pool_series(Counter.LATENCY_P95.value, event.stop_window, calm_stop)
+
+    from repro.stats.regression import fit_linear
+    from repro.stats.ransac import RansacRegressor
+    from repro.stats.regression import PolynomialModel
+
+    x1, y1 = rps_before.align_with(cpu_before)
+    x2, y2 = rps_after.align_with(cpu_after)
+    x_cpu = np.concatenate([x1, x2])
+    y_cpu = np.concatenate([y1, y2])
+    if x_cpu.size < 10:
+        raise ValueError("insufficient calm-period telemetry around the event")
+    resource = WorkloadResourceModel(
+        pool_id=pool, datacenter_id=dc, model=fit_linear(x_cpu, y_cpu)
+    )
+
+    lx1, ly1 = rps_before.align_with(lat_before)
+    lx2, ly2 = rps_after.align_with(lat_after)
+    x_lat = np.concatenate([lx1, lx2])
+    y_lat = np.concatenate([ly1, ly2])
+    regressor = RansacRegressor(
+        degree=2, rng=rng if rng is not None else np.random.default_rng(0)
+    )
+    fit = regressor.fit(x_lat, y_lat)
+    qos_poly = fit.model
+    if isinstance(qos_poly, PolynomialModel):
+        qos_poly = PolynomialModel(
+            coefficients=qos_poly.coefficients,
+            r2=qos_poly.r2,
+            n=qos_poly.n,
+            residual_std=qos_poly.residual_std,
+            x_min=float(x_lat.min()),
+            x_max=float(x_lat.max()),
+        )
+    qos = WorkloadQoSModel(
+        pool_id=pool, datacenter_id=dc, model=qos_poly,
+        inlier_fraction=fit.inlier_fraction,
+    )
+
+    # Event-period scoring.
+    rps_event = pool_series(Counter.REQUESTS.value, event.start_window, event.stop_window)
+    cpu_event = pool_series(
+        Counter.PROCESSOR_UTILIZATION.value, event.start_window, event.stop_window
+    )
+    lat_event = pool_series(Counter.LATENCY_P95.value, event.start_window, event.stop_window)
+    ex, ecpu = rps_event.align_with(cpu_event)
+    lex, elat = rps_event.align_with(lat_event)
+    if ex.size == 0 or lex.size == 0:
+        raise ValueError("no event-period telemetry to score")
+    cpu_err = float(np.mean(np.abs(resource.model.predict(ex) - ecpu)))
+    lat_err = float(np.mean(np.abs(qos.model.predict(lex) - elat)))
+
+    return NaturalExperimentReport(
+        event=event,
+        resource_model=resource,
+        qos_model=qos,
+        cpu_mean_abs_error_pct=cpu_err,
+        cpu_mean_observed_pct=float(ecpu.mean()),
+        latency_mean_abs_error_ms=lat_err,
+        latency_mean_observed_ms=float(elat.mean()),
+        max_event_rps_per_server=float(ex.max()),
+        max_calm_rps_per_server=float(x_cpu.max()),
+    )

@@ -1,0 +1,123 @@
+"""Total-load partitioning (§II-B2's r_idj / t_idj machinery).
+
+"Since the total workload for a micro-service is distributed equally
+across all servers in the pool, the total workload is used to partition
+historical time points when the pool's servers had comparable loads."
+
+A :class:`LoadPartition` is one bucket r_idj of total pool workload; its
+``windows`` are the time set t_idj.  Within a partition the server
+count n and the latency l vary while total load is (approximately)
+controlled, which is what makes the Eq. 1 fit of latency against server
+count valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.counters import Counter
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class LoadPartition:
+    """One total-workload bucket and the windows falling inside it."""
+
+    index: int
+    load_low: float
+    load_high: float
+    windows: np.ndarray
+
+    @property
+    def n_observations(self) -> int:
+        return int(self.windows.size)
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.load_low + self.load_high)
+
+    def contains(self, load: float) -> bool:
+        return self.load_low <= load < self.load_high
+
+
+def partition_by_total_load(
+    total_load: TimeSeries,
+    n_partitions: int = 5,
+    min_observations: int = 8,
+) -> List[LoadPartition]:
+    """Split windows into equal-probability total-load buckets.
+
+    Buckets are quantile-based so each partition has comparable
+    observation counts ("working directly with a pool owner we identify
+    J_id to ensure sufficient data is available within each heavily
+    used partition").  Partitions that still end up with fewer than
+    ``min_observations`` windows are dropped — their fits would be
+    noise-dominated.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    if total_load.is_empty:
+        return []
+    loads = total_load.values
+    edges = np.quantile(loads, np.linspace(0.0, 1.0, n_partitions + 1))
+    # Deduplicate edges (heavy ties collapse partitions rather than
+    # producing empty ones).
+    edges = np.unique(edges)
+    if edges.size < 2:
+        edges = np.array([loads.min(), loads.max() + 1e-9])
+    partitions: List[LoadPartition] = []
+    for j in range(edges.size - 1):
+        lo, hi = float(edges[j]), float(edges[j + 1])
+        if j == edges.size - 2:
+            mask = (loads >= lo) & (loads <= hi)
+            hi = hi + 1e-9
+        else:
+            mask = (loads >= lo) & (loads < hi)
+        windows = total_load.windows[mask]
+        if windows.size < min_observations:
+            continue
+        partitions.append(
+            LoadPartition(
+                index=len(partitions),
+                load_low=lo,
+                load_high=hi,
+                windows=windows,
+            )
+        )
+    return partitions
+
+
+def partition_observations(
+    store: MetricStore,
+    pool_id: str,
+    datacenter_id: str,
+    partition: LoadPartition,
+    latency_counter: str = Counter.LATENCY_P95.value,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(server counts, latencies) observed inside one partition.
+
+    The server count n_idjk is the number of servers reporting workload
+    in the window; the latency l_idjk is the pool-average of the
+    latency counter.  Both are restricted to the partition's windows.
+    """
+    counts = store.pool_window_aggregate(
+        pool_id,
+        Counter.REQUESTS.value,
+        datacenter_id=datacenter_id,
+        reducer="count",
+    )
+    latency = store.pool_window_aggregate(
+        pool_id,
+        latency_counter,
+        datacenter_id=datacenter_id,
+        reducer="mean",
+    )
+    window_set = set(int(w) for w in partition.windows)
+    mask_counts = np.array([int(w) in window_set for w in counts.windows])
+    counts_in = TimeSeries(counts.windows[mask_counts], counts.values[mask_counts])
+    ns, ls = counts_in.align_with(latency)
+    return ns, ls

@@ -1,0 +1,215 @@
+"""Step 4 — offline regression analysis (§II-D, Fig 16).
+
+"Our system uses two server pools of the same size and hardware, one
+running with the change and the other without.  We precisely generate
+identical workloads to each pool enabling us to detect changes with
+high confidence and precision.  We make small workload increments over
+time to obtain a broad set of data for latency and resource
+utilization.  Finally, we compare the pool results to understand the
+impact of the change."
+
+A :class:`ResponseProfile` is the fitted (CPU, latency, memory) response
+of one pool over a workload ramp; the :class:`RegressionGate` compares a
+change profile against a baseline profile and issues a verdict *before*
+the change reaches production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.stats.regression import LinearModel, PolynomialModel, fit_linear, fit_polynomial
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class ResponseProfile:
+    """Fitted response of one pool to a ramped synthetic workload."""
+
+    label: str
+    pool_id: str
+    datacenter_id: Optional[str]
+    cpu_model: LinearModel
+    latency_model: PolynomialModel
+    memory_slope_bytes_per_window: float
+    rps_range: Tuple[float, float]
+    #: Raw per-level latency samples, for Fig 16-style box plots:
+    #: level (rounded RPS) -> latency values.
+    latency_by_level: Dict[float, np.ndarray] = field(default_factory=dict)
+
+    def forecast_latency(self, rps_per_server: float) -> float:
+        return self.latency_model.predict_scalar(rps_per_server)
+
+    def forecast_cpu(self, rps_per_server: float) -> float:
+        return self.cpu_model.predict_scalar(rps_per_server)
+
+    @property
+    def has_memory_leak(self) -> bool:
+        """Working set growing steadily over the run indicates a leak."""
+        return self.memory_slope_bytes_per_window > 1e5  # > 0.1 MB / window
+
+
+def profile_response(
+    store: MetricStore,
+    pool_id: str,
+    label: str,
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+    n_levels: int = 12,
+) -> ResponseProfile:
+    """Fit a pool's response profile from ramp telemetry."""
+    rps = store.pool_window_aggregate(
+        pool_id, Counter.REQUESTS.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    cpu = store.pool_window_aggregate(
+        pool_id, Counter.PROCESSOR_UTILIZATION.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    latency = store.pool_window_aggregate(
+        pool_id, Counter.LATENCY_P95.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    x_cpu, y_cpu = rps.align_with(cpu)
+    x_lat, y_lat = rps.align_with(latency)
+    if x_cpu.size < 10 or x_lat.size < 10:
+        raise ValueError(f"insufficient ramp telemetry for pool {pool_id!r}")
+
+    cpu_model = fit_linear(x_cpu, y_cpu)
+    latency_model = fit_polynomial(x_lat, y_lat, degree=2)
+
+    # Memory slope: pool-mean working set vs window index.
+    memory = store.pool_window_aggregate(
+        pool_id, Counter.MEMORY_WORKING_SET.value, datacenter_id=datacenter_id,
+        start=start, stop=stop,
+    )
+    if len(memory) >= 10:
+        memory_fit = fit_linear(memory.windows.astype(float), memory.values)
+        memory_slope = memory_fit.slope
+    else:
+        memory_slope = 0.0
+
+    # Bucket latencies by workload level for box-plot style read-outs.
+    latency_by_level: Dict[float, List[float]] = {}
+    if x_lat.size:
+        lo, hi = float(x_lat.min()), float(x_lat.max())
+        edges = np.linspace(lo, hi, n_levels + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        idx = np.clip(np.digitize(x_lat, edges) - 1, 0, n_levels - 1)
+        for i, center in enumerate(centers):
+            values = y_lat[idx == i]
+            if values.size:
+                latency_by_level[float(np.round(center, 2))] = values
+
+    return ResponseProfile(
+        label=label,
+        pool_id=pool_id,
+        datacenter_id=datacenter_id,
+        cpu_model=cpu_model,
+        latency_model=latency_model,
+        memory_slope_bytes_per_window=memory_slope,
+        rps_range=(float(x_lat.min()), float(x_lat.max())),
+        latency_by_level={k: np.asarray(v) for k, v in latency_by_level.items()},
+    )
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Verdict of comparing a change against its baseline."""
+
+    baseline: ResponseProfile
+    change: ResponseProfile
+    workload_grid: np.ndarray
+    latency_delta_ms: np.ndarray
+    cpu_delta_pct: np.ndarray
+    max_latency_regression_ms: float
+    max_cpu_regression_pct: float
+    memory_leak_fixed: bool
+    memory_leak_introduced: bool
+    latency_regressed: bool
+    cpu_regressed: bool
+
+    @property
+    def passed(self) -> bool:
+        return not (
+            self.latency_regressed or self.cpu_regressed or self.memory_leak_introduced
+        )
+
+    def capacity_impact_fraction(self, latency_limit_ms: float) -> float:
+        """Capacity cost of the change at a given latency SLO.
+
+        Compares the max admissible per-server RPS before and after; a
+        positive value means the change needs that much more capacity.
+        """
+        grid = self.workload_grid
+        base_ok = grid[self.baseline.latency_model.predict(grid) <= latency_limit_ms]
+        change_ok = grid[self.change.latency_model.predict(grid) <= latency_limit_ms]
+        if base_ok.size == 0:
+            return 0.0
+        base_max = float(base_ok.max())
+        change_max = float(change_ok.max()) if change_ok.size else 0.0
+        if base_max <= 0:
+            return 0.0
+        return 1.0 - change_max / base_max
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"regression gate: {verdict} "
+            f"({self.baseline.label} -> {self.change.label})",
+            f"  max latency regression: {self.max_latency_regression_ms:+.1f} ms",
+            f"  max CPU regression: {self.max_cpu_regression_pct:+.1f} pts",
+            f"  memory leak fixed: {self.memory_leak_fixed}, "
+            f"introduced: {self.memory_leak_introduced}",
+        ]
+        return "\n".join(lines)
+
+
+class RegressionGate:
+    """Compares response profiles and gates deployments."""
+
+    def __init__(
+        self,
+        latency_tolerance_ms: float = 2.0,
+        cpu_tolerance_pct: float = 1.0,
+        grid_points: int = 50,
+    ) -> None:
+        if latency_tolerance_ms < 0 or cpu_tolerance_pct < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.latency_tolerance_ms = latency_tolerance_ms
+        self.cpu_tolerance_pct = cpu_tolerance_pct
+        self.grid_points = grid_points
+
+    def compare(
+        self,
+        baseline: ResponseProfile,
+        change: ResponseProfile,
+    ) -> RegressionReport:
+        """Score the change across the common workload range."""
+        lo = max(baseline.rps_range[0], change.rps_range[0])
+        hi = min(baseline.rps_range[1], change.rps_range[1])
+        if hi <= lo:
+            raise ValueError("profiles have no overlapping workload range")
+        grid = np.linspace(lo, hi, self.grid_points)
+        latency_delta = change.latency_model.predict(grid) - baseline.latency_model.predict(grid)
+        cpu_delta = change.cpu_model.predict(grid) - baseline.cpu_model.predict(grid)
+        max_latency = float(latency_delta.max())
+        max_cpu = float(cpu_delta.max())
+        return RegressionReport(
+            baseline=baseline,
+            change=change,
+            workload_grid=grid,
+            latency_delta_ms=latency_delta,
+            cpu_delta_pct=cpu_delta,
+            max_latency_regression_ms=max_latency,
+            max_cpu_regression_pct=max_cpu,
+            memory_leak_fixed=baseline.has_memory_leak and not change.has_memory_leak,
+            memory_leak_introduced=not baseline.has_memory_leak and change.has_memory_leak,
+            latency_regressed=max_latency > self.latency_tolerance_ms,
+            cpu_regressed=max_cpu > self.cpu_tolerance_pct,
+        )

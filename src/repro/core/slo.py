@@ -1,0 +1,90 @@
+"""Service Level Objectives and QoS requirements.
+
+"The QoS requirement for each micro-service is defined as a set of
+Service Level Objectives (SLOs).  Each SLO is a specific metric and the
+minimum threshold of their values.  For example, response latency must
+be less than 500 ms, and reliability must be 99.999 %." (§II)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class Direction(enum.Enum):
+    """Whether an SLO metric must stay at or below / at or above target."""
+
+    AT_MOST = "at_most"
+    AT_LEAST = "at_least"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: a metric name, a threshold, and a direction."""
+
+    metric: str
+    threshold: float
+    direction: Direction = Direction.AT_MOST
+
+    def is_met(self, value: float) -> bool:
+        if self.direction is Direction.AT_MOST:
+            return value <= self.threshold
+        return value >= self.threshold
+
+    def margin(self, value: float) -> float:
+        """Positive when the SLO is met, in the metric's own units."""
+        if self.direction is Direction.AT_MOST:
+            return self.threshold - value
+        return value - self.threshold
+
+    def describe(self) -> str:
+        op = "<=" if self.direction is Direction.AT_MOST else ">="
+        return f"{self.metric} {op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """The QoS contract of one micro-service.
+
+    The paper's evaluation plans against a 95th-percentile latency
+    threshold and an availability floor; additional SLOs can be
+    attached via ``extra``.
+    """
+
+    latency_p95_ms: float
+    availability_min: float = 0.9995
+    extra: Tuple[SLO, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.latency_p95_ms <= 0:
+            raise ValueError("latency_p95_ms must be positive")
+        if not 0.0 < self.availability_min <= 1.0:
+            raise ValueError("availability_min must be in (0, 1]")
+
+    @property
+    def slos(self) -> Tuple[SLO, ...]:
+        return (
+            SLO("latency_p95_ms", self.latency_p95_ms, Direction.AT_MOST),
+            SLO("availability", self.availability_min, Direction.AT_LEAST),
+        ) + self.extra
+
+    def is_met(self, measurements: Dict[str, float]) -> bool:
+        """True when every SLO with a supplied measurement is met.
+
+        Missing measurements are treated as unmet: capacity planning
+        "needs to err on over-allocating capacity to avoid the business
+        impact of low QoS" (§II), so an unmeasured objective cannot be
+        assumed healthy.
+        """
+        for slo in self.slos:
+            if slo.metric not in measurements:
+                return False
+            if not slo.is_met(measurements[slo.metric]):
+                return False
+        return True
+
+    def latency_margin_ms(self, latency_p95_ms: float) -> float:
+        """Headroom (ms) between a measured latency and the SLO."""
+        return self.latency_p95_ms - latency_p95_ms

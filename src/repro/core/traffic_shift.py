@@ -1,0 +1,191 @@
+"""Geo traffic shifting: serving demand where capacity already is.
+
+§I observes that "diurnal global online service workloads cause
+individual datacenters to periodically run out of capacity while
+datacenters on the opposite side of the world are underutilized", and
+the related-work section notes: "Our analysis investigates the benefits
+of moving workload requests closer to the existing capacity because
+this requires less operational overhead and eliminates the lag time to
+bring capacity online."
+
+This module quantifies that benefit.  Because regional peaks rotate
+with the sun, the *global* peak demand is well below the *sum of local
+peaks* — so a fleet that can serve a bounded fraction of each region's
+traffic remotely needs fewer servers than one provisioned per-region.
+
+Two pieces:
+
+* :func:`balance_window` — a water-filling step that moves one window's
+  demand from overloaded datacenters toward underloaded ones, bounded
+  by ``max_remote_fraction`` of each origin's demand (remote serving
+  costs RTT, so only a slice of traffic may be shifted before the
+  latency SLO is at risk);
+* :class:`TrafficShiftAnalysis` — applies the step across a demand
+  history and reports peak-utilization and required-capacity savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def balance_window(
+    demand: np.ndarray,
+    capacity: np.ndarray,
+    max_remote_fraction: float,
+) -> np.ndarray:
+    """Re-balance one window's per-DC demand toward equal utilization.
+
+    ``demand`` and ``capacity`` are per-datacenter vectors (capacity in
+    the same unit as demand — RPS the site can serve within SLO).
+    Returns the shifted demand vector: donors shed at most
+    ``max_remote_fraction`` of their own demand, receivers accept up to
+    the equal-utilization target.  Total demand is conserved.
+    """
+    demand = np.asarray(demand, dtype=float)
+    capacity = np.asarray(capacity, dtype=float)
+    if demand.shape != capacity.shape:
+        raise ValueError("demand and capacity must have matching shapes")
+    if np.any(demand < 0) or np.any(capacity <= 0):
+        raise ValueError("demand must be >= 0 and capacity > 0")
+    if not 0.0 <= max_remote_fraction <= 1.0:
+        raise ValueError("max_remote_fraction must be in [0, 1]")
+    total = demand.sum()
+    if total == 0:
+        return demand.copy()
+
+    target_util = total / capacity.sum()
+    desired = target_util * capacity
+    shifted = demand.copy()
+
+    surplus = np.maximum(shifted - desired, 0.0)
+    # Donors cannot shed more than the remote-serving budget allows.
+    sheddable = np.minimum(surplus, max_remote_fraction * demand)
+    room = np.maximum(desired - shifted, 0.0)
+    movable = min(sheddable.sum(), room.sum())
+    if movable <= 0:
+        return shifted
+
+    # Proportional share of the moved volume among donors / receivers.
+    if sheddable.sum() > 0:
+        shifted -= sheddable * (movable / sheddable.sum())
+    if room.sum() > 0:
+        shifted += room * (movable / room.sum())
+    return shifted
+
+
+@dataclass(frozen=True)
+class TrafficShiftReport:
+    """Outcome of a traffic-shift analysis over a demand history."""
+
+    datacenters: Tuple[str, ...]
+    peak_utilization_before: float
+    peak_utilization_after: float
+    required_capacity_before: float
+    required_capacity_after: float
+    shifted_fraction_mean: float
+
+    @property
+    def capacity_savings(self) -> float:
+        """Fractional capacity no longer needed once traffic can move."""
+        if self.required_capacity_before == 0:
+            return 0.0
+        return 1.0 - self.required_capacity_after / self.required_capacity_before
+
+    def describe(self) -> str:
+        return (
+            f"traffic shift across {len(self.datacenters)} DCs: peak util "
+            f"{self.peak_utilization_before:.0%} -> "
+            f"{self.peak_utilization_after:.0%}, capacity savings "
+            f"{self.capacity_savings:.0%} "
+            f"(mean {self.shifted_fraction_mean:.1%} of traffic served remotely)"
+        )
+
+
+class TrafficShiftAnalysis:
+    """Quantify follow-the-sun capacity savings over a demand history."""
+
+    def __init__(self, max_remote_fraction: float = 0.25) -> None:
+        if not 0.0 <= max_remote_fraction <= 1.0:
+            raise ValueError("max_remote_fraction must be in [0, 1]")
+        self.max_remote_fraction = max_remote_fraction
+
+    def analyze(
+        self,
+        demand_by_dc: Dict[str, np.ndarray],
+        max_rps_per_server: float,
+    ) -> TrafficShiftReport:
+        """Analyze aligned per-DC demand series.
+
+        ``max_rps_per_server`` is the SLO-derived per-server rate (from
+        the fitted QoS curve); capacity comparisons are expressed in
+        servers via this rate.
+        """
+        if not demand_by_dc:
+            raise ValueError("demand_by_dc must be non-empty")
+        if max_rps_per_server <= 0:
+            raise ValueError("max_rps_per_server must be positive")
+        names = tuple(sorted(demand_by_dc))
+        min_len = min(np.asarray(demand_by_dc[n]).size for n in names)
+        if min_len == 0:
+            raise ValueError("demand series are empty")
+        matrix = np.stack(
+            [np.asarray(demand_by_dc[n], dtype=float)[:min_len] for n in names]
+        )  # (n_dcs, n_windows)
+
+        # Per-region provisioning: each DC sized for its own peak.
+        local_peaks = matrix.max(axis=1)
+        required_before = float(
+            np.ceil(local_peaks / max_rps_per_server).sum()
+        )
+        # The before-case peak utilization, at that provisioning.
+        capacity_before = np.ceil(local_peaks / max_rps_per_server) * max_rps_per_server
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util_before = np.where(
+                capacity_before[:, None] > 0, matrix / capacity_before[:, None], 0.0
+            )
+        peak_util_before = float(util_before.max())
+
+        # With shifting: size the fleet down until some window's
+        # post-shift demand no longer fits.  Binary search on a global
+        # scale factor applied to the before-case allocation.
+        def feasible(capacity_vector: np.ndarray) -> Tuple[bool, float, float]:
+            worst = 0.0
+            moved_total = 0.0
+            demand_total = 0.0
+            for w in range(matrix.shape[1]):
+                shifted = balance_window(
+                    matrix[:, w], capacity_vector, self.max_remote_fraction
+                )
+                moved_total += float(np.abs(shifted - matrix[:, w]).sum()) / 2.0
+                demand_total += float(matrix[:, w].sum())
+                worst = max(worst, float((shifted / capacity_vector).max()))
+            return worst <= 1.0 + 1e-9, worst, (
+                moved_total / demand_total if demand_total else 0.0
+            )
+
+        lo, hi = 0.3, 1.0
+        best_scale = 1.0
+        for _ in range(12):
+            mid = 0.5 * (lo + hi)
+            ok, _worst, _moved = feasible(np.maximum(capacity_before * mid, max_rps_per_server))
+            if ok:
+                best_scale = mid
+                hi = mid
+            else:
+                lo = mid
+        capacity_after = np.maximum(capacity_before * best_scale, max_rps_per_server)
+        _ok, worst_after, moved_fraction = feasible(capacity_after)
+        required_after = float(np.ceil(capacity_after / max_rps_per_server).sum())
+
+        return TrafficShiftReport(
+            datacenters=names,
+            peak_utilization_before=peak_util_before,
+            peak_utilization_after=worst_after,
+            required_capacity_before=required_before,
+            required_capacity_after=required_after,
+            shifted_fraction_mean=moved_fraction,
+        )

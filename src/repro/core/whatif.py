@@ -1,0 +1,222 @@
+"""Offline 'what-if' capacity analysis.
+
+A stated requirement of the methodology: "It needs to enable offline
+'what-if' regression analysis of changes to determine their capacity
+and QoS consequences" (§II), and "reducing QoS requirements by 5 ms may
+require 10 % less services".
+
+A :class:`WhatIfAnalyzer` owns the fitted response curves and demand
+series of one pool and answers counterfactual questions *without
+touching production or the simulator*:
+
+* what if demand grows by x %?
+* what if the latency SLO is loosened/tightened by y ms?
+* what if a deployment makes requests z % more expensive (CPU) or adds
+  w ms of latency (from a Step-4 regression report)?
+* what if a datacenter is retired (its traffic folded into survivors)?
+
+Each scenario returns the new required server count and its delta
+against the baseline plan, so capacity/QoS trade-offs can be budgeted
+per feature, as §III-C envisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.curves import WorkloadQoSModel, fit_qos_model
+from repro.core.regression_analysis import RegressionReport
+from repro.core.slo import QoSRequirement
+from repro.stats.regression import PolynomialModel
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One counterfactual applied on top of the baseline."""
+
+    label: str
+    demand_factor: float = 1.0
+    latency_slo_delta_ms: float = 0.0
+    cpu_cost_factor: float = 1.0
+    added_latency_ms: float = 0.0
+    retired_datacenters: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.demand_factor <= 0:
+            raise ValueError("demand_factor must be positive")
+        if self.cpu_cost_factor <= 0:
+            raise ValueError("cpu_cost_factor must be positive")
+
+    @classmethod
+    def from_regression_report(
+        cls, report: RegressionReport, label: Optional[str] = None
+    ) -> "Scenario":
+        """Scenario for deploying a change scored by the Step-4 gate."""
+        return cls(
+            label=label or f"deploy {report.change.label}",
+            added_latency_ms=max(report.max_latency_regression_ms, 0.0),
+            cpu_cost_factor=1.0,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Required capacity under one scenario."""
+
+    scenario: Scenario
+    required_servers: int
+    baseline_servers: int
+    max_rps_per_server: float
+
+    @property
+    def delta_servers(self) -> int:
+        return self.required_servers - self.baseline_servers
+
+    @property
+    def delta_fraction(self) -> float:
+        if self.baseline_servers == 0:
+            return 0.0
+        return self.delta_servers / self.baseline_servers
+
+    def describe(self) -> str:
+        sign = "+" if self.delta_servers >= 0 else ""
+        return (
+            f"{self.scenario.label}: {self.required_servers} servers "
+            f"({sign}{self.delta_servers}, {sign}{self.delta_fraction:.0%})"
+        )
+
+
+class WhatIfAnalyzer:
+    """Counterfactual capacity questions over fitted pool models."""
+
+    def __init__(
+        self,
+        store: MetricStore,
+        pool_id: str,
+        qos: QoSRequirement,
+        safety_margin: float = 0.9,
+        demand_percentile: float = 99.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 < safety_margin <= 1.0:
+            raise ValueError("safety_margin must be in (0, 1]")
+        self.store = store
+        self.pool_id = pool_id
+        self.qos = qos
+        self.safety_margin = safety_margin
+        self.demand_percentile = demand_percentile
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._datacenters = store.datacenters_for_pool(pool_id)
+        if not self._datacenters:
+            raise KeyError(f"pool {pool_id!r} has no telemetry")
+        self._demand: Dict[str, np.ndarray] = {
+            dc: store.pool_window_aggregate(
+                pool_id, Counter.REQUESTS.value, datacenter_id=dc, reducer="sum"
+            ).values
+            for dc in self._datacenters
+        }
+        self._models: Dict[str, WorkloadQoSModel] = {
+            dc: fit_qos_model(store, pool_id, datacenter_id=dc, rng=self._rng)
+            for dc in self._datacenters
+        }
+
+    # ------------------------------------------------------------------
+    def _adjusted_model(
+        self, model: WorkloadQoSModel, scenario: Scenario
+    ) -> WorkloadQoSModel:
+        """Apply CPU-cost and latency deltas to a fitted curve.
+
+        A CPU-cost factor f means every request does f times the work,
+        so the latency observed at rate r now occurs at rate r/f —
+        a horizontal compression of the curve.  For the quadratic
+        l(r) = a r^2 + b r + c the compressed curve is
+        l'(r) = a f^2 r^2 + b f r + c.  An additive latency delta
+        shifts the whole curve up.
+        """
+        f = scenario.cpu_cost_factor
+        a, b, c = model.model.coefficients
+        adjusted = PolynomialModel(
+            coefficients=(a * f * f, b * f, c + scenario.added_latency_ms),
+            r2=model.model.r2,
+            n=model.model.n,
+            residual_std=model.model.residual_std,
+            x_min=model.model.x_min / f,
+            x_max=model.model.x_max / f,
+        )
+        return WorkloadQoSModel(
+            pool_id=model.pool_id,
+            datacenter_id=model.datacenter_id,
+            model=adjusted,
+            inlier_fraction=model.inlier_fraction,
+        )
+
+    def _scenario_demand(self, scenario: Scenario) -> Dict[str, np.ndarray]:
+        """Demand per surviving DC with retired DCs folded in."""
+        retired = set(scenario.retired_datacenters)
+        unknown = retired - set(self._datacenters)
+        if unknown:
+            raise KeyError(f"unknown datacenters in scenario: {sorted(unknown)}")
+        survivors = [dc for dc in self._datacenters if dc not in retired]
+        if not survivors:
+            raise ValueError("scenario retires every datacenter")
+        min_len = min(arr.size for arr in self._demand.values())
+        aligned = {dc: self._demand[dc][:min_len] for dc in self._datacenters}
+        displaced = np.zeros(min_len)
+        for dc in retired:
+            displaced += aligned[dc]
+        survivor_total = np.zeros(min_len)
+        for dc in survivors:
+            survivor_total += aligned[dc]
+        out: Dict[str, np.ndarray] = {}
+        for dc in survivors:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                share = np.where(
+                    survivor_total > 0,
+                    aligned[dc] / survivor_total,
+                    1.0 / len(survivors),
+                )
+            out[dc] = (aligned[dc] + displaced * share) * scenario.demand_factor
+        return out
+
+    def required_servers(self, scenario: Scenario) -> int:
+        """Total servers needed across datacenters under the scenario."""
+        latency_limit = self.qos.latency_p95_ms + scenario.latency_slo_delta_ms
+        if latency_limit <= 0:
+            raise ValueError("scenario drives the latency SLO non-positive")
+        total = 0
+        for dc, demand in self._scenario_demand(scenario).items():
+            model = self._adjusted_model(self._models[dc], scenario)
+            max_rps = model.max_rps_within(latency_limit) * self.safety_margin
+            peak = float(np.percentile(demand, self.demand_percentile))
+            total += max(int(np.ceil(peak / max_rps)), 1)
+        return total
+
+    def evaluate(self, scenarios: List[Scenario]) -> List[ScenarioOutcome]:
+        """Score scenarios against the as-is baseline."""
+        baseline = self.required_servers(Scenario(label="baseline"))
+        outcomes = []
+        for scenario in scenarios:
+            required = self.required_servers(scenario)
+            # max_rps at the first surviving DC, for reporting.
+            survivors = [
+                dc for dc in self._datacenters
+                if dc not in scenario.retired_datacenters
+            ]
+            model = self._adjusted_model(self._models[survivors[0]], scenario)
+            max_rps = model.max_rps_within(
+                self.qos.latency_p95_ms + scenario.latency_slo_delta_ms
+            ) * self.safety_margin
+            outcomes.append(
+                ScenarioOutcome(
+                    scenario=scenario,
+                    required_servers=required,
+                    baseline_servers=baseline,
+                    max_rps_per_server=max_rps,
+                )
+            )
+        return outcomes

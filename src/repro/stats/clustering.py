@@ -1,0 +1,169 @@
+"""k-means clustering with automatic k selection.
+
+Fig 3 visualises per-server (5th pct CPU, 95th pct CPU) points and
+shows that most pools form one tight cluster per datacenter while one
+pool splits into *two* clusters — newer, more powerful hardware next to
+an older generation.  The grouping stage (§II-A2) must discover such
+sub-groups automatically; this module provides Lloyd's algorithm with
+k-means++ seeding plus silhouette-based selection of the cluster count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of a k-means run: centers, assignments and quality."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    k: int
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(
+        self,
+        k: int,
+        max_iterations: int = 100,
+        n_init: int = 5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.n_init = n_init
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def _init_centers(self, points: np.ndarray) -> np.ndarray:
+        """k-means++ seeding: spread initial centers apart."""
+        n = points.shape[0]
+        centers = np.empty((self.k, points.shape[1]), dtype=float)
+        first = self._rng.integers(n)
+        centers[0] = points[first]
+        closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+        for i in range(1, self.k):
+            total = closest_sq.sum()
+            if total <= 0:
+                # All remaining points coincide with a chosen center.
+                centers[i:] = centers[0]
+                break
+            probs = closest_sq / total
+            idx = self._rng.choice(n, p=probs)
+            centers[i] = points[idx]
+            dist_sq = np.sum((points - centers[i]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, dist_sq)
+        return centers
+
+    def _run_once(self, points: np.ndarray) -> ClusteringResult:
+        centers = self._init_centers(points)
+        labels = np.zeros(points.shape[0], dtype=int)
+        for _ in range(self.max_iterations):
+            distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for j in range(self.k):
+                members = points[labels == j]
+                if members.size:
+                    centers[j] = members.mean(axis=0)
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        labels = distances.argmin(axis=1)
+        inertia = float(np.sum(distances[np.arange(points.shape[0]), labels] ** 2))
+        return ClusteringResult(centers=centers, labels=labels, inertia=inertia, k=self.k)
+
+    def fit(self, points: Sequence[Sequence[float]]) -> ClusteringResult:
+        """Cluster ``points`` (n x d); best of ``n_init`` restarts."""
+        array = np.asarray(points, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        if array.shape[0] < self.k:
+            raise ValueError(
+                f"cannot form {self.k} clusters from {array.shape[0]} points"
+            )
+        best: Optional[ClusteringResult] = None
+        for _ in range(self.n_init):
+            result = self._run_once(array)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points.
+
+    Computed exactly (O(n^2)); our grouping problems are per-pool and
+    comfortably small.  Returns 0.0 when every point is in one cluster.
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    unique = np.unique(labels)
+    if unique.size < 2:
+        return 0.0
+    distances = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=2)
+    scores = np.zeros(points.shape[0], dtype=float)
+    for i in range(points.shape[0]):
+        same = labels == labels[i]
+        n_same = same.sum()
+        if n_same <= 1:
+            scores[i] = 0.0
+            continue
+        a = distances[i, same].sum() / (n_same - 1)
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            mask = labels == other
+            b = min(b, distances[i, mask].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def select_k(
+    points: Sequence[Sequence[float]],
+    max_k: int = 4,
+    min_silhouette: float = 0.6,
+    rng: Optional[np.random.Generator] = None,
+) -> ClusteringResult:
+    """Choose the cluster count by silhouette score.
+
+    Tries k = 1..max_k and keeps the k >= 2 with the best silhouette,
+    but only if that silhouette clears ``min_silhouette`` — otherwise
+    the pool is treated as a single tight group (the common case in
+    Fig 3).  The threshold makes the splitter conservative: we only
+    partition a pool when the sub-groups are unambiguous, because every
+    extra group multiplies the experiment cost downstream.
+    """
+    array = np.asarray(points, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    single = KMeans(1, rng=rng).fit(array)
+    best = single
+    best_score = min_silhouette
+    for k in range(2, max_k + 1):
+        if array.shape[0] < k:
+            break
+        result = KMeans(k, rng=rng).fit(array)
+        if np.any(result.cluster_sizes() == 0):
+            continue
+        score = silhouette_score(array, result.labels)
+        if score > best_score:
+            best = result
+            best_score = score
+    return best

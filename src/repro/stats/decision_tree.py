@@ -1,0 +1,218 @@
+"""CART decision-tree classifier, built from scratch.
+
+§II-A2 trains "a decision tree with 5-fold cross validation with
+manually labeled pools using a minimum leaf size of 2000 machines",
+reporting a tree of 34 splits, R^2 = 0.746, and AUC = 0.9804 for the
+Yes/No prediction probability.  This module provides the classifier:
+binary splits on continuous features chosen by Gini impurity, with
+``min_leaf_size`` and ``max_depth`` stopping rules, probabilistic leaf
+predictions, split counting, and feature importances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """A node in the fitted tree.
+
+    Internal nodes carry (``feature``, ``threshold``) and two children;
+    leaves carry the positive-class probability and sample count.
+    """
+
+    probability: float
+    n_samples: int
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    impurity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def count_splits(self) -> int:
+        """Number of internal (split) nodes below and including this one."""
+        if self.is_leaf:
+            return 0
+        return 1 + self.left.count_splits() + self.right.count_splits()
+
+
+def _gini(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    p = labels.mean()
+    return float(2.0 * p * (1.0 - p))
+
+
+def _best_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    min_leaf_size: int,
+) -> Optional[Tuple[int, float, float]]:
+    """Find the (feature, threshold, gain) with maximal Gini gain.
+
+    Thresholds are midpoints between consecutive distinct sorted feature
+    values.  Returns ``None`` when no split satisfies ``min_leaf_size``
+    on both sides or no split reduces impurity.
+    """
+    n, n_features = features.shape
+    parent_impurity = _gini(labels)
+    best: Optional[Tuple[int, float, float]] = None
+    best_gain = 1e-12  # require strictly positive gain
+
+    for j in range(n_features):
+        order = np.argsort(features[:, j], kind="stable")
+        xs = features[order, j]
+        ys = labels[order]
+        # Prefix sums of positives let us score every cut in O(n).
+        positives = np.cumsum(ys)
+        total_pos = positives[-1]
+        for i in range(min_leaf_size, n - min_leaf_size + 1):
+            if i < 1 or i >= n:
+                continue
+            if xs[i - 1] == xs[i]:
+                continue  # cannot cut between equal values
+            left_n, right_n = i, n - i
+            left_pos = positives[i - 1]
+            right_pos = total_pos - left_pos
+            p_l = left_pos / left_n
+            p_r = right_pos / right_n
+            child_impurity = (
+                left_n / n * 2.0 * p_l * (1.0 - p_l)
+                + right_n / n * 2.0 * p_r * (1.0 - p_r)
+            )
+            gain = parent_impurity - child_impurity
+            if gain > best_gain:
+                best_gain = gain
+                threshold = 0.5 * (xs[i - 1] + xs[i])
+                best = (j, float(threshold), float(gain))
+    return best
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Binary CART classifier over continuous features.
+
+    Parameters mirror the paper's setup: ``min_leaf_size`` is the
+    minimum number of samples in each leaf (the paper used 2000
+    machines; our synthetic fleets use proportionally smaller values)
+    and ``max_depth`` bounds tree height.
+    """
+
+    min_leaf_size: int = 1
+    max_depth: int = 12
+    root: Optional[TreeNode] = field(default=None, repr=False)
+    n_features_: int = 0
+
+    def fit(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[int],
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree on ``features`` (n x d) and binary ``labels``."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if y.ndim != 1 or y.size != x.shape[0]:
+            raise ValueError("labels must be 1-D with one entry per row of features")
+        if not np.all((y == 0) | (y == 1)):
+            raise ValueError("labels must be binary (0/1)")
+        if self.min_leaf_size < 1:
+            raise ValueError("min_leaf_size must be >= 1")
+        self.n_features_ = x.shape[1]
+        self.root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        node = TreeNode(
+            probability=float(y.mean()) if y.size else 0.0,
+            n_samples=int(y.size),
+            impurity=_gini(y),
+        )
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_leaf_size
+            or node.impurity == 0.0
+        ):
+            return node
+        split = _best_split(x, y, self.min_leaf_size)
+        if split is None:
+            return node
+        feature, threshold, _gain = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _require_fitted(self) -> TreeNode:
+        if self.root is None:
+            raise RuntimeError("tree has not been fitted")
+        return self.root
+
+    def predict_proba(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Positive-class probability for each row of ``features``."""
+        root = self._require_fitted()
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {x.shape[1]}"
+            )
+        out = np.empty(x.shape[0], dtype=float)
+        for i, row in enumerate(x):
+            node = root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.probability
+        return out
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Hard 0/1 predictions at the 0.5 probability threshold."""
+        return (self.predict_proba(features) >= 0.5).astype(int)
+
+    def count_splits(self) -> int:
+        """Number of internal split nodes in the fitted tree."""
+        return self._require_fitted().count_splits()
+
+    def depth(self) -> int:
+        """Height of the fitted tree."""
+        return self._require_fitted().depth()
+
+    def feature_importances(self) -> np.ndarray:
+        """Impurity-weighted importance of each feature, normalised to 1."""
+        root = self._require_fitted()
+        importances = np.zeros(self.n_features_, dtype=float)
+
+        def visit(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            child_weighted = (
+                node.left.n_samples * node.left.impurity
+                + node.right.n_samples * node.right.impurity
+            )
+            decrease = node.n_samples * node.impurity - child_weighted
+            importances[node.feature] += max(decrease, 0.0)
+            visit(node.left)
+            visit(node.right)
+
+        visit(root)
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances

@@ -1,0 +1,150 @@
+"""Descriptive statistics: percentile profiles, CDFs and summaries.
+
+The paper works almost exclusively with percentile read-outs of noisy
+telemetry (5th/25th/50th/75th/95th CPU percentiles, 95th-percentile
+latency, CDFs of per-server utilization).  This module centralises those
+computations so every consumer uses the same conventions:
+
+* percentiles are computed with linear interpolation (numpy default);
+* the paper's "minimum" and "maximum" follow the industry practice of
+  using the 5th and 95th percentiles to suppress outliers (§II-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: The percentile grid used for server feature vectors in §II-A2.
+STANDARD_PERCENTILES: Tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Compact summary of a one-dimensional sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        """Return the summary as a plain dictionary (for report rendering)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p5": self.p5,
+            "p25": self.p25,
+            "p50": self.p50,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` for ``values``.
+
+    Raises ``ValueError`` on an empty sample — an empty summary is always
+    a caller bug in this library.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    p5, p25, p50, p75, p95 = np.percentile(array, STANDARD_PERCENTILES)
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=0)),
+        minimum=float(array.min()),
+        p5=float(p5),
+        p25=float(p25),
+        p50=float(p50),
+        p75=float(p75),
+        p95=float(p95),
+        maximum=float(array.max()),
+    )
+
+
+def percentile_profile(
+    values: Sequence[float],
+    percentiles: Sequence[float] = STANDARD_PERCENTILES,
+) -> np.ndarray:
+    """Return the requested percentiles of ``values`` as a float array.
+
+    This is the building block of the server feature vector in §II-A2:
+    the 5th/25th/50th/75th/95th CPU-utilization percentiles.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute percentiles of an empty sample")
+    return np.percentile(array, list(percentiles)).astype(float)
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """Empirical cumulative distribution function.
+
+    ``xs`` are sorted sample values and ``ps`` the cumulative fraction of
+    samples less than or equal to each value.  Used for the fleet-wide
+    utilization CDFs of Figs 12 and 13.
+    """
+
+    xs: np.ndarray
+    ps: np.ndarray
+
+    def fraction_at_or_below(self, x: float) -> float:
+        """Return P(X <= x) under the empirical distribution."""
+        if self.xs.size == 0:
+            raise ValueError("CDF built from empty sample")
+        idx = np.searchsorted(self.xs, x, side="right")
+        if idx == 0:
+            return 0.0
+        return float(self.ps[idx - 1])
+
+    def fraction_above(self, x: float) -> float:
+        """Return P(X > x) under the empirical distribution."""
+        return 1.0 - self.fraction_at_or_below(x)
+
+    def quantile(self, p: float) -> float:
+        """Return the smallest value x with P(X <= x) >= p."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {p}")
+        idx = np.searchsorted(self.ps, p, side="left")
+        idx = min(idx, self.xs.size - 1)
+        return float(self.xs[idx])
+
+
+def empirical_cdf(values: Sequence[float]) -> Cdf:
+    """Build the empirical CDF of ``values``."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    ps = np.arange(1, array.size + 1, dtype=float) / array.size
+    return Cdf(xs=array, ps=ps)
+
+
+def histogram_fractions(
+    values: Sequence[float],
+    bin_edges: Sequence[float],
+) -> np.ndarray:
+    """Return the fraction of samples falling in each histogram bin.
+
+    Used for Fig 13 (distribution of 120 s CPU samples) and Fig 14
+    (distribution of daily server availability).
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    counts, _ = np.histogram(array, bins=np.asarray(bin_edges, dtype=float))
+    return counts.astype(float) / array.size

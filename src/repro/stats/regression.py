@@ -1,0 +1,221 @@
+"""Ordinary least-squares linear and polynomial regression.
+
+The paper fits two families of curves from telemetry:
+
+* workload -> limiting resource (CPU): **linear**, e.g.
+  ``y = 0.028 * RPS + 1.37`` with ``R^2 = 0.984`` (Fig 8), and
+* workload -> QoS (95th-percentile latency): **quadratic**, e.g.
+  ``y = 4.028e-5 * RPS^2 - 0.031 * RPS + 36.68`` (Fig 9).
+
+Both are implemented here via numpy least squares, together with the
+goodness-of-fit (R^2) statistic the paper reports for every fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _validate_xy(x: Sequence[float], y: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.ndim != 1 or ys.ndim != 1:
+        raise ValueError("x and y must be one-dimensional")
+    if xs.size != ys.size:
+        raise ValueError(f"x and y must have equal length, got {xs.size} != {ys.size}")
+    return xs, ys
+
+
+def r_squared(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 1.0 for a perfect fit.  When the response is constant the
+    total sum of squares is zero; we follow the convention of returning
+    1.0 if the fit is also exact and 0.0 otherwise.
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted line ``y = slope * x + intercept``.
+
+    Mirrors the linear CPU-vs-workload models in §III-A, carrying the
+    sample count and R^2 the paper reports alongside each fit.
+    """
+
+    slope: float
+    intercept: float
+    r2: float
+    n: int
+    residual_std: float
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the line at ``x`` (scalar or array)."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    def predict_scalar(self, x: float) -> float:
+        """Evaluate the line at a single point, returning a float."""
+        return float(self.slope * x + self.intercept)
+
+    def describe(self) -> str:
+        """Render the fit the way the paper prints it."""
+        return (
+            f"y = {self.slope:.4g}*x + {self.intercept:.4g} "
+            f"(R^2 = {self.r2:.3f}, N = {self.n})"
+        )
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearModel:
+    """Least-squares fit of a straight line to (x, y)."""
+    xs, ys = _validate_xy(x, y)
+    if xs.size < 2:
+        raise ValueError("linear fit requires at least two points")
+    design = np.column_stack([xs, np.ones_like(xs)])
+    coeffs, *_ = np.linalg.lstsq(design, ys, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    pred = design @ coeffs
+    residuals = ys - pred
+    dof = max(xs.size - 2, 1)
+    return LinearModel(
+        slope=slope,
+        intercept=intercept,
+        r2=r_squared(ys, pred),
+        n=int(xs.size),
+        residual_std=float(np.sqrt(np.sum(residuals**2) / dof)),
+    )
+
+
+@dataclass(frozen=True)
+class PolynomialModel:
+    """A fitted polynomial ``y = c[0]*x^d + c[1]*x^(d-1) + ... + c[d]``.
+
+    Coefficients are in numpy ``polyval`` order (highest degree first).
+    The paper's latency fits are degree-2 instances of this class.
+    """
+
+    coefficients: Tuple[float, ...]
+    r2: float
+    n: int
+    residual_std: float
+    x_min: float = field(default=float("nan"))
+    x_max: float = field(default=float("nan"))
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the polynomial at ``x`` (scalar or array)."""
+        return np.polyval(np.asarray(self.coefficients, dtype=float), np.asarray(x, dtype=float))
+
+    def predict_scalar(self, x: float) -> float:
+        """Evaluate the polynomial at a single point, returning a float."""
+        return float(np.polyval(np.asarray(self.coefficients, dtype=float), x))
+
+    def is_extrapolating(self, x: float) -> bool:
+        """True when ``x`` lies outside the range the model was fitted on.
+
+        The paper stresses that forecasts are extrapolations whose trend
+        shape may shift (§III-A), so consumers surface this flag.
+        """
+        return bool(x < self.x_min or x > self.x_max)
+
+    def describe(self) -> str:
+        """Render the fit the way the paper prints it."""
+        terms = []
+        degree = self.degree
+        for i, c in enumerate(self.coefficients):
+            power = degree - i
+            if power > 1:
+                terms.append(f"{c:.4g}*x^{power}")
+            elif power == 1:
+                terms.append(f"{c:+.4g}*x")
+            else:
+                terms.append(f"{c:+.4g}")
+        return f"y = {' '.join(terms)} (R^2 = {self.r2:.3f}, N = {self.n})"
+
+
+@dataclass(frozen=True)
+class MultiLinearModel:
+    """A fitted hyperplane ``y = coeffs . x + intercept``.
+
+    Used when a workload must be decomposed into several request-class
+    metrics before the resource relationship becomes tight (§II-A1's
+    per-table split).
+    """
+
+    coefficients: Tuple[float, ...]
+    intercept: float
+    r2: float
+    n: int
+
+    def predict(self, x) -> np.ndarray:
+        array = np.asarray(x, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        return array @ np.asarray(self.coefficients) + self.intercept
+
+    def describe(self) -> str:
+        terms = " + ".join(
+            f"{c:.4g}*x{i}" for i, c in enumerate(self.coefficients)
+        )
+        return f"y = {terms} + {self.intercept:.4g} (R^2 = {self.r2:.3f}, N = {self.n})"
+
+
+def fit_multilinear(x: Sequence[Sequence[float]], y: Sequence[float]) -> MultiLinearModel:
+    """Least-squares fit of a hyperplane to (X, y)."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.ndim == 1:
+        xs = xs.reshape(-1, 1)
+    if xs.shape[0] != ys.size:
+        raise ValueError("X rows and y length must match")
+    if xs.shape[0] < xs.shape[1] + 1:
+        raise ValueError("not enough points for the number of features")
+    design = np.column_stack([xs, np.ones(xs.shape[0])])
+    coeffs, *_ = np.linalg.lstsq(design, ys, rcond=None)
+    pred = design @ coeffs
+    return MultiLinearModel(
+        coefficients=tuple(float(c) for c in coeffs[:-1]),
+        intercept=float(coeffs[-1]),
+        r2=r_squared(ys, pred),
+        n=int(ys.size),
+    )
+
+
+def fit_polynomial(
+    x: Sequence[float],
+    y: Sequence[float],
+    degree: int = 2,
+) -> PolynomialModel:
+    """Least-squares polynomial fit (default quadratic, as in Eq. 1)."""
+    xs, ys = _validate_xy(x, y)
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    if xs.size < degree + 1:
+        raise ValueError(
+            f"polynomial fit of degree {degree} requires at least {degree + 1} points, "
+            f"got {xs.size}"
+        )
+    coeffs = np.polyfit(xs, ys, degree)
+    pred = np.polyval(coeffs, xs)
+    residuals = ys - pred
+    dof = max(xs.size - (degree + 1), 1)
+    return PolynomialModel(
+        coefficients=tuple(float(c) for c in coeffs),
+        r2=r_squared(ys, pred),
+        n=int(xs.size),
+        residual_std=float(np.sqrt(np.sum(residuals**2) / dof)),
+        x_min=float(xs.min()),
+        x_max=float(xs.max()),
+    )

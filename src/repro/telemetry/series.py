@@ -1,0 +1,128 @@
+"""Time-series container used throughout the planner.
+
+A thin, explicit wrapper over two aligned numpy arrays (window indices
+and values) with the resampling / alignment / percentile operations the
+methodology needs.  Immutable by convention: operations return new
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.descriptive import percentile_profile
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """Values indexed by simulation window."""
+
+    windows: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        windows = np.asarray(self.windows, dtype=int)
+        values = np.asarray(self.values, dtype=float)
+        if windows.ndim != 1 or values.ndim != 1:
+            raise ValueError("windows and values must be one-dimensional")
+        if windows.size != values.size:
+            raise ValueError("windows and values must have equal length")
+        if windows.size > 1 and np.any(np.diff(windows) < 0):
+            order = np.argsort(windows, kind="stable")
+            windows = windows[order]
+            values = values[order]
+        object.__setattr__(self, "windows", windows)
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, float]]) -> "TimeSeries":
+        pairs = list(pairs)
+        if not pairs:
+            return cls(windows=np.array([], dtype=int), values=np.array([], dtype=float))
+        windows, values = zip(*pairs)
+        return cls(windows=np.asarray(windows, dtype=int), values=np.asarray(values, dtype=float))
+
+    def __len__(self) -> int:
+        return int(self.windows.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.windows.size == 0
+
+    def slice_windows(self, start: int, stop: int) -> "TimeSeries":
+        """Restrict to windows in [start, stop)."""
+        mask = (self.windows >= start) & (self.windows < stop)
+        return TimeSeries(self.windows[mask], self.values[mask])
+
+    def where(self, predicate: Callable[[np.ndarray], np.ndarray]) -> "TimeSeries":
+        """Filter by a vectorised predicate over values."""
+        mask = predicate(self.values)
+        return TimeSeries(self.windows[mask], self.values[mask])
+
+    def mean(self) -> float:
+        if self.is_empty:
+            raise ValueError("mean of empty series")
+        return float(self.values.mean())
+
+    def percentile(self, p: float) -> float:
+        if self.is_empty:
+            raise ValueError("percentile of empty series")
+        return float(np.percentile(self.values, p))
+
+    def percentiles(self, ps: Sequence[float]) -> np.ndarray:
+        if self.is_empty:
+            raise ValueError("percentiles of empty series")
+        return percentile_profile(self.values, ps)
+
+    def align_with(self, other: "TimeSeries") -> Tuple[np.ndarray, np.ndarray]:
+        """Return values from both series on their common windows.
+
+        The methodology constantly pairs a workload series with a
+        resource or QoS series sampled on the same windows; alignment by
+        window index is the join that makes those scatter plots valid.
+        """
+        common, idx_self, idx_other = np.intersect1d(
+            self.windows, other.windows, return_indices=True
+        )
+        del common
+        return self.values[idx_self], other.values[idx_other]
+
+    def resample(self, factor: int, reducer: str = "mean") -> "TimeSeries":
+        """Aggregate consecutive groups of ``factor`` windows.
+
+        ``reducer`` is one of ``"mean"``, ``"max"``, ``"min"``, ``"sum"``.
+        Windows are grouped by ``window // factor``; the resampled series
+        is indexed by group number.
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if self.is_empty:
+            return self
+        reducers = {
+            "mean": np.mean,
+            "max": np.max,
+            "min": np.min,
+            "sum": np.sum,
+        }
+        if reducer not in reducers:
+            raise ValueError(f"unknown reducer {reducer!r}")
+        fn = reducers[reducer]
+        groups = self.windows // factor
+        unique_groups = np.unique(groups)
+        out_values = np.array(
+            [fn(self.values[groups == g]) for g in unique_groups], dtype=float
+        )
+        return TimeSeries(unique_groups, out_values)
+
+    def diff_fraction(self) -> "TimeSeries":
+        """Window-over-window fractional change; used for surge detection."""
+        if len(self) < 2:
+            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        prev = self.values[:-1]
+        nxt = self.values[1:]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(prev != 0, (nxt - prev) / prev, 0.0)
+        return TimeSeries(self.windows[1:], frac)

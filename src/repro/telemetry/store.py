@@ -1,0 +1,302 @@
+"""In-memory metric store.
+
+The paper's pipeline ingests ~3 GB/s of counters into a trace store and
+answers pool/datacenter/time-scoped aggregate queries over 90 days of
+history.  This module provides the equivalent for the simulator:
+samples are appended during simulation and queried by the planner as
+(server, pool, datacenter, counter, window-range) slices.
+
+Storage is columnar (parallel lists converted lazily to numpy arrays)
+so long simulations stay cheap, and an index by (pool, counter) keeps
+the common queries O(matching samples).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.telemetry.counters import CounterSample
+from repro.telemetry.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class MetricKey:
+    """Identity of a stored series: one counter on one server."""
+
+    server_id: str
+    pool_id: str
+    datacenter_id: str
+    counter: str
+
+
+class _Column:
+    """Append-optimised column of (window, value) pairs."""
+
+    __slots__ = ("windows", "values", "_frozen_windows", "_frozen_values")
+
+    def __init__(self) -> None:
+        self.windows: List[int] = []
+        self.values: List[float] = []
+        self._frozen_windows: Optional[np.ndarray] = None
+        self._frozen_values: Optional[np.ndarray] = None
+
+    def append(self, window: int, value: float) -> None:
+        self.windows.append(window)
+        self.values.append(value)
+        self._frozen_windows = None
+        self._frozen_values = None
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._frozen_windows is None:
+            self._frozen_windows = np.asarray(self.windows, dtype=int)
+            self._frozen_values = np.asarray(self.values, dtype=float)
+        return self._frozen_windows, self._frozen_values
+
+
+class MetricStore:
+    """Columnar store of counter samples with pool/DC-scoped queries."""
+
+    def __init__(self) -> None:
+        self._columns: Dict[MetricKey, _Column] = {}
+        self._by_pool_counter: Dict[Tuple[str, str], List[MetricKey]] = defaultdict(list)
+        self._pools: Set[str] = set()
+        self._datacenters: Set[str] = set()
+        self._max_window: int = -1
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def record(self, sample: CounterSample) -> None:
+        """Append one counter sample."""
+        key = MetricKey(
+            server_id=sample.server_id,
+            pool_id=sample.pool_id,
+            datacenter_id=sample.datacenter_id,
+            counter=sample.counter,
+        )
+        column = self._columns.get(key)
+        if column is None:
+            column = _Column()
+            self._columns[key] = column
+            self._by_pool_counter[(key.pool_id, key.counter)].append(key)
+            self._pools.add(key.pool_id)
+            self._datacenters.add(key.datacenter_id)
+        column.append(sample.window_index, sample.value)
+        if sample.window_index > self._max_window:
+            self._max_window = sample.window_index
+
+    def record_many(self, samples: Iterable[CounterSample]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    def record_fast(
+        self,
+        window: int,
+        server_id: str,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        value: float,
+    ) -> None:
+        """Append one sample without constructing a CounterSample.
+
+        The simulator's hot path: identical semantics to :meth:`record`.
+        """
+        key = MetricKey(
+            server_id=server_id,
+            pool_id=pool_id,
+            datacenter_id=datacenter_id,
+            counter=counter,
+        )
+        column = self._columns.get(key)
+        if column is None:
+            column = _Column()
+            self._columns[key] = column
+            self._by_pool_counter[(pool_id, counter)].append(key)
+            self._pools.add(pool_id)
+            self._datacenters.add(datacenter_id)
+        column.append(window, value)
+        if window > self._max_window:
+            self._max_window = window
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pools(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._pools))
+
+    @property
+    def datacenters(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._datacenters))
+
+    @property
+    def max_window(self) -> int:
+        """Largest window index seen; -1 when empty."""
+        return self._max_window
+
+    def counters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        names = {
+            counter
+            for (pool, counter) in self._by_pool_counter
+            if pool == pool_id
+        }
+        return tuple(sorted(names))
+
+    def servers_in_pool(
+        self,
+        pool_id: str,
+        datacenter_id: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        servers: Set[str] = set()
+        for (pool, _counter), keys in self._by_pool_counter.items():
+            if pool != pool_id:
+                continue
+            for key in keys:
+                if datacenter_id is None or key.datacenter_id == datacenter_id:
+                    servers.add(key.server_id)
+        return tuple(sorted(servers))
+
+    def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        dcs: Set[str] = set()
+        for (pool, _counter), keys in self._by_pool_counter.items():
+            if pool != pool_id:
+                continue
+            for key in keys:
+                dcs.add(key.datacenter_id)
+        return tuple(sorted(dcs))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _matching_keys(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str],
+        server_id: Optional[str],
+    ) -> List[MetricKey]:
+        keys = self._by_pool_counter.get((pool_id, counter), [])
+        out = []
+        for key in keys:
+            if datacenter_id is not None and key.datacenter_id != datacenter_id:
+                continue
+            if server_id is not None and key.server_id != server_id:
+                continue
+            out.append(key)
+        return out
+
+    def server_series(
+        self,
+        pool_id: str,
+        counter: str,
+        server_id: str,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> TimeSeries:
+        """Series of one counter on one server, optionally window-sliced."""
+        keys = self._matching_keys(pool_id, counter, None, server_id)
+        if not keys:
+            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        windows, values = self._columns[keys[0]].arrays()
+        series = TimeSeries(windows, values)
+        if start is not None or stop is not None:
+            series = series.slice_windows(
+                start if start is not None else 0,
+                stop if stop is not None else self._max_window + 1,
+            )
+        return series
+
+    def pool_window_aggregate(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        reducer: str = "mean",
+    ) -> TimeSeries:
+        """Per-window aggregate across a pool's servers.
+
+        ``reducer``: ``"mean"`` (default), ``"sum"``, ``"max"``,
+        ``"count"``.  The planner's workhorse — e.g. average RPS/server
+        or summed pool workload per window.
+        """
+        keys = self._matching_keys(pool_id, counter, datacenter_id, None)
+        if not keys:
+            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        lo = start if start is not None else 0
+        hi = stop if stop is not None else self._max_window + 1
+
+        sums: Dict[int, float] = defaultdict(float)
+        counts: Dict[int, int] = defaultdict(int)
+        maxima: Dict[int, float] = {}
+        for key in keys:
+            windows, values = self._columns[key].arrays()
+            mask = (windows >= lo) & (windows < hi)
+            for w, v in zip(windows[mask], values[mask]):
+                w = int(w)
+                sums[w] += float(v)
+                counts[w] += 1
+                if w not in maxima or v > maxima[w]:
+                    maxima[w] = float(v)
+        if not counts:
+            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        ordered = sorted(counts)
+        if reducer == "mean":
+            values_out = [sums[w] / counts[w] for w in ordered]
+        elif reducer == "sum":
+            values_out = [sums[w] for w in ordered]
+        elif reducer == "max":
+            values_out = [maxima[w] for w in ordered]
+        elif reducer == "count":
+            values_out = [float(counts[w]) for w in ordered]
+        else:
+            raise ValueError(f"unknown reducer {reducer!r}")
+        return TimeSeries(np.asarray(ordered, dtype=int), np.asarray(values_out, dtype=float))
+
+    def per_server_values(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """All window values per server (for percentile feature vectors)."""
+        keys = self._matching_keys(pool_id, counter, datacenter_id, None)
+        out: Dict[str, np.ndarray] = {}
+        lo = start if start is not None else 0
+        hi = stop if stop is not None else self._max_window + 1
+        for key in keys:
+            windows, values = self._columns[key].arrays()
+            mask = (windows >= lo) & (windows < hi)
+            out[key.server_id] = values[mask]
+        return out
+
+    def all_values(
+        self,
+        counter: str,
+        pool_ids: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Every stored value of ``counter``, optionally pool-filtered.
+
+        Powers the fleet-wide distribution studies (Figs 12-14).
+        """
+        pools = list(pool_ids) if pool_ids is not None else list(self._pools)
+        chunks: List[np.ndarray] = []
+        for pool in pools:
+            for key in self._by_pool_counter.get((pool, counter), []):
+                _windows, values = self._columns[key].arrays()
+                chunks.append(values)
+        if not chunks:
+            return np.array([], dtype=float)
+        return np.concatenate(chunks)
+
+    def sample_count(self) -> int:
+        """Total number of stored samples."""
+        return sum(len(col.windows) for col in self._columns.values())

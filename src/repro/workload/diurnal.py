@@ -1,0 +1,119 @@
+"""Diurnal and weekly demand patterns.
+
+"Diurnal global online service workloads cause individual datacenters
+to periodically run out of capacity while datacenters on the opposite
+side of the world are underutilized" (§I).  The generator encodes:
+
+* a 24-hour fundamental plus a second harmonic (real service traffic
+  has an asymmetric daily shape — a slow morning ramp and a sharper
+  evening peak — which a single sinusoid cannot express);
+* a weekly modulation (weekend dips);
+* a per-region phase shift derived from the datacenter's timezone, so
+  peaks rotate around the globe;
+* optional long-term linear growth, the trend capacity planners
+  forecast against.
+
+Time is measured in 120-second telemetry windows throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.counters import WINDOW_SECONDS
+
+#: Number of telemetry windows in one day (720 at 120 s windows).
+WINDOWS_PER_DAY: int = (24 * 3600) // WINDOW_SECONDS
+
+#: Number of telemetry windows in one week.
+WINDOWS_PER_WEEK: int = 7 * WINDOWS_PER_DAY
+
+
+@dataclass(frozen=True)
+class DiurnalPattern:
+    """Deterministic demand shape for one pool in one datacenter.
+
+    Parameters
+    ----------
+    base_rps:
+        Mean total pool demand in requests/second.
+    daily_amplitude:
+        Fractional swing of the 24-h fundamental (0.5 means the daily
+        peak is ~1.5x and the trough ~0.5x the base).
+    second_harmonic:
+        Fractional amplitude of the 12-h harmonic shaping asymmetry.
+    timezone_offset_hours:
+        Region's offset from UTC; shifts the local peak so that a
+        global fleet sees rotating peaks.
+    weekend_factor:
+        Multiplier applied on days 5 and 6 of each week.
+    weekly_growth:
+        Fractional demand growth per week (compounding linearly).
+    peak_hour_local:
+        Local hour of day at which the fundamental peaks.
+    """
+
+    base_rps: float
+    daily_amplitude: float = 0.45
+    second_harmonic: float = 0.12
+    timezone_offset_hours: float = 0.0
+    weekend_factor: float = 0.8
+    weekly_growth: float = 0.0
+    peak_hour_local: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.base_rps <= 0:
+            raise ValueError("base_rps must be positive")
+        if not 0.0 <= self.daily_amplitude < 1.0:
+            raise ValueError("daily_amplitude must be in [0, 1)")
+        if self.weekend_factor <= 0:
+            raise ValueError("weekend_factor must be positive")
+
+    def demand_at(self, window: int) -> float:
+        """Total pool demand (RPS) at a given telemetry window."""
+        day_fraction = (window % WINDOWS_PER_DAY) / WINDOWS_PER_DAY
+        local_hour = (day_fraction * 24.0 + self.timezone_offset_hours) % 24.0
+        phase = 2.0 * math.pi * (local_hour - self.peak_hour_local) / 24.0
+        shape = (
+            1.0
+            + self.daily_amplitude * math.cos(phase)
+            + self.second_harmonic * math.cos(2.0 * phase + 0.7)
+        )
+        day_of_week = (window // WINDOWS_PER_DAY) % 7
+        if day_of_week >= 5:
+            shape *= self.weekend_factor
+        week = window / WINDOWS_PER_WEEK
+        growth = 1.0 + self.weekly_growth * week
+        return max(self.base_rps * shape * growth, 0.0)
+
+    def demand_series(self, n_windows: int, start_window: int = 0) -> np.ndarray:
+        """Vector of demand over ``n_windows`` consecutive windows."""
+        if n_windows < 0:
+            raise ValueError("n_windows must be non-negative")
+        return np.array(
+            [self.demand_at(w) for w in range(start_window, start_window + n_windows)],
+            dtype=float,
+        )
+
+    def daily_peak(self) -> float:
+        """Peak demand over one (weekday) day, by direct evaluation."""
+        return float(self.demand_series(WINDOWS_PER_DAY).max())
+
+    def daily_trough(self) -> float:
+        """Trough demand over one (weekday) day."""
+        return float(self.demand_series(WINDOWS_PER_DAY).min())
+
+    def with_base(self, base_rps: float) -> "DiurnalPattern":
+        """Copy of this pattern with a different base demand."""
+        return DiurnalPattern(
+            base_rps=base_rps,
+            daily_amplitude=self.daily_amplitude,
+            second_harmonic=self.second_harmonic,
+            timezone_offset_hours=self.timezone_offset_hours,
+            weekend_factor=self.weekend_factor,
+            weekly_growth=self.weekly_growth,
+            peak_hour_local=self.peak_hour_local,
+        )

@@ -1,0 +1,240 @@
+"""Step 3 — synthetic workload modelling.
+
+"We create a synthetic workload to drive an offline system with the
+same response characteristics as a production workload" (§II-C).  The
+synthetic model must reproduce (a) the volume distribution and (b) the
+request-class diversity of production, because QoS and resource usage
+are proportional to request diversity.  Fidelity is then *verified*:
+for the same volume of synthetic workload we must see the same QoS and
+resource-usage values as production before the workload is trusted for
+offline regression analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.workload.traces import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class RampPlan:
+    """A stress-test schedule: increasing load levels held for a time.
+
+    §II-D: "We make small workload increments over time to obtain a
+    broad set of data for latency and resource utilization."
+    """
+
+    levels: Tuple[float, ...]
+    windows_per_level: int
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("ramp needs at least one level")
+        if any(level < 0 for level in self.levels):
+            raise ValueError("ramp levels must be non-negative")
+        if self.windows_per_level < 1:
+            raise ValueError("windows_per_level must be >= 1")
+
+    @classmethod
+    def linear(
+        cls,
+        start_rps: float,
+        stop_rps: float,
+        n_levels: int,
+        windows_per_level: int = 5,
+    ) -> "RampPlan":
+        """Evenly spaced levels from start to stop inclusive."""
+        if n_levels < 2:
+            raise ValueError("need at least two levels")
+        levels = tuple(np.linspace(start_rps, stop_rps, n_levels))
+        return cls(levels=levels, windows_per_level=windows_per_level)
+
+    @property
+    def total_windows(self) -> int:
+        return len(self.levels) * self.windows_per_level
+
+    def level_at(self, step: int) -> float:
+        """Offered load at ramp step ``step`` (0-based window offset)."""
+        if not 0 <= step < self.total_windows:
+            raise IndexError(f"step {step} outside ramp")
+        return self.levels[step // self.windows_per_level]
+
+
+class SyntheticWorkloadModel:
+    """Fits production trace statistics and replays reproducible traces.
+
+    The model captures per-class volume shares (mean and spread) and the
+    total-volume distribution.  ``generate`` draws a reproducible trace
+    from the fitted distributions; ``generate_ramp`` produces the
+    stress-test schedule used by offline validation (Step 4).
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._class_names: Tuple[str, ...] = ()
+        self._mean_shares: Optional[np.ndarray] = None
+        self._share_std: Optional[np.ndarray] = None
+        self._volume_mean: float = 0.0
+        self._volume_std: float = 0.0
+        self._volume_range: Tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def class_names(self) -> Tuple[str, ...]:
+        return self._class_names
+
+    @property
+    def volume_range(self) -> Tuple[float, float]:
+        return self._volume_range
+
+    def fit(self, production: WorkloadTrace) -> "SyntheticWorkloadModel":
+        """Learn volume and mix statistics from a production trace."""
+        if len(production) == 0:
+            raise ValueError("cannot fit on an empty trace")
+        totals = production.totals
+        self._class_names = production.class_names
+        shares = np.zeros((len(production), len(self._class_names)), dtype=float)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        for j, name in enumerate(self._class_names):
+            shares[:, j] = production.class_volumes[name] / safe_totals
+        self._mean_shares = shares.mean(axis=0)
+        self._share_std = shares.std(axis=0)
+        self._volume_mean = float(totals.mean())
+        self._volume_std = float(totals.std())
+        self._volume_range = (float(totals.min()), float(totals.max()))
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("synthetic workload model has not been fitted")
+
+    def _split(self, totals: np.ndarray, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        assert self._mean_shares is not None and self._share_std is not None
+        n = totals.size
+        volumes: Dict[str, np.ndarray] = {}
+        shares = rng.normal(
+            loc=self._mean_shares,
+            scale=np.maximum(self._share_std, 1e-9),
+            size=(n, self._mean_shares.size),
+        )
+        shares = np.clip(shares, 1e-9, None)
+        shares /= shares.sum(axis=1, keepdims=True)
+        for j, name in enumerate(self._class_names):
+            volumes[name] = totals * shares[:, j]
+        return volumes
+
+    def generate(
+        self,
+        n_windows: int,
+        rng: np.random.Generator,
+        start_window: int = 0,
+    ) -> WorkloadTrace:
+        """Draw a synthetic trace matching the fitted distributions."""
+        self._require_fitted()
+        if n_windows < 0:
+            raise ValueError("n_windows must be non-negative")
+        totals = rng.normal(self._volume_mean, max(self._volume_std, 1e-9), size=n_windows)
+        totals = np.clip(totals, 0.0, None)
+        return WorkloadTrace(
+            start_window=start_window,
+            totals=totals,
+            class_volumes=self._split(totals, rng),
+        )
+
+    def generate_ramp(
+        self,
+        ramp: RampPlan,
+        rng: np.random.Generator,
+        start_window: int = 0,
+        noise: float = 0.01,
+    ) -> WorkloadTrace:
+        """Stress-test trace: the ramp levels with fitted request mix.
+
+        Identical (seeded) ramps drive the baseline and changed pools in
+        Step 4, so curve differences are attributable to the change.
+        """
+        self._require_fitted()
+        totals = np.array(
+            [ramp.level_at(step) for step in range(ramp.total_windows)], dtype=float
+        )
+        if noise > 0:
+            totals = totals * rng.normal(1.0, noise, size=totals.size)
+            totals = np.clip(totals, 0.0, None)
+        return WorkloadTrace(
+            start_window=start_window,
+            totals=totals,
+            class_volumes=self._split(totals, rng),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadFidelityReport:
+    """Comparison of a synthetic trace against its production source.
+
+    Step 3 requires "for the same volume of synthetic workload we see
+    the same QoS and resource usage values"; the first-order check is
+    that the *workload itself* matches in volume and mix.  Response
+    fidelity (CPU/latency curves) is checked by
+    :mod:`repro.core.regression_analysis` using simulator runs.
+    """
+
+    volume_mean_error: float
+    volume_std_error: float
+    max_share_error: float
+    passed: bool
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"synthetic-workload fidelity: {status} "
+            f"(volume mean err {self.volume_mean_error:.1%}, "
+            f"std err {self.volume_std_error:.1%}, "
+            f"worst class-share err {self.max_share_error:.3f})"
+        )
+
+
+def compare_traces(
+    production: WorkloadTrace,
+    synthetic: WorkloadTrace,
+    volume_tolerance: float = 0.1,
+    share_tolerance: float = 0.05,
+) -> WorkloadFidelityReport:
+    """Score a synthetic trace against production statistics."""
+    if len(production) == 0 or len(synthetic) == 0:
+        raise ValueError("cannot compare empty traces")
+    if set(production.class_names) != set(synthetic.class_names):
+        raise ValueError("traces have different request classes")
+    prod_mean = float(production.totals.mean())
+    syn_mean = float(synthetic.totals.mean())
+    prod_std = float(production.totals.std())
+    syn_std = float(synthetic.totals.std())
+    mean_err = abs(syn_mean - prod_mean) / max(prod_mean, 1e-9)
+    std_err = abs(syn_std - prod_std) / max(prod_std, 1e-9)
+
+    max_share_err = 0.0
+    prod_totals = np.where(production.totals > 0, production.totals, 1.0)
+    syn_totals = np.where(synthetic.totals > 0, synthetic.totals, 1.0)
+    for name in production.class_names:
+        prod_share = float((production.class_volumes[name] / prod_totals).mean())
+        syn_share = float((synthetic.class_volumes[name] / syn_totals).mean())
+        max_share_err = max(max_share_err, abs(prod_share - syn_share))
+
+    passed = (
+        mean_err <= volume_tolerance
+        and std_err <= max(volume_tolerance * 2, 0.25)
+        and max_share_err <= share_tolerance
+    )
+    return WorkloadFidelityReport(
+        volume_mean_error=mean_err,
+        volume_std_error=std_err,
+        max_share_error=max_share_err,
+        passed=passed,
+    )

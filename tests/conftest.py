@@ -1,0 +1,98 @@
+"""Shared fixtures: pre-simulated metric stores.
+
+Simulation is the expensive part of most tests, so a few canonical
+stores are built once per session and shared read-only.  Tests that
+mutate simulators build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import (
+    PAPER_DATACENTERS,
+    build_paper_fleet,
+    build_single_pool_fleet,
+)
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.telemetry.counters import Counter
+
+#: Counter set including the per-class workload splits (pool A needs them).
+FULL_COUNTERS = (
+    Counter.REQUESTS.value,
+    Counter.PROCESSOR_UTILIZATION.value,
+    Counter.LATENCY_P95.value,
+    Counter.AVAILABILITY.value,
+    Counter.NETWORK_BYTES_TOTAL.value,
+    Counter.MEMORY_WORKING_SET.value,
+    "Requests/sec[table_user]",
+    "Requests/sec[table_index]",
+)
+
+
+@pytest.fixture(scope="session")
+def pool_b_sim():
+    """One pool (B), one DC, 30 servers, 2 days, no downtime policies."""
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=30, seed=11
+    )
+    sim = Simulator(
+        fleet,
+        seed=11,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    sim.run(1440)
+    return sim
+
+
+@pytest.fixture(scope="session")
+def pool_b_store(pool_b_sim):
+    return pool_b_sim.store
+
+
+@pytest.fixture(scope="session")
+def multi_dc_sim():
+    """Pool D across 4 DCs, 16 servers each, 2 days (for DR planning)."""
+    fleet = build_single_pool_fleet(
+        "D", n_datacenters=4, servers_per_deployment=16, seed=13
+    )
+    sim = Simulator(
+        fleet,
+        seed=13,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    sim.run(1440)
+    return sim
+
+
+@pytest.fixture(scope="session")
+def fleet_sim():
+    """Small paper fleet: all 7 pools, all 9 DCs, availability policies on.
+
+    Nine datacenters matter: the disaster-recovery headroom for losing
+    one DC is ~1/8 of demand, as in the paper's fleet, instead of the
+    ~1/2 a three-DC toy would impose.
+    """
+    fleet = build_paper_fleet(
+        servers_per_deployment=6,
+        datacenters=PAPER_DATACENTERS,
+        seed=17,
+    )
+    sim = Simulator(
+        fleet,
+        seed=17,
+        config=SimulationConfig(counters=FULL_COUNTERS),
+    )
+    sim.run(1440)  # two days
+    return sim
+
+
+@pytest.fixture(scope="session")
+def fleet_store(fleet_sim):
+    return fleet_sim.store
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,62 @@
+"""Unit tests for the savings summary rendering and paper references."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.savings import (
+    PAPER_AGGREGATE,
+    PAPER_TABLE_IV,
+    SavingsRow,
+    SavingsSummary,
+)
+
+
+def _summary():
+    rows = (
+        SavingsRow("B", 0.30, 2.0, 0.25, 0.55),
+        SavingsRow("G", 0.05, 1.0, 0.00, 0.05),
+    )
+    return SavingsSummary(rows=rows)
+
+
+class TestPaperReference:
+    def test_table_values_match_paper(self):
+        assert PAPER_TABLE_IV["B"] == (0.33, 2.0, 0.27, 0.60)
+        assert PAPER_TABLE_IV["G"] == (0.05, 1.0, 0.00, 0.05)
+        assert PAPER_AGGREGATE == (0.20, 5.0, 0.10, 0.30)
+
+    def test_row_paper_lookup(self):
+        row = SavingsRow("B", 0.3, 2.0, 0.25, 0.55)
+        assert row.paper_values == PAPER_TABLE_IV["B"]
+
+    def test_unknown_pool_paper_values_nan(self):
+        row = SavingsRow("Z", 0.1, 1.0, 0.0, 0.1)
+        assert all(np.isnan(v) for v in row.paper_values)
+
+
+class TestSummary:
+    def test_means(self):
+        summary = _summary()
+        assert summary.mean_efficiency == pytest.approx(0.175)
+        assert summary.mean_online == pytest.approx(0.125)
+        assert summary.mean_total == pytest.approx(0.30)
+        assert summary.mean_latency_impact_ms == pytest.approx(1.5)
+
+    def test_row_for(self):
+        summary = _summary()
+        assert summary.row_for("G").efficiency_savings == 0.05
+        with pytest.raises(KeyError):
+            summary.row_for("nope")
+
+    def test_render_comparison_includes_unknown_pools(self):
+        rows = (SavingsRow("Z", 0.1, 1.0, 0.0, 0.1),)
+        text = SavingsSummary(rows=rows).render_comparison()
+        assert "Z" in text
+        assert "-" in text  # dashes for missing paper values
+
+    def test_render_comparison_layout(self):
+        text = _summary().render_comparison()
+        lines = text.splitlines()
+        assert lines[0].startswith("Table IV")
+        # header + rule + 2 pools + mean
+        assert len(lines) == 6

@@ -1,0 +1,63 @@
+"""Tests for fleet-wide utilization analysis (Figs 12-13)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import study_fleet_utilization
+from repro.telemetry.store import MetricStore
+
+
+@pytest.fixture(scope="module")
+def study(fleet_store):
+    return study_fleet_utilization(fleet_store)
+
+
+class TestHeadlineNumbers:
+    def test_global_mean_low(self, study):
+        # Paper: 23 % average.  Our fleet is provisioned similarly cold;
+        # the exact value depends on catalogue provisioning targets.
+        assert 5.0 < study.global_mean_utilization < 35.0
+
+    def test_efficiency_factor(self, study):
+        factor = study.theoretical_efficiency_factor
+        assert factor == pytest.approx(100.0 / study.global_mean_utilization)
+        assert factor > 2.5
+
+    def test_majority_of_servers_below_30pct(self, study):
+        # Paper: 80 % of servers use less than 30 % CPU.
+        assert study.fraction_of_servers_below(30.0) > 0.6
+
+    def test_high_cpu_samples_rare(self, study):
+        # Paper Fig 13: few samples above 40 %.
+        assert study.fraction_of_samples_above(40.0) < 0.05
+
+    def test_spikes_are_minority(self, study):
+        assert study.fraction_of_servers_spiking_above(40.0) < 0.6
+
+
+class TestFigureSeries:
+    def test_cdf_monotone(self, study):
+        cdf = study.p95_cdf()
+        assert np.all(np.diff(cdf.ps) >= 0)
+        assert cdf.ps[-1] == pytest.approx(1.0)
+
+    def test_histogram_fractions_sum(self, study):
+        _edges, fractions = study.sample_histogram()
+        assert fractions.sum() == pytest.approx(1.0, abs=0.01)
+
+    def test_histogram_mass_at_low_cpu(self, study):
+        edges, fractions = study.sample_histogram(bin_width_pct=5.0)
+        low_mass = fractions[: 6].sum()  # below 30 %
+        assert low_mass > 0.6
+        del edges
+
+
+class TestGuards:
+    def test_empty_store_rejected(self):
+        with pytest.raises(ValueError):
+            study_fleet_utilization(MetricStore())
+
+    def test_pool_filter(self, fleet_store):
+        only_b = study_fleet_utilization(fleet_store, pool_ids=["B"])
+        everything = study_fleet_utilization(fleet_store)
+        assert only_b.all_samples.size < everything.all_samples.size

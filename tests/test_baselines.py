@@ -1,0 +1,165 @@
+"""Unit tests for the baseline planners."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoscaler import ReactiveAutoscaler
+from repro.baselines.queuing import (
+    MMcPlanner,
+    erlang_c_wait_probability,
+    mmc_mean_wait_seconds,
+)
+from repro.baselines.static_peak import StaticPeakPlanner
+from repro.workload.diurnal import DiurnalPattern, WINDOWS_PER_DAY
+
+
+class TestErlangC:
+    def test_single_server_matches_mm1(self):
+        # For c = 1 Erlang-C reduces to rho.
+        assert erlang_c_wait_probability(0.5, 1.0, 1) == pytest.approx(0.5)
+
+    def test_unstable_system_certain_wait(self):
+        assert erlang_c_wait_probability(10.0, 1.0, 5) == 1.0
+
+    def test_more_servers_less_waiting(self):
+        p10 = erlang_c_wait_probability(8.0, 1.0, 10)
+        p20 = erlang_c_wait_probability(8.0, 1.0, 20)
+        assert p20 < p10
+
+    def test_mm1_mean_wait_formula(self):
+        # M/M/1: Wq = rho / (mu - lambda).
+        lam, mu = 0.5, 1.0
+        expected = 0.5 / (1.0 - 0.5)
+        assert mmc_mean_wait_seconds(lam, mu, 1) == pytest.approx(expected)
+
+    def test_unstable_wait_infinite(self):
+        assert math.isinf(mmc_mean_wait_seconds(2.0, 1.0, 1))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c_wait_probability(-1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            erlang_c_wait_probability(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            erlang_c_wait_probability(1.0, 1.0, 0)
+
+
+class TestMMcPlanner:
+    def test_required_servers_scale_with_demand(self):
+        planner = MMcPlanner(service_time_s=0.03, target_latency_s=0.05)
+        low = planner.required_servers(1_000.0)
+        high = planner.required_servers(10_000.0)
+        assert high > low
+
+    def test_zero_demand_one_server(self):
+        planner = MMcPlanner(service_time_s=0.03, target_latency_s=0.05)
+        assert planner.required_servers(0.0) == 1
+
+    def test_plan_is_stable_and_meets_target(self):
+        planner = MMcPlanner(
+            service_time_s=0.03, target_latency_s=0.05, requests_per_server_slot=16
+        )
+        demand = 5_000.0
+        servers = planner.required_servers(demand)
+        slots = servers * 16
+        mu = 1.0 / 0.03
+        assert slots * mu > demand  # stable
+        wait = mmc_mean_wait_seconds(demand, mu, slots)
+        assert wait + 0.03 <= 0.05 + 1e-9
+
+    def test_target_below_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            MMcPlanner(service_time_s=0.05, target_latency_s=0.04)
+
+    def test_stale_service_time_underprovisions(self):
+        # The paper's critique: a deployment makes requests 40 % more
+        # expensive; the un-re-measured model now underprovisions.
+        stale = MMcPlanner(service_time_s=0.03, target_latency_s=0.06)
+        fresh = stale.with_service_time(0.03 * 1.4)
+        demand = 8_000.0
+        assert fresh.required_servers(demand) > stale.required_servers(demand)
+
+
+class TestReactiveAutoscaler:
+    def _diurnal_demand(self, days=2):
+        pattern = DiurnalPattern(base_rps=5_000.0, daily_amplitude=0.5)
+        return pattern.demand_series(days * WINDOWS_PER_DAY)
+
+    def test_tracks_demand(self):
+        scaler = ReactiveAutoscaler(
+            target_rps_per_server=300.0,
+            max_rps_per_server=500.0,
+            provisioning_lag_windows=0,
+            max_step_servers=100,
+        )
+        outcome = scaler.replay(self._diurnal_demand())
+        assert outcome.overload_fraction < 0.02
+        # Allocation follows the diurnal swing.
+        assert outcome.allocation.max() > outcome.allocation.min() * 1.3
+
+    def test_lag_causes_slo_misses(self):
+        fast = ReactiveAutoscaler(
+            target_rps_per_server=300.0, max_rps_per_server=330.0,
+            provisioning_lag_windows=0, max_step_servers=2,
+        )
+        slow = ReactiveAutoscaler(
+            target_rps_per_server=300.0, max_rps_per_server=330.0,
+            provisioning_lag_windows=30, max_step_servers=2,
+        )
+        demand = self._diurnal_demand()
+        assert (
+            slow.replay(demand).overload_fraction
+            >= fast.replay(demand).overload_fraction
+        )
+
+    def test_pool_limit_respected(self):
+        scaler = ReactiveAutoscaler(
+            target_rps_per_server=10.0, max_rps_per_server=20.0,
+            pool_limit_servers=5, max_step_servers=100,
+        )
+        outcome = scaler.replay(np.full(50, 10_000.0))
+        assert outcome.peak_allocation <= 5
+        assert outcome.overload_fraction > 0.9
+
+    def test_empty_demand_rejected(self):
+        scaler = ReactiveAutoscaler(
+            target_rps_per_server=10.0, max_rps_per_server=20.0
+        )
+        with pytest.raises(ValueError):
+            scaler.replay([])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(target_rps_per_server=0.0, max_rps_per_server=1.0)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(target_rps_per_server=10.0, max_rps_per_server=5.0)
+
+    def test_describe(self):
+        scaler = ReactiveAutoscaler(
+            target_rps_per_server=300.0, max_rps_per_server=500.0
+        )
+        outcome = scaler.replay(np.full(10, 900.0))
+        assert "autoscaler" in outcome.describe()
+
+
+class TestStaticPeakPlanner:
+    def test_peak_times_headroom(self):
+        planner = StaticPeakPlanner(rps_per_server_at_target=100.0, headroom_factor=1.5)
+        assert planner.required_servers([500.0, 1_000.0]) == 15
+
+    def test_headroom_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPeakPlanner(rps_per_server_at_target=100.0, headroom_factor=0.9)
+
+    def test_empty_demand_rejected(self):
+        planner = StaticPeakPlanner(rps_per_server_at_target=100.0)
+        with pytest.raises(ValueError):
+            planner.required_servers([])
+
+    def test_more_headroom_more_servers(self):
+        lean = StaticPeakPlanner(100.0, headroom_factor=1.0)
+        fat = StaticPeakPlanner(100.0, headroom_factor=2.0)
+        demand = [1_000.0]
+        assert fat.required_servers(demand) == 2 * lean.required_servers(demand)

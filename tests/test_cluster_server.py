@@ -1,0 +1,185 @@
+"""Unit tests for repro.cluster.server, hardware, latency and deployment."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.deployment import (
+    BASELINE_VERSION,
+    SoftwareVersion,
+    leak_fix_with_latency_regression,
+    leaky_version,
+)
+from repro.cluster.hardware import GENERATION_2014, GENERATION_2017, HardwareSpec
+from repro.cluster.latency import LatencyModel
+from repro.cluster.server import Server, ServerState
+from repro.cluster.service import service_catalog
+from repro.telemetry.counters import Counter
+
+
+@pytest.fixture()
+def profile():
+    return service_catalog()["B"]
+
+
+@pytest.fixture()
+def server(profile):
+    return Server(
+        server_id="s0", pool_id="B", datacenter_id="DC1", profile=profile
+    )
+
+
+class TestHardware:
+    def test_newer_generation_cheaper_cpu(self):
+        assert GENERATION_2017.cpu_scale < GENERATION_2014.cpu_scale
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareSpec(generation="bad", cpu_scale=0.0)
+
+
+class TestLatencyModel:
+    def test_base_latency_at_zero_load(self):
+        model = LatencyModel(base_ms=10.0, cold_ms=5.0)
+        # At zero RPS the cold-work term is maximal.
+        assert model.p95_ms(0.0, 0.0) == pytest.approx(15.0)
+
+    def test_cold_term_decays_with_rps(self):
+        model = LatencyModel(base_ms=10.0, cold_ms=5.0, warmup_rps=50.0, queue_coeff_ms=0.0)
+        assert model.p95_ms(500.0, 0.1) < model.p95_ms(1.0, 0.1)
+
+    def test_latency_convex_in_utilization(self):
+        model = LatencyModel(base_ms=10.0, cold_ms=0.0, queue_coeff_ms=100.0)
+        lat = [model.p95_ms(100.0, u) for u in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        diffs = np.diff(lat)
+        assert np.all(np.diff(diffs) > 0)  # increasing increments
+
+    def test_saturation_clamped_finite(self):
+        model = LatencyModel(base_ms=10.0)
+        assert np.isfinite(model.p95_ms(100.0, 1.5))
+
+    def test_median_below_p95(self):
+        model = LatencyModel(base_ms=10.0)
+        assert model.p50_ms(100.0, 0.2) < model.p95_ms(100.0, 0.2)
+
+    def test_negative_rps_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=10.0).p95_ms(-1.0, 0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=0.0)
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=1.0, utilization_cap=1.5)
+
+
+class TestSoftwareVersion:
+    def test_baseline_is_neutral(self):
+        assert BASELINE_VERSION.cpu_multiplier == 1.0
+        assert BASELINE_VERSION.memory_leak_mb_per_window == 0.0
+
+    def test_leaky_version_leaks(self):
+        assert leaky_version().memory_leak_mb_per_window > 0
+
+    def test_leak_fix_regresses_queue(self):
+        fix = leak_fix_with_latency_regression()
+        assert fix.memory_leak_mb_per_window == 0.0
+        assert fix.latency_queue_multiplier > 1.0
+
+    def test_invalid_versions_rejected(self):
+        with pytest.raises(ValueError):
+            SoftwareVersion(name="")
+        with pytest.raises(ValueError):
+            SoftwareVersion(name="x", cpu_multiplier=0.0)
+
+
+class TestServerGroundTruth:
+    def test_cpu_linear_in_rps(self, server, profile):
+        cost = profile.cpu_cost_per_rps()
+        idle = profile.noise.idle_cpu_pct
+        cpu = server.true_cpu_pct({"query": 100.0})
+        assert cpu == pytest.approx(idle + 100.0 * cost)
+
+    def test_newer_hardware_uses_less_cpu(self, profile):
+        old = Server("a", "B", "DC1", profile, hardware=GENERATION_2014)
+        new = Server("b", "B", "DC1", profile, hardware=GENERATION_2017)
+        load = {"query": 200.0}
+        assert new.true_cpu_pct(load) < old.true_cpu_pct(load)
+
+    def test_version_cpu_multiplier_applies(self, profile):
+        regressed = SoftwareVersion(name="slow", cpu_multiplier=1.5)
+        a = Server("a", "B", "DC1", profile)
+        b = Server("b", "B", "DC1", profile, version=regressed)
+        load = {"query": 200.0}
+        idle = profile.noise.idle_cpu_pct
+        assert b.true_cpu_pct(load) - idle == pytest.approx(
+            1.5 * (a.true_cpu_pct(load) - idle)
+        )
+
+    def test_queue_multiplier_only_affects_load_term(self, profile):
+        regressed = leak_fix_with_latency_regression(queue_multiplier=2.0)
+        a = Server("a", "B", "DC1", profile)
+        b = Server("b", "B", "DC1", profile, version=regressed)
+        # At zero utilization the queue term vanishes: same latency.
+        assert b.true_latency_p95_ms(300.0, 0.0) == pytest.approx(
+            a.true_latency_p95_ms(300.0, 0.0)
+        )
+        # Under load the regressed version is slower.
+        assert b.true_latency_p95_ms(300.0, 0.5) > a.true_latency_p95_ms(300.0, 0.5)
+
+
+class TestObserve:
+    def test_offline_server_reports_only_availability(self, server, rng):
+        server.state = ServerState.OFFLINE_MAINTENANCE
+        obs = server.observe(0, {"query": 100.0}, rng)
+        assert obs == {Counter.AVAILABILITY.value: 0.0}
+
+    def test_online_counters_present(self, server, rng):
+        obs = server.observe(0, {"query": 100.0}, rng)
+        assert obs[Counter.AVAILABILITY.value] == 1.0
+        assert obs[Counter.REQUESTS.value] == pytest.approx(100.0)
+        assert obs[Counter.PROCESSOR_UTILIZATION.value] > 0
+        assert obs[Counter.LATENCY_P95.value] > 0
+        assert "Requests/sec[query]" in obs
+
+    def test_cpu_tracks_load(self, server, rng):
+        low = np.mean([
+            server.observe(w, {"query": 50.0}, rng)[Counter.PROCESSOR_UTILIZATION.value]
+            for w in range(40)
+        ])
+        high = np.mean([
+            server.observe(w, {"query": 400.0}, rng)[Counter.PROCESSOR_UTILIZATION.value]
+            for w in range(40)
+        ])
+        assert high > low + 5.0
+
+    def test_memory_leak_growth(self, profile, rng):
+        leaky = Server("s", "B", "DC1", profile, version=leaky_version(mb_per_window=5.0))
+        first = leaky.observe(0, {"query": 10.0}, rng)[Counter.MEMORY_WORKING_SET.value]
+        for w in range(1, 50):
+            last = leaky.observe(w, {"query": 10.0}, rng)[Counter.MEMORY_WORKING_SET.value]
+        assert last > first
+        leaky.restart()
+        assert leaky.working_set_mb < first / 1e6 + 1.0
+
+    def test_log_upload_spikes_disk(self, profile, rng):
+        server = Server("s", "B", "DC1", profile, noise_phase=0)
+        period = profile.noise.log_upload_period_windows
+        spike_obs = server.observe(0, {"query": 10.0}, rng)
+        quiet_obs = server.observe(period // 2, {"query": 10.0}, rng)
+        assert (
+            spike_obs[Counter.DISK_READ_BYTES.value]
+            > quiet_obs[Counter.DISK_READ_BYTES.value]
+        )
+
+    def test_latency_dips_then_rises_with_load(self, profile):
+        # The cold-start term makes very low workloads slower than
+        # moderate ones (Fig 6's elevated left edge).
+        server = Server("s", "D", "DC1", service_catalog()["D"])
+        rng = np.random.default_rng(0)
+        def mean_lat(rps, n=60):
+            vals = []
+            for w in range(n):
+                cpu = server.true_cpu_pct({"render": rps})
+                vals.append(server.true_latency_p95_ms(rps, cpu / 100.0))
+            return np.mean(vals)
+        assert mean_lat(2.0) > mean_lat(60.0)

@@ -1,0 +1,117 @@
+"""Tests for the service catalogue and builder internals."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import (
+    PAPER_DATACENTERS,
+    noisy_variant,
+    pattern_for_deployment,
+    peak_rps_per_server,
+)
+from repro.cluster.hardware import GENERATION_2014
+from repro.cluster.service import (
+    CATALOG_POOLS,
+    BackgroundNoise,
+    MicroServiceProfile,
+    service_catalog,
+)
+from repro.workload.request_mix import RequestMix
+
+
+class TestCatalog:
+    def test_seven_pools(self):
+        catalog = service_catalog()
+        assert tuple(sorted(catalog)) == CATALOG_POOLS
+
+    def test_availability_spectrum(self):
+        catalog = service_catalog()
+        # Pool B is the repurposed low-availability pool; D/F/G are the
+        # well-managed 98 % pools (§III-B2).
+        assert catalog["B"].availability_mean < 0.8
+        for pool in "DFG":
+            assert catalog[pool].availability_mean >= 0.98
+
+    def test_pool_a_has_drifting_mix(self):
+        # The §II-A1 noisy-metric case study needs a multi-class mix.
+        profile = service_catalog()["A"]
+        assert len(profile.mix.classes) == 2
+        assert profile.mix.drift > 0
+
+    def test_slo_above_operating_latency(self):
+        # Every pool's SLO must exceed the latency at its provisioned
+        # operating point — otherwise the pool is born out of contract.
+        for profile in service_catalog().values():
+            rps = peak_rps_per_server(profile, GENERATION_2014)
+            util = profile.provisioned_peak_utilization
+            latency = profile.latency.p95_ms(rps, util)
+            assert latency < profile.slo_latency_ms, profile.name
+
+    def test_catalog_returns_fresh_instances(self):
+        a = service_catalog()
+        b = service_catalog()
+        assert a is not b
+        assert a["B"] == b["B"]
+
+
+class TestProfileValidation:
+    def _profile(self, **overrides):
+        defaults = dict(
+            name="X",
+            description="test",
+            mix=RequestMix.single("x", cpu_cost=0.01),
+            latency=service_catalog()["B"].latency,
+        )
+        defaults.update(overrides)
+        return MicroServiceProfile(**defaults)
+
+    def test_valid_profile(self):
+        assert self._profile().cpu_cost_per_rps() == pytest.approx(0.01)
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            self._profile(provisioned_peak_utilization=1.5)
+
+    def test_bad_slo_rejected(self):
+        with pytest.raises(ValueError):
+            self._profile(slo_latency_ms=0.0)
+
+    def test_bad_availability_rejected(self):
+        with pytest.raises(ValueError):
+            self._profile(availability_mean=0.0)
+
+
+class TestBuilderHelpers:
+    def test_peak_rps_inverts_provisioning(self):
+        profile = service_catalog()["D"]
+        rps = peak_rps_per_server(profile, GENERATION_2014)
+        cpu = profile.noise.idle_cpu_pct + profile.cpu_cost_per_rps() * rps
+        assert cpu == pytest.approx(profile.provisioned_peak_utilization * 100)
+
+    def test_peak_rps_below_idle_rejected(self):
+        profile = service_catalog()["B"]
+        bad = MicroServiceProfile(
+            name="bad",
+            description="idle exceeds target",
+            mix=profile.mix,
+            latency=profile.latency,
+            noise=BackgroundNoise(idle_cpu_pct=50.0),
+            provisioned_peak_utilization=0.1,
+        )
+        with pytest.raises(ValueError):
+            peak_rps_per_server(bad, GENERATION_2014)
+
+    def test_pattern_scales_with_servers(self):
+        profile = service_catalog()["B"]
+        dc = PAPER_DATACENTERS[0]
+        p10 = pattern_for_deployment(profile, dc, 10, GENERATION_2014)
+        p20 = pattern_for_deployment(profile, dc, 20, GENERATION_2014)
+        assert p20.base_rps == pytest.approx(2 * p10.base_rps)
+
+    def test_noisy_variant_is_noisier(self):
+        base = service_catalog()["B"]
+        noisy = noisy_variant(base)
+        assert noisy.noise.idle_cpu_noise_pct > base.noise.idle_cpu_noise_pct
+        assert noisy.noise.log_upload_period_windows < base.noise.log_upload_period_windows
+        assert noisy.cpu_observation_noise > base.cpu_observation_noise
+        assert "background admin tasks" in noisy.description

@@ -1,0 +1,66 @@
+"""Tests for SLO attainment measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core.attainment import (
+    measure_attainment,
+    measure_fleet_attainment,
+)
+from repro.core.slo import QoSRequirement
+from repro.telemetry.store import MetricStore
+
+
+class TestMeasureAttainment:
+    def test_healthy_pool_meets_contract(self, pool_b_store):
+        qos = QoSRequirement(latency_p95_ms=36.0, availability_min=0.99)
+        report = measure_attainment(pool_b_store, "B", qos, datacenter_id="DC1")
+        assert report.latency_attainment > 0.95
+        assert report.availability == pytest.approx(1.0)  # no policies
+        assert report.serving_attainment == 1.0
+        assert report.meets_contract
+        assert "OK" in report.describe()
+
+    def test_impossible_slo_violated(self, pool_b_store):
+        qos = QoSRequirement(latency_p95_ms=1.0)
+        report = measure_attainment(pool_b_store, "B", qos, datacenter_id="DC1")
+        assert report.latency_attainment == 0.0
+        assert not report.meets_contract
+        assert "VIOLATED" in report.describe()
+
+    def test_worst_window_recorded(self, pool_b_store):
+        qos = QoSRequirement(latency_p95_ms=36.0)
+        report = measure_attainment(pool_b_store, "B", qos)
+        assert report.worst_window_latency_ms >= 30.0
+
+    def test_window_range_restriction(self, pool_b_store):
+        qos = QoSRequirement(latency_p95_ms=36.0)
+        full = measure_attainment(pool_b_store, "B", qos)
+        partial = measure_attainment(pool_b_store, "B", qos, start=0, stop=100)
+        assert partial.n_windows == 100
+        assert full.n_windows > partial.n_windows
+
+    def test_missing_pool_rejected(self):
+        with pytest.raises(ValueError):
+            measure_attainment(
+                MetricStore(), "nope", QoSRequirement(latency_p95_ms=10.0)
+            )
+
+    def test_low_availability_pool_fails_availability(self, fleet_store):
+        # Pool B in the fleet fixture is repurposed off-peak (~71 %).
+        qos = QoSRequirement(latency_p95_ms=36.0, availability_min=0.99)
+        report = measure_attainment(fleet_store, "B", qos)
+        assert report.availability < 0.9
+        assert not report.meets_contract
+
+
+class TestFleetAttainment:
+    def test_covers_registered_pools(self, pool_b_store):
+        reports = measure_fleet_attainment(
+            pool_b_store, {"B": QoSRequirement(latency_p95_ms=36.0)}
+        )
+        assert [r.pool_id for r in reports] == ["B"]
+
+    def test_no_contracts_rejected(self, pool_b_store):
+        with pytest.raises(ValueError):
+            measure_fleet_attainment(pool_b_store, {})

@@ -1,0 +1,90 @@
+"""Tests for availability analysis (§III-B2, Figs 14-15)."""
+
+import numpy as np
+import pytest
+
+from repro.core.availability import (
+    BEST_PRACTICE_AVAILABILITY,
+    analyze_pool_availability,
+    daily_availability,
+    study_fleet_availability,
+)
+from repro.telemetry.store import MetricStore
+
+
+class TestDailyAvailability:
+    def test_per_server_daily_arrays(self, fleet_store):
+        per_server = daily_availability(fleet_store, "D")
+        assert per_server
+        for values in per_server.values():
+            assert values.shape == (2,)  # two simulated days
+            assert np.all((0.0 <= values) & (values <= 1.0))
+
+    def test_missing_pool_empty(self):
+        assert daily_availability(MetricStore(), "nope") == {}
+
+
+class TestPoolReports:
+    def test_well_managed_pool_high_availability(self, fleet_store):
+        report = analyze_pool_availability(fleet_store, "D")
+        assert report.mean_availability == pytest.approx(0.98, abs=0.01)
+        assert report.online_savings < 0.01
+
+    def test_repurposed_pool_low_availability(self, fleet_store):
+        report = analyze_pool_availability(fleet_store, "B")
+        assert report.mean_availability == pytest.approx(0.71, abs=0.06)
+        assert report.online_savings > 0.2
+
+    def test_online_savings_formula(self, fleet_store):
+        report = analyze_pool_availability(fleet_store, "A")
+        expected = max(BEST_PRACTICE_AVAILABILITY - report.mean_availability, 0.0)
+        assert report.online_savings == pytest.approx(expected)
+
+    def test_distribution_sums_to_one(self, fleet_store):
+        report = analyze_pool_availability(fleet_store, "B")
+        _edges, fractions = report.distribution()
+        assert fractions.sum() == pytest.approx(1.0, abs=0.01)
+
+    def test_describe(self, fleet_store):
+        assert "pool B" in analyze_pool_availability(fleet_store, "B").describe()
+
+    def test_missing_pool_raises(self):
+        with pytest.raises(ValueError):
+            analyze_pool_availability(MetricStore(), "nope")
+
+
+class TestFleetStudy:
+    def test_overall_mean_between_extremes(self, fleet_store):
+        study = study_fleet_availability(fleet_store)
+        lows = study.pool_report("B").mean_availability
+        highs = study.pool_report("D").mean_availability
+        assert lows < study.overall_mean < highs
+
+    def test_infrastructure_overhead_near_two_percent(self, fleet_store):
+        study = study_fleet_availability(fleet_store)
+        # The best-run pool shows the common maintenance floor (~2 %).
+        assert study.infrastructure_overhead == pytest.approx(0.02, abs=0.01)
+
+    def test_histogram_spans_modes(self, fleet_store):
+        study = study_fleet_availability(fleet_store)
+        edges, fractions = study.availability_histogram(
+            np.linspace(0.0, 1.0, 21)
+        )
+        # Substantial mass in the top bins (well-managed pools).
+        assert fractions[-2:].sum() > 0.3
+        # And a visible low-availability population (pool B).
+        assert fractions[: int(0.9 * 20)].sum() > 0.05
+
+    def test_online_savings_by_pool(self, fleet_store):
+        study = study_fleet_availability(fleet_store)
+        by_pool = study.online_savings_by_pool()
+        assert by_pool["B"] > by_pool["D"]
+
+    def test_unknown_pool_report_raises(self, fleet_store):
+        study = study_fleet_availability(fleet_store)
+        with pytest.raises(KeyError):
+            study.pool_report("ZZ")
+
+    def test_empty_store_raises(self):
+        with pytest.raises(ValueError):
+            study_fleet_availability(MetricStore())

@@ -1,0 +1,158 @@
+"""Tests for the fitted response curves and load partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import (
+    fit_pool_response,
+    fit_qos_model,
+    fit_resource_model,
+    fit_servers_qos_model,
+)
+from repro.core.partitions import (
+    partition_by_total_load,
+    partition_observations,
+)
+from repro.telemetry.counters import Counter
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.store import MetricStore
+
+
+class TestResourceModel:
+    def test_slope_matches_ground_truth(self, pool_b_store):
+        model = fit_resource_model(pool_b_store, "B", "DC1")
+        # Pool B's ground-truth CPU cost is 0.028 %/RPS.
+        assert model.model.slope == pytest.approx(0.028, rel=0.05)
+        assert model.r2 > 0.95
+
+    def test_forecast_cpu(self, pool_b_store):
+        model = fit_resource_model(pool_b_store, "B", "DC1")
+        cpu = model.forecast_cpu(400.0)
+        assert 10.0 < cpu < 15.0
+
+    def test_invert(self, pool_b_store):
+        model = fit_resource_model(pool_b_store, "B", "DC1")
+        rps = model.max_rps_at_cpu(model.forecast_cpu(300.0))
+        assert rps == pytest.approx(300.0, rel=0.01)
+
+    def test_insufficient_data_raises(self):
+        with pytest.raises(ValueError):
+            fit_resource_model(MetricStore(), "B")
+
+
+class TestQoSModel:
+    def test_quadratic_shape(self, pool_b_store):
+        model = fit_qos_model(pool_b_store, "B", "DC1")
+        # Convex upward: positive leading coefficient.
+        assert model.model.coefficients[0] > 0
+
+    def test_forecast_monotone_at_high_load(self, pool_b_store):
+        model = fit_qos_model(pool_b_store, "B", "DC1")
+        high = model.model.x_max
+        assert model.forecast_latency(high * 2.0) > model.forecast_latency(high)
+
+    def test_max_rps_within_limit(self, pool_b_store):
+        model = fit_qos_model(pool_b_store, "B", "DC1")
+        limit = 36.0
+        max_rps = model.max_rps_within(limit)
+        assert model.forecast_latency(max_rps) <= limit + 0.1
+        # Must lie beyond the observed peak (pool B has headroom).
+        assert max_rps > model.model.x_max
+
+    def test_impossible_limit_raises(self, pool_b_store):
+        model = fit_qos_model(pool_b_store, "B", "DC1")
+        with pytest.raises(ValueError):
+            model.max_rps_within(0.001)
+
+    def test_extrapolation_flag(self, pool_b_store):
+        model = fit_qos_model(pool_b_store, "B", "DC1")
+        assert model.is_extrapolating(model.model.x_max * 2)
+        mid = 0.5 * (model.model.x_min + model.model.x_max)
+        assert not model.is_extrapolating(mid)
+
+    def test_ols_fallback(self, pool_b_store):
+        model = fit_qos_model(pool_b_store, "B", "DC1", use_ransac=False)
+        assert model.inlier_fraction == 1.0
+
+    def test_fit_pool_response_returns_both(self, pool_b_store):
+        resource, qos = fit_pool_response(pool_b_store, "B", "DC1")
+        assert resource.pool_id == qos.pool_id == "B"
+
+
+class TestPartitions:
+    def _series(self, values):
+        return TimeSeries(np.arange(len(values)), np.asarray(values, float))
+
+    def test_quantile_buckets_balanced(self, rng):
+        load = self._series(rng.uniform(100, 1000, 600))
+        partitions = partition_by_total_load(load, n_partitions=4)
+        assert len(partitions) == 4
+        sizes = [p.n_observations for p in partitions]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_bounds_cover_all_windows(self, rng):
+        load = self._series(rng.uniform(0, 10, 300))
+        partitions = partition_by_total_load(load, n_partitions=3)
+        total = sum(p.n_observations for p in partitions)
+        assert total == 300
+
+    def test_empty_series(self):
+        assert partition_by_total_load(TimeSeries([], []), 3) == []
+
+    def test_ties_collapse_instead_of_empty(self):
+        load = self._series([5.0] * 100)
+        partitions = partition_by_total_load(load, n_partitions=4)
+        assert len(partitions) == 1
+        assert partitions[0].n_observations == 100
+
+    def test_min_observations_filter(self, rng):
+        load = self._series(rng.uniform(0, 10, 12))
+        partitions = partition_by_total_load(load, n_partitions=6, min_observations=8)
+        assert all(p.n_observations >= 8 for p in partitions)
+
+    def test_contains_and_midpoint(self, rng):
+        load = self._series(rng.uniform(0, 10, 100))
+        p = partition_by_total_load(load, 2)[0]
+        assert p.contains(p.midpoint)
+
+    def test_partition_observations_alignment(self, pool_b_store):
+        total = pool_b_store.pool_window_aggregate(
+            "B", Counter.REQUESTS.value, datacenter_id="DC1", reducer="sum"
+        )
+        partitions = partition_by_total_load(total, 3)
+        ns, ls = partition_observations(pool_b_store, "B", "DC1", partitions[0])
+        assert ns.size == ls.size > 0
+        assert np.all(ns == 30)  # fixed pool size in the fixture
+
+
+class TestServersQoSModel:
+    def test_eq1_fit_and_inversion(self, rng):
+        # Synthetic Eq. 1 data: latency falls as servers increase.
+        ns = np.repeat([20, 25, 30, 35, 40], 20).astype(float)
+        true = 0.02 * ns**2 - 2.0 * ns + 80.0
+        ls = true + rng.normal(0, 0.4, ns.size)
+        model = fit_servers_qos_model(ns, ls, "B", "DC1", 0, rng=rng)
+        assert model.forecast_latency(40) < model.forecast_latency(20)
+        # min_servers_within walks down from 40 until the limit binds.
+        limit = model.forecast_latency(30) + 0.5
+        n_min = model.min_servers_within(limit, n_current=40)
+        assert 28 <= n_min <= 32
+
+    def test_two_distinct_counts_fit_linear(self, rng):
+        ns = np.array([20.0] * 10 + [30.0] * 10)
+        ls = np.array([50.0] * 10 + [40.0] * 10) + rng.normal(0, 0.1, 20)
+        model = fit_servers_qos_model(ns, ls, "B", "DC1", 0, rng=rng)
+        assert model.model.coefficients[0] == 0.0  # degenerate -> linear
+        assert model.forecast_latency(25.0) == pytest.approx(45.0, abs=1.0)
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            fit_servers_qos_model(
+                np.array([1.0, 2.0]), np.array([1.0, 2.0]), "B", "DC1", 0, rng=rng
+            )
+
+    def test_min_servers_respects_floor(self, rng):
+        ns = np.repeat([10, 20, 30], 10).astype(float)
+        ls = np.repeat([5.0, 5.0, 5.0], 10) + rng.normal(0, 0.01, 30)
+        model = fit_servers_qos_model(ns, ls, "B", "DC1", 0, rng=rng)
+        assert model.min_servers_within(100.0, n_current=30, n_floor=5) == 5

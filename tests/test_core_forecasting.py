@@ -1,0 +1,104 @@
+"""Tests for the demand forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.core.forecasting import (
+    DemandForecast,
+    SeasonalTrendForecaster,
+    forecast_pool_demand,
+)
+from repro.telemetry.series import TimeSeries
+from repro.workload.diurnal import DiurnalPattern, WINDOWS_PER_DAY
+
+
+def _history(days=4, growth=0.0, noise=0.03, seed=0, base=1000.0):
+    pattern = DiurnalPattern(
+        base_rps=base, weekly_growth=growth, weekend_factor=1.0
+    )
+    rng = np.random.default_rng(seed)
+    n = days * WINDOWS_PER_DAY
+    values = pattern.demand_series(n)
+    if noise:
+        values = values * rng.normal(1.0, noise, n)
+    return TimeSeries(np.arange(n), values)
+
+
+class TestFit:
+    def test_requires_two_seasons(self):
+        short = TimeSeries(np.arange(100), np.ones(100))
+        with pytest.raises(ValueError):
+            SeasonalTrendForecaster().fit(short)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SeasonalTrendForecaster(season_windows=1)
+        with pytest.raises(ValueError):
+            SeasonalTrendForecaster(band_quantile=0.4)
+
+    def test_unfitted_forecast_raises(self):
+        with pytest.raises(RuntimeError):
+            SeasonalTrendForecaster().forecast(10)
+
+
+class TestForecastAccuracy:
+    def test_seasonal_shape_recovered(self):
+        history = _history(days=4)
+        forecaster = SeasonalTrendForecaster().fit(history)
+        forecast = forecaster.forecast(WINDOWS_PER_DAY)
+        truth = DiurnalPattern(
+            base_rps=1000.0, weekend_factor=1.0
+        ).demand_series(WINDOWS_PER_DAY, start_window=4 * WINDOWS_PER_DAY)
+        rel_err = np.abs(forecast.expected - truth) / truth
+        assert float(rel_err.mean()) < 0.05
+
+    def test_trend_extrapolated(self):
+        history = _history(days=14, growth=0.10)  # +10 % per week
+        forecaster = SeasonalTrendForecaster().fit(history)
+        ahead = forecaster.forecast(WINDOWS_PER_DAY)
+        # Demand a day past 2 weeks of 10 %/week growth exceeds the
+        # historical mean visibly.
+        assert ahead.expected.mean() > history.values[:WINDOWS_PER_DAY].mean() * 1.1
+
+    def test_upper_band_covers_most_actuals(self):
+        history = _history(days=4, noise=0.05)
+        forecaster = SeasonalTrendForecaster(band_quantile=0.95).fit(history)
+        forecast = forecaster.forecast(WINDOWS_PER_DAY)
+        future = _history(days=5, noise=0.05, seed=99).slice_windows(
+            4 * WINDOWS_PER_DAY, 5 * WINDOWS_PER_DAY
+        )
+        covered = float((future.values <= forecast.upper).mean())
+        assert covered > 0.85
+
+    def test_upper_band_above_expected(self):
+        history = _history(days=3, noise=0.05)
+        forecast = SeasonalTrendForecaster().fit(history).forecast(100)
+        assert np.all(forecast.upper >= forecast.expected * 0.99)
+
+    def test_horizon_validation(self):
+        forecaster = SeasonalTrendForecaster().fit(_history(days=2))
+        with pytest.raises(ValueError):
+            forecaster.forecast(0)
+
+    def test_peaks(self):
+        forecaster = SeasonalTrendForecaster().fit(_history(days=3))
+        forecast = forecaster.forecast(WINDOWS_PER_DAY)
+        assert forecast.peak_upper() >= forecast.peak_expected()
+        assert len(forecast) == WINDOWS_PER_DAY
+        assert forecast.windows[0] == 3 * WINDOWS_PER_DAY
+
+
+class TestStoreIntegration:
+    def test_forecast_pool_demand(self, pool_b_store):
+        forecast = forecast_pool_demand(
+            pool_b_store, "B", "DC1", horizon_windows=WINDOWS_PER_DAY
+        )
+        history = pool_b_store.pool_window_aggregate(
+            "B", "Requests/sec", datacenter_id="DC1", reducer="sum"
+        )
+        # Forecast magnitude matches the diurnal range of history.
+        assert history.values.min() * 0.8 <= forecast.expected.mean() <= history.values.max() * 1.2
+        # Peak lands near the historical daily peak (no trend in fixture).
+        assert forecast.peak_expected() == pytest.approx(
+            history.values.max(), rel=0.15
+        )

@@ -1,0 +1,148 @@
+"""Tests for Step-1 server-group identification (§II-A2, Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import (
+    build_grouping_study_fleet,
+    build_single_pool_fleet,
+)
+from repro.cluster.hardware import GENERATION_2014, GENERATION_2017
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.grouping import (
+    FEATURE_NAMES,
+    GroupingModel,
+    identify_server_groups,
+    server_feature_matrix,
+    server_percentile_points,
+)
+
+
+@pytest.fixture(scope="module")
+def mixed_hardware_sim():
+    """Pool F deployed on two hardware generations (the Fig 3 pool)."""
+    fleet = build_single_pool_fleet(
+        "F",
+        n_datacenters=1,
+        servers_per_deployment=24,
+        seed=31,
+        hardware_mix={GENERATION_2014: 0.5, GENERATION_2017: 0.5},
+    )
+    sim = Simulator(
+        fleet, seed=31, config=SimulationConfig(apply_availability_policies=False)
+    )
+    sim.run(720)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def uniform_sim():
+    fleet = build_single_pool_fleet(
+        "F", n_datacenters=1, servers_per_deployment=16, seed=37
+    )
+    sim = Simulator(
+        fleet, seed=37, config=SimulationConfig(apply_availability_policies=False)
+    )
+    sim.run(720)
+    return sim
+
+
+class TestPercentilePoints:
+    def test_shape(self, uniform_sim):
+        points, ids = server_percentile_points(uniform_sim.store, "F", "DC1")
+        assert points.shape == (16, 2)
+        assert len(ids) == 16
+
+    def test_p5_below_p95(self, uniform_sim):
+        points, _ = server_percentile_points(uniform_sim.store, "F", "DC1")
+        assert np.all(points[:, 0] < points[:, 1])
+
+
+class TestIdentifyGroups:
+    def test_uniform_pool_single_group(self, uniform_sim):
+        report = identify_server_groups(uniform_sim.store, "F", "DC1")
+        assert report.is_uniform
+        assert report.groups[0].size == 16
+
+    def test_mixed_hardware_two_groups(self, mixed_hardware_sim):
+        report = identify_server_groups(mixed_hardware_sim.store, "F", "DC1")
+        assert report.n_groups == 2
+        sizes = sorted(g.size for g in report.groups)
+        assert sizes == [12, 12]
+
+    def test_newer_generation_cluster_runs_cooler(self, mixed_hardware_sim):
+        report = identify_server_groups(mixed_hardware_sim.store, "F", "DC1")
+        centers = sorted(g.center_p95 for g in report.groups)
+        # The newer SKU cluster should sit clearly below the older one.
+        assert centers[0] < centers[1] * 0.8
+
+    def test_groups_partition_servers(self, mixed_hardware_sim):
+        report = identify_server_groups(mixed_hardware_sim.store, "F", "DC1")
+        all_ids = [sid for g in report.groups for sid in g.server_ids]
+        assert sorted(all_ids) == sorted(report.server_ids)
+
+    def test_missing_pool_raises(self, uniform_sim):
+        with pytest.raises(ValueError):
+            identify_server_groups(uniform_sim.store, "F", "DC9")
+
+
+class TestFeatureMatrix:
+    def test_feature_layout(self, uniform_sim):
+        features, ids = server_feature_matrix(uniform_sim.store, "F")
+        assert features.shape == (16, len(FEATURE_NAMES))
+        # Percentile features are monotone per row.
+        assert np.all(np.diff(features[:, :5], axis=1) >= 0)
+
+    def test_pool_features_shared_across_servers(self, uniform_sim):
+        features, _ = server_feature_matrix(uniform_sim.store, "F")
+        # slope/intercept/r2 columns are pool-level constants.
+        for col in range(5, 8):
+            assert np.unique(features[:, col]).size == 1
+
+
+class TestGroupingModel:
+    @pytest.fixture(scope="class")
+    def study(self):
+        fleet, labels = build_grouping_study_fleet(
+            n_tight_pools=6, n_noisy_pools=5, servers_per_pool=10,
+            n_datacenters=1, seed=41,
+        )
+        sim = Simulator(
+            fleet, seed=41,
+            config=SimulationConfig(apply_availability_policies=False),
+        )
+        sim.run(720)
+        return sim.store, labels
+
+    def test_cross_validated_auc_high(self, study, rng):
+        store, labels = study
+        model = GroupingModel(min_leaf_fraction=0.05).fit(store, labels, rng=rng)
+        assert model.cv_result.auc > 0.9
+        assert model.tree.count_splits() >= 1
+
+    def test_predict_pool_matches_labels(self, study, rng):
+        store, labels = study
+        model = GroupingModel(min_leaf_fraction=0.05).fit(store, labels, rng=rng)
+        correct = 0
+        for pool_id, label in labels.items():
+            predicted, _prob = model.predict_pool(store, pool_id)
+            correct += int(predicted == bool(label))
+        assert correct / len(labels) >= 0.8
+
+    def test_predictable_fraction(self, study, rng):
+        store, labels = study
+        model = GroupingModel(min_leaf_fraction=0.05).fit(store, labels, rng=rng)
+        fraction = model.predictable_fraction(store, sorted(labels))
+        true_fraction = sum(labels.values()) / len(labels)
+        assert fraction == pytest.approx(true_fraction, abs=0.25)
+
+    def test_unfitted_predict_raises(self, study):
+        store, _ = study
+        with pytest.raises(RuntimeError):
+            GroupingModel().predict_pool(store, "P00")
+
+    def test_empty_pool_ids_rejected(self, study, rng):
+        store, labels = study
+        model = GroupingModel(min_leaf_fraction=0.05).fit(store, labels, rng=rng)
+        with pytest.raises(ValueError):
+            model.predictable_fraction(store, [])

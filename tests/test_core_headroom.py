@@ -1,0 +1,96 @@
+"""Tests for headroom right-sizing (§III-B1, Table IV mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.headroom import HeadroomPlanner
+from repro.core.slo import QoSRequirement
+
+
+class TestSingleDcPlanning:
+    def test_overprovisioned_pool_shrinks(self, pool_b_store):
+        planner = HeadroomPlanner(pool_b_store, survive_dc_loss=False)
+        plan = planner.plan_pool("B", QoSRequirement(latency_p95_ms=36.0))
+        assert plan.efficiency_savings > 0.15
+        assert plan.planned_servers < plan.current_servers
+
+    def test_latency_impact_bounded(self, pool_b_store):
+        planner = HeadroomPlanner(pool_b_store, survive_dc_loss=False)
+        plan = planner.plan_pool("B", QoSRequirement(latency_p95_ms=36.0))
+        # Moving to the SLO boundary costs a few ms, not tens.
+        assert 0.0 <= plan.latency_impact_ms < 10.0
+
+    def test_tight_slo_means_no_savings(self, pool_b_store):
+        planner = HeadroomPlanner(pool_b_store, survive_dc_loss=False)
+        # SLO equal to the current operating latency: nothing to reclaim.
+        plan = planner.plan_pool("B", QoSRequirement(latency_p95_ms=31.0))
+        loose = planner.plan_pool("B", QoSRequirement(latency_p95_ms=40.0))
+        assert plan.efficiency_savings <= loose.efficiency_savings
+
+    def test_never_plans_above_current(self, pool_b_store):
+        planner = HeadroomPlanner(pool_b_store, survive_dc_loss=False)
+        plan = planner.plan_pool("B", QoSRequirement(latency_p95_ms=31.5))
+        for d in plan.deployments:
+            assert d.planned_servers <= d.current_servers
+
+    def test_describe(self, pool_b_store):
+        planner = HeadroomPlanner(pool_b_store, survive_dc_loss=False)
+        plan = planner.plan_pool("B", QoSRequirement(latency_p95_ms=36.0))
+        assert "pool B" in plan.describe()
+
+    def test_unknown_pool_rejected(self, pool_b_store):
+        with pytest.raises(KeyError):
+            HeadroomPlanner(pool_b_store).plan_pool(
+                "Z", QoSRequirement(latency_p95_ms=10.0)
+            )
+
+
+class TestDisasterRecovery:
+    def test_dr_requires_more_than_normal(self, multi_dc_sim):
+        store = multi_dc_sim.store
+        qos = QoSRequirement(latency_p95_ms=65.0)
+        with_dr = HeadroomPlanner(store, survive_dc_loss=True).plan_pool("D", qos)
+        without = HeadroomPlanner(store, survive_dc_loss=False).plan_pool("D", qos)
+        assert with_dr.planned_servers >= without.planned_servers
+        assert any(
+            d.required_with_dr >= d.required_normal for d in with_dr.deployments
+        )
+
+    def test_binding_scenario_reported(self, multi_dc_sim):
+        qos = QoSRequirement(latency_p95_ms=65.0)
+        plan = HeadroomPlanner(
+            multi_dc_sim.store, survive_dc_loss=True
+        ).plan_pool("D", qos)
+        assert plan.binding_scenario.startswith(("normal", "loss of"))
+
+    def test_dr_still_saves_capacity(self, multi_dc_sim):
+        # Even preserving survive-one-DC headroom, the overprovisioned
+        # pool yields savings (the paper's central claim).
+        qos = QoSRequirement(latency_p95_ms=65.0)
+        plan = HeadroomPlanner(
+            multi_dc_sim.store, survive_dc_loss=True
+        ).plan_pool("D", qos)
+        assert plan.efficiency_savings > 0.05
+
+
+class TestPlanAll:
+    def test_plan_all_covers_registered_pools(self, pool_b_store):
+        planner = HeadroomPlanner(pool_b_store, survive_dc_loss=False)
+        plans = planner.plan_all({"B": QoSRequirement(latency_p95_ms=36.0)})
+        assert set(plans) == {"B"}
+
+    def test_safety_margin_monotone(self, pool_b_store):
+        qos = QoSRequirement(latency_p95_ms=36.0)
+        tight = HeadroomPlanner(
+            pool_b_store, safety_margin=0.7, survive_dc_loss=False
+        ).plan_pool("B", qos)
+        loose = HeadroomPlanner(
+            pool_b_store, safety_margin=1.0, survive_dc_loss=False
+        ).plan_pool("B", qos)
+        assert tight.planned_servers >= loose.planned_servers
+
+    def test_invalid_parameters_rejected(self, pool_b_store):
+        with pytest.raises(ValueError):
+            HeadroomPlanner(pool_b_store, safety_margin=0.0)
+        with pytest.raises(ValueError):
+            HeadroomPlanner(pool_b_store, demand_percentile=10.0)

@@ -1,0 +1,112 @@
+"""Tests for the Step-1 metric-validation feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet, noisy_variant
+from repro.cluster.service import service_catalog
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.metric_validation import (
+    MetricValidator,
+    ValidationStatus,
+    _detect_periodic_spikes,
+)
+from repro.telemetry.counters import Counter
+from repro.telemetry.store import MetricStore
+from tests.conftest import FULL_COUNTERS
+
+
+class TestCleanPool:
+    def test_pool_b_validates_aggregate(self, pool_b_store):
+        validator = MetricValidator(pool_b_store)
+        report = validator.validate("B", "DC1")
+        assert report.status is ValidationStatus.VALID_AGGREGATE
+        assert report.final_r2 > 0.95
+        assert report.workload_counters == (Counter.REQUESTS.value,)
+
+    def test_report_describe_lists_steps(self, pool_b_store):
+        report = MetricValidator(pool_b_store).validate("B", "DC1")
+        text = report.describe()
+        assert "valid_aggregate" in text
+        assert "aggregate workload" in text
+
+    def test_validate_all_covers_pools(self, pool_b_store):
+        reports = MetricValidator(pool_b_store).validate_all()
+        assert [r.pool_id for r in reports] == ["B"]
+
+
+class TestPerClassSplit:
+    @pytest.fixture(scope="class")
+    def pool_a_store(self):
+        """Pool A: two request classes with drifting mix (noisy aggregate)."""
+        fleet = build_single_pool_fleet(
+            "A", n_datacenters=1, servers_per_deployment=20, seed=23
+        )
+        sim = Simulator(
+            fleet,
+            seed=23,
+            config=SimulationConfig(
+                counters=FULL_COUNTERS, apply_availability_policies=False
+            ),
+        )
+        sim.run(1440)
+        return sim.store
+
+    def test_aggregate_is_noisy_but_split_validates(self, pool_a_store):
+        validator = MetricValidator(pool_a_store, min_r2=0.97)
+        report = validator.validate("A", "DC1")
+        assert report.status is ValidationStatus.VALID_PER_CLASS
+        assert report.per_class_model is not None
+        assert report.final_r2 >= 0.97 > report.aggregate_r2
+        assert set(report.workload_counters) == {
+            "Requests/sec[table_user]",
+            "Requests/sec[table_index]",
+        }
+
+    def test_per_class_coefficients_recover_costs(self, pool_a_store):
+        report = MetricValidator(pool_a_store, min_r2=0.97).validate("A", "DC1")
+        model = report.per_class_model
+        by_counter = dict(zip(report.workload_counters, model.coefficients))
+        profile = service_catalog()["A"]
+        costs = {c.name: c.cpu_cost for c in profile.mix.classes}
+        assert by_counter["Requests/sec[table_user]"] == pytest.approx(
+            costs["table_user"], rel=0.25
+        )
+        assert by_counter["Requests/sec[table_index]"] == pytest.approx(
+            costs["table_index"], rel=0.25
+        )
+
+
+class TestAnomalyDetection:
+    def test_periodic_spikes_detected(self):
+        rng = np.random.default_rng(0)
+        residuals = rng.normal(0, 0.5, 600)
+        for start in range(10, 600, 60):  # uploads every 60 windows
+            residuals[start : start + 2] += 8.0
+        finding, mask = _detect_periodic_spikes(residuals)
+        assert finding is not None
+        assert 40 <= finding.period_windows <= 80
+        assert mask.sum() >= 10
+
+    def test_pure_noise_no_finding(self):
+        rng = np.random.default_rng(1)
+        finding, mask = _detect_periodic_spikes(rng.normal(0, 1, 600))
+        assert finding is None
+        assert not mask.any()
+
+    def test_short_series_no_finding(self):
+        finding, _ = _detect_periodic_spikes(np.ones(10))
+        assert finding is None
+
+
+class TestInsufficientData:
+    def test_empty_store_invalid(self):
+        store = MetricStore()
+        report = MetricValidator(store).validate("nope")
+        assert report.status is ValidationStatus.INVALID
+        assert "insufficient data" in report.steps[0]
+
+    def test_status_validity_flags(self):
+        assert ValidationStatus.VALID_AGGREGATE.is_valid
+        assert ValidationStatus.VALID_PER_CLASS.is_valid
+        assert not ValidationStatus.INVALID.is_valid

@@ -1,0 +1,98 @@
+"""Tests for the CapacityPlanner facade and savings summary."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.savings import PAPER_TABLE_IV, summarize_savings
+from repro.core.planner import CapacityPlanner
+from repro.core.slo import QoSRequirement
+from repro.cluster.service import service_catalog
+
+
+@pytest.fixture(scope="module")
+def fleet_plan(fleet_store):
+    catalog = service_catalog()
+    qos = {
+        name: QoSRequirement(latency_p95_ms=profile.slo_latency_ms)
+        for name, profile in catalog.items()
+    }
+    planner = CapacityPlanner(fleet_store, qos, survive_dc_loss=True)
+    return planner.plan()
+
+
+class TestFleetPlan:
+    def test_all_pools_planned(self, fleet_plan):
+        assert {s.pool_id for s in fleet_plan.summaries} == set("ABCDEFG")
+
+    def test_overprovisioned_pools_save_more(self, fleet_plan):
+        # D/F are provisioned at 12 % peak CPU; C/G near their limit.
+        generous = np.mean([
+            fleet_plan.summary_for(p).efficiency_savings for p in ("D", "F")
+        ])
+        tight = np.mean([
+            fleet_plan.summary_for(p).efficiency_savings for p in ("C", "G")
+        ])
+        assert generous > tight
+
+    def test_repurposed_pool_dominates_online_savings(self, fleet_plan):
+        online = {s.pool_id: s.online_savings for s in fleet_plan.summaries}
+        assert online["B"] == max(online.values())
+        assert online["B"] > 0.15
+
+    def test_total_savings_in_paper_band(self, fleet_plan):
+        # Paper: 20 % to 40 % capacity reduction overall.
+        assert 0.15 <= fleet_plan.mean_total_savings <= 0.5
+
+    def test_latency_impact_small(self, fleet_plan):
+        # Paper: ~5 ms average, "less than 1 % of overall service latency".
+        assert fleet_plan.mean_latency_impact_ms < 12.0
+
+    def test_render_savings_table(self, fleet_plan):
+        table = fleet_plan.render_savings_table()
+        assert "Server Pool" in table
+        assert "Savings" in table
+        for pool in "ABCDEFG":
+            assert f"\n{pool} " in table or table.startswith(pool)
+
+    def test_summary_for_unknown_raises(self, fleet_plan):
+        with pytest.raises(KeyError):
+            fleet_plan.summary_for("ZZ")
+
+
+class TestPlannerGuards:
+    def test_missing_qos_pool_skipped(self, fleet_store):
+        planner = CapacityPlanner(
+            fleet_store, {"B": QoSRequirement(latency_p95_ms=36.0)}
+        )
+        plan = planner.plan()
+        assert [s.pool_id for s in plan.summaries] == ["B"]
+
+    def test_plan_pool_without_qos_rejected(self, fleet_store):
+        planner = CapacityPlanner(fleet_store, {})
+        with pytest.raises(KeyError):
+            planner.plan_pool("B")
+
+    def test_empty_plan_rejected(self, fleet_store):
+        planner = CapacityPlanner(fleet_store, {"nonexistent": QoSRequirement(10.0)})
+        with pytest.raises(ValueError):
+            planner.plan()
+
+
+class TestSavingsSummary:
+    def test_rows_match_plan(self, fleet_plan):
+        summary = summarize_savings(fleet_plan)
+        assert len(summary.rows) == 7
+        row_b = summary.row_for("B")
+        assert row_b.total_savings == fleet_plan.summary_for("B").total_savings
+
+    def test_paper_reference_complete(self):
+        assert set(PAPER_TABLE_IV) == set("ABCDEFG")
+
+    def test_render_comparison(self, fleet_plan):
+        text = summarize_savings(fleet_plan).render_comparison()
+        assert "paper" in text
+        assert "mean" in text
+
+    def test_unknown_row_raises(self, fleet_plan):
+        with pytest.raises(KeyError):
+            summarize_savings(fleet_plan).row_for("ZZ")

@@ -1,0 +1,141 @@
+"""Tests for the Step-4 offline regression gate (Fig 16)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.deployment import (
+    SoftwareVersion,
+    leak_fix_with_latency_regression,
+    leaky_version,
+)
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.regression_analysis import RegressionGate, profile_response
+from repro.telemetry.counters import Counter
+from repro.workload.synthetic import RampPlan
+from tests.conftest import FULL_COUNTERS
+
+
+def _ramped_profile(version, label, seed=61, n_servers=12):
+    """Run a synthetic ramp against a pool pinned to one version."""
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=n_servers, seed=seed
+    )
+    sim = Simulator(
+        fleet,
+        seed=seed,
+        config=SimulationConfig(
+            counters=FULL_COUNTERS, apply_availability_policies=False,
+        ),
+    )
+    sim.set_version("B", version)
+    deployment = sim.fleet.deployment("B", "DC1")
+    ramp = RampPlan.linear(
+        50.0 * n_servers, 500.0 * n_servers, n_levels=10, windows_per_level=12
+    )
+    # Drive the ramp by replacing the diurnal pattern with fixed levels.
+    original_demand = deployment.pattern
+
+    class _RampPattern:
+        def __init__(self, plan):
+            self.plan = plan
+
+        def demand_at(self, window):
+            step = min(window, self.plan.total_windows - 1)
+            return self.plan.level_at(step)
+
+    deployment.pattern = _RampPattern(ramp)
+    sim.run(ramp.total_windows)
+    deployment.pattern = original_demand
+    return profile_response(sim.store, "B", label, datacenter_id="DC1")
+
+
+@pytest.fixture(scope="module")
+def baseline_profile():
+    return _ramped_profile(leaky_version(), "baseline-leaky")
+
+
+@pytest.fixture(scope="module")
+def regressed_profile():
+    return _ramped_profile(
+        leak_fix_with_latency_regression(queue_multiplier=2.5), "leak-fix"
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_profile():
+    return _ramped_profile(SoftwareVersion(name="clean"), "clean")
+
+
+class TestResponseProfile:
+    def test_leak_detected(self, baseline_profile):
+        assert baseline_profile.has_memory_leak
+
+    def test_clean_build_no_leak(self, clean_profile):
+        assert not clean_profile.has_memory_leak
+
+    def test_latency_by_level_buckets(self, baseline_profile):
+        assert len(baseline_profile.latency_by_level) >= 5
+        for values in baseline_profile.latency_by_level.values():
+            assert values.size > 0
+
+    def test_cpu_model_linear(self, baseline_profile):
+        assert baseline_profile.cpu_model.r2 > 0.9
+
+
+class TestFig16Scenario:
+    def test_gate_catches_latency_regression(
+        self, baseline_profile, regressed_profile
+    ):
+        gate = RegressionGate(latency_tolerance_ms=2.0)
+        report = gate.compare(baseline_profile, regressed_profile)
+        # Fig 16: the change fixed the leak...
+        assert report.memory_leak_fixed
+        # ...but regressed latency under load.
+        assert report.latency_regressed
+        assert not report.passed
+        assert report.max_latency_regression_ms > 2.0
+
+    def test_regression_grows_with_load(self, baseline_profile, regressed_profile):
+        report = RegressionGate().compare(baseline_profile, regressed_profile)
+        # The queue-multiplier defect only bites at high workload.
+        assert report.latency_delta_ms[-1] > report.latency_delta_ms[0]
+
+    def test_clean_change_passes(self, clean_profile):
+        other = _ramped_profile(SoftwareVersion(name="clean2"), "clean2", seed=62)
+        report = RegressionGate(latency_tolerance_ms=3.0, cpu_tolerance_pct=2.0).compare(
+            clean_profile, other
+        )
+        assert report.passed, report.describe()
+
+    def test_cpu_regression_detected(self, clean_profile):
+        heavy = _ramped_profile(
+            SoftwareVersion(name="cpu-hog", cpu_multiplier=1.5), "cpu-hog", seed=63
+        )
+        report = RegressionGate().compare(clean_profile, heavy)
+        assert report.cpu_regressed
+        assert not report.passed
+
+    def test_capacity_impact_positive_for_regression(
+        self, baseline_profile, regressed_profile
+    ):
+        report = RegressionGate().compare(baseline_profile, regressed_profile)
+        impact = report.capacity_impact_fraction(latency_limit_ms=36.0)
+        assert impact > 0.05
+
+    def test_describe_verdict(self, baseline_profile, regressed_profile):
+        report = RegressionGate().compare(baseline_profile, regressed_profile)
+        assert "FAIL" in report.describe()
+
+
+class TestGateGuards:
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionGate(latency_tolerance_ms=-1.0)
+
+    def test_disjoint_ranges_rejected(self, clean_profile):
+        from dataclasses import replace
+
+        shifted = replace(clean_profile, rps_range=(1e6, 2e6))
+        with pytest.raises(ValueError):
+            RegressionGate().compare(clean_profile, shifted)

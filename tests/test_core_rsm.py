@@ -1,0 +1,117 @@
+"""Tests for the RSM optimizer (§II-B2, Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.core.rsm import ResponseSurfaceOptimizer
+from repro.core.slo import QoSRequirement
+from repro.experiments import SimulatorRunner
+
+
+def _make_sim(seed=43, servers=40):
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=servers, seed=seed
+    )
+    return Simulator(
+        fleet, seed=seed, config=SimulationConfig(apply_availability_policies=False)
+    )
+
+
+@pytest.fixture(scope="module")
+def rsm_result():
+    sim = _make_sim()
+    sim.run(720)  # a day of history before experimenting
+    optimizer = ResponseSurfaceOptimizer(
+        store=sim.store,
+        pool_id="B",
+        datacenter_id="DC1",
+        qos=QoSRequirement(latency_p95_ms=33.0),
+        runner=SimulatorRunner(sim),
+        iteration_windows=240,
+        reduction_step=0.12,
+        max_iterations=8,
+    )
+    return optimizer.optimize(initial_servers=40)
+
+
+class TestRsmLoop:
+    def test_recommends_fewer_servers(self, rsm_result):
+        assert rsm_result.recommended_servers < rsm_result.initial_servers
+        assert rsm_result.reduction_fraction > 0.1
+
+    def test_measured_latency_within_qos(self, rsm_result):
+        final = rsm_result.iterations[-1]
+        # Either the loop stopped on a forecast (last measurement OK),
+        # or it rolled back after a violation.
+        ok_iterations = [i for i in rsm_result.iterations if not i.qos_violated]
+        assert ok_iterations, "RSM never had a QoS-compliant stage"
+        assert all(
+            i.measured_latency_p95_ms <= rsm_result.qos.latency_p95_ms
+            for i in ok_iterations
+        )
+        del final
+
+    def test_latency_rises_across_iterations(self, rsm_result):
+        measured = [
+            i.measured_latency_p95_ms
+            for i in rsm_result.iterations
+            if not i.qos_violated
+        ]
+        if len(measured) >= 2:
+            assert measured[-1] > measured[0] - 0.5
+
+    def test_partition_models_fitted(self, rsm_result):
+        assert len(rsm_result.partition_models) >= 1
+
+    def test_describe_lists_iterations(self, rsm_result):
+        text = rsm_result.describe()
+        assert "RSM for pool B" in text
+        assert "iter 0" in text
+
+    def test_recommended_meets_forecast(self, rsm_result):
+        # The worst-case partition forecast at the recommendation must
+        # respect the QoS limit (that is what the loop guarantees).
+        forecasts = [
+            m.forecast_latency(rsm_result.recommended_servers)
+            for m in rsm_result.partition_models
+        ]
+        assert max(forecasts) <= rsm_result.qos.latency_p95_ms + 1.0
+
+
+class TestRsmGuards:
+    def test_invalid_parameters_rejected(self):
+        sim = _make_sim(seed=44, servers=10)
+        runner = SimulatorRunner(sim)
+        qos = QoSRequirement(latency_p95_ms=33.0)
+        with pytest.raises(ValueError):
+            ResponseSurfaceOptimizer(
+                sim.store, "B", "DC1", qos, runner, reduction_step=0.9
+            )
+        with pytest.raises(ValueError):
+            ResponseSurfaceOptimizer(
+                sim.store, "B", "DC1", qos, runner, iteration_windows=5
+            )
+
+    def test_initial_below_min_rejected(self):
+        sim = _make_sim(seed=45, servers=10)
+        optimizer = ResponseSurfaceOptimizer(
+            sim.store, "B", "DC1", QoSRequirement(latency_p95_ms=33.0),
+            SimulatorRunner(sim), min_servers=5,
+        )
+        with pytest.raises(ValueError):
+            optimizer.optimize(initial_servers=3)
+
+    def test_tight_qos_stops_early(self):
+        # A QoS limit already violated at the starting size: the loop
+        # must roll back immediately and keep the initial count.
+        sim = _make_sim(seed=46, servers=12)
+        sim.run(360)
+        optimizer = ResponseSurfaceOptimizer(
+            sim.store, "B", "DC1", QoSRequirement(latency_p95_ms=5.0),
+            SimulatorRunner(sim), iteration_windows=120, max_iterations=3,
+        )
+        result = optimizer.optimize(initial_servers=12)
+        assert result.recommended_servers == 12
+        assert result.iterations[0].qos_violated

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.slo and repro.core.report."""
+
+import pytest
+
+from repro.core.report import format_ms, format_percent, render_table
+from repro.core.slo import Direction, QoSRequirement, SLO
+
+
+class TestSLO:
+    def test_at_most(self):
+        slo = SLO("latency_p95_ms", 36.0)
+        assert slo.is_met(30.0)
+        assert not slo.is_met(40.0)
+        assert slo.margin(30.0) == pytest.approx(6.0)
+
+    def test_at_least(self):
+        slo = SLO("availability", 0.999, Direction.AT_LEAST)
+        assert slo.is_met(0.9995)
+        assert not slo.is_met(0.99)
+        assert slo.margin(0.9995) == pytest.approx(0.0005)
+
+    def test_describe(self):
+        assert "<=" in SLO("x", 1.0).describe()
+        assert ">=" in SLO("x", 1.0, Direction.AT_LEAST).describe()
+
+
+class TestQoSRequirement:
+    def test_slos_composed(self):
+        qos = QoSRequirement(latency_p95_ms=36.0, availability_min=0.999)
+        metrics = {slo.metric for slo in qos.slos}
+        assert metrics == {"latency_p95_ms", "availability"}
+
+    def test_is_met(self):
+        qos = QoSRequirement(latency_p95_ms=36.0)
+        assert qos.is_met({"latency_p95_ms": 30.0, "availability": 0.9999})
+        assert not qos.is_met({"latency_p95_ms": 40.0, "availability": 0.9999})
+
+    def test_missing_measurement_is_unmet(self):
+        qos = QoSRequirement(latency_p95_ms=36.0)
+        assert not qos.is_met({"latency_p95_ms": 30.0})
+
+    def test_extra_slos_enforced(self):
+        qos = QoSRequirement(
+            latency_p95_ms=36.0,
+            extra=(SLO("errors_per_sec", 0.1),),
+        )
+        ok = {"latency_p95_ms": 30.0, "availability": 1.0, "errors_per_sec": 0.01}
+        bad = dict(ok, errors_per_sec=5.0)
+        assert qos.is_met(ok)
+        assert not qos.is_met(bad)
+
+    def test_latency_margin(self):
+        qos = QoSRequirement(latency_p95_ms=36.0)
+        assert qos.latency_margin_ms(30.0) == pytest.approx(6.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QoSRequirement(latency_p95_ms=0.0)
+        with pytest.raises(ValueError):
+            QoSRequirement(latency_p95_ms=10.0, availability_min=1.5)
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xx", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_format_percent(self):
+        assert format_percent(0.33) == "33%"
+        assert format_percent(0.125, 1) == "12.5%"
+
+    def test_format_ms(self):
+        assert format_ms(30.94) == "30.9ms"
+        assert format_ms(5.0, 0) == "5ms"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159]])
+        assert "3.14" in text

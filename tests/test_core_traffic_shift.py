@@ -1,0 +1,120 @@
+"""Tests for geo traffic shifting."""
+
+import numpy as np
+import pytest
+
+from repro.core.traffic_shift import (
+    TrafficShiftAnalysis,
+    balance_window,
+)
+from repro.workload.diurnal import DiurnalPattern, WINDOWS_PER_DAY
+
+
+class TestBalanceWindow:
+    def test_conserves_total(self):
+        demand = np.array([100.0, 10.0, 50.0])
+        capacity = np.array([60.0, 60.0, 60.0])
+        shifted = balance_window(demand, capacity, max_remote_fraction=0.5)
+        assert shifted.sum() == pytest.approx(demand.sum())
+
+    def test_moves_from_hot_to_cold(self):
+        demand = np.array([100.0, 10.0])
+        capacity = np.array([60.0, 60.0])
+        shifted = balance_window(demand, capacity, max_remote_fraction=0.5)
+        assert shifted[0] < 100.0
+        assert shifted[1] > 10.0
+
+    def test_remote_fraction_cap_respected(self):
+        demand = np.array([100.0, 0.0])
+        capacity = np.array([10.0, 1000.0])
+        shifted = balance_window(demand, capacity, max_remote_fraction=0.2)
+        # At most 20 % of DC0's demand may leave.
+        assert shifted[0] >= 80.0 - 1e-9
+
+    def test_zero_fraction_is_identity(self):
+        demand = np.array([100.0, 10.0])
+        capacity = np.array([50.0, 50.0])
+        shifted = balance_window(demand, capacity, max_remote_fraction=0.0)
+        np.testing.assert_allclose(shifted, demand)
+
+    def test_balanced_input_untouched(self):
+        demand = np.array([50.0, 50.0])
+        capacity = np.array([100.0, 100.0])
+        shifted = balance_window(demand, capacity, max_remote_fraction=0.5)
+        np.testing.assert_allclose(shifted, demand)
+
+    def test_zero_demand(self):
+        shifted = balance_window(
+            np.zeros(3), np.ones(3), max_remote_fraction=0.5
+        )
+        np.testing.assert_allclose(shifted, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balance_window(np.ones(2), np.ones(3), 0.5)
+        with pytest.raises(ValueError):
+            balance_window(np.ones(2), np.zeros(2), 0.5)
+        with pytest.raises(ValueError):
+            balance_window(np.ones(2), np.ones(2), 1.5)
+
+
+class TestTrafficShiftAnalysis:
+    def _rotating_demand(self, n_dcs=4, days=2):
+        """Diurnal peaks rotating around the globe."""
+        out = {}
+        for i in range(n_dcs):
+            pattern = DiurnalPattern(
+                base_rps=1_000.0,
+                daily_amplitude=0.5,
+                timezone_offset_hours=24.0 * i / n_dcs,
+                weekend_factor=1.0,
+            )
+            out[f"DC{i + 1}"] = pattern.demand_series(days * WINDOWS_PER_DAY)
+        return out
+
+    def test_rotating_peaks_yield_savings(self):
+        analysis = TrafficShiftAnalysis(max_remote_fraction=0.3)
+        report = analysis.analyze(self._rotating_demand(), max_rps_per_server=100.0)
+        # Global peak << sum of local peaks, so shifting saves capacity.
+        assert report.capacity_savings > 0.1
+        assert report.peak_utilization_after <= 1.0 + 1e-9
+        assert 0.0 < report.shifted_fraction_mean <= 0.3
+        assert "traffic shift" in report.describe()
+
+    def test_no_shifting_no_savings(self):
+        analysis = TrafficShiftAnalysis(max_remote_fraction=0.0)
+        report = analysis.analyze(self._rotating_demand(), max_rps_per_server=100.0)
+        assert report.capacity_savings <= 0.05
+        assert report.shifted_fraction_mean == 0.0
+
+    def test_synchronized_peaks_no_savings(self):
+        # Same timezone everywhere: nothing to gain from shifting.
+        demand = {
+            f"DC{i}": DiurnalPattern(
+                base_rps=1_000.0, weekend_factor=1.0
+            ).demand_series(WINDOWS_PER_DAY)
+            for i in range(3)
+        }
+        report = TrafficShiftAnalysis(max_remote_fraction=0.3).analyze(
+            demand, max_rps_per_server=100.0
+        )
+        assert report.capacity_savings < 0.1
+
+    def test_more_freedom_more_savings(self):
+        demand = self._rotating_demand()
+        low = TrafficShiftAnalysis(max_remote_fraction=0.1).analyze(
+            demand, max_rps_per_server=100.0
+        )
+        high = TrafficShiftAnalysis(max_remote_fraction=0.5).analyze(
+            demand, max_rps_per_server=100.0
+        )
+        assert high.capacity_savings >= low.capacity_savings - 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficShiftAnalysis(max_remote_fraction=2.0)
+        analysis = TrafficShiftAnalysis()
+        with pytest.raises(ValueError):
+            analysis.analyze({}, max_rps_per_server=100.0)
+        with pytest.raises(ValueError):
+            analysis.analyze({"DC1": np.ones(5)}, max_rps_per_server=0.0)

@@ -1,0 +1,147 @@
+"""Tests for the offline what-if analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.core.slo import QoSRequirement
+from repro.core.whatif import Scenario, WhatIfAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer(multi_dc_sim):
+    return WhatIfAnalyzer(
+        multi_dc_sim.store,
+        "D",
+        QoSRequirement(latency_p95_ms=58.0),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestScenario:
+    def test_defaults_are_neutral(self):
+        s = Scenario(label="x")
+        assert s.demand_factor == 1.0
+        assert s.cpu_cost_factor == 1.0
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(label="x", demand_factor=0.0)
+        with pytest.raises(ValueError):
+            Scenario(label="x", cpu_cost_factor=-1.0)
+
+
+class TestWhatIf:
+    def test_baseline_is_stable(self, analyzer):
+        baseline = analyzer.required_servers(Scenario(label="baseline"))
+        assert baseline >= 4  # at least one server per DC
+
+    def test_demand_growth_needs_more(self, analyzer):
+        base = analyzer.required_servers(Scenario(label="base"))
+        grown = analyzer.required_servers(
+            Scenario(label="grow", demand_factor=1.5)
+        )
+        assert grown > base
+        # Roughly proportional (ceilings allow slack).
+        assert grown <= int(np.ceil(base * 1.5)) + len(
+            analyzer.store.datacenters_for_pool("D")
+        )
+
+    def test_loosened_slo_needs_less(self, analyzer):
+        # "Reducing QoS requirements by 5 ms may require 10 % less
+        # services" — the headline what-if of §II.
+        tight = analyzer.required_servers(
+            Scenario(label="tight", latency_slo_delta_ms=-4.0)
+        )
+        loose = analyzer.required_servers(
+            Scenario(label="loose", latency_slo_delta_ms=+6.0)
+        )
+        assert loose <= tight
+
+    def test_cpu_regression_needs_more(self, analyzer):
+        base = analyzer.required_servers(Scenario(label="base"))
+        slower = analyzer.required_servers(
+            Scenario(label="hog", cpu_cost_factor=1.4)
+        )
+        assert slower > base
+
+    def test_added_latency_needs_more(self, analyzer):
+        base = analyzer.required_servers(Scenario(label="base"))
+        regressed = analyzer.required_servers(
+            Scenario(label="regress", added_latency_ms=6.0)
+        )
+        assert regressed >= base
+
+    def test_retiring_a_datacenter_folds_traffic(self, analyzer):
+        base = analyzer.required_servers(Scenario(label="base"))
+        retired = analyzer.required_servers(
+            Scenario(label="retire", retired_datacenters=("DC1",))
+        )
+        # Fewer sites but the same total traffic: the survivor total is
+        # near the baseline (retired DC servers are repurposed).
+        assert retired == pytest.approx(base, abs=max(2, base // 4))
+
+    def test_retiring_all_rejected(self, analyzer):
+        dcs = analyzer.store.datacenters_for_pool("D")
+        with pytest.raises(ValueError):
+            analyzer.required_servers(
+                Scenario(label="all", retired_datacenters=tuple(dcs))
+            )
+
+    def test_unknown_datacenter_rejected(self, analyzer):
+        with pytest.raises(KeyError):
+            analyzer.required_servers(
+                Scenario(label="bad", retired_datacenters=("DC99",))
+            )
+
+    def test_impossible_slo_rejected(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.required_servers(
+                Scenario(label="zero", latency_slo_delta_ms=-58.0)
+            )
+
+    def test_evaluate_outcomes(self, analyzer):
+        outcomes = analyzer.evaluate(
+            [
+                Scenario(label="grow 30%", demand_factor=1.3),
+                Scenario(label="slo +5ms", latency_slo_delta_ms=5.0),
+            ]
+        )
+        assert len(outcomes) == 2
+        grow, slo = outcomes
+        assert grow.delta_servers > 0
+        assert slo.delta_servers <= 0
+        assert "grow 30%" in grow.describe()
+
+    def test_from_regression_report(self, analyzer):
+        from dataclasses import dataclass
+
+        # A minimal stand-in for a Step-4 report.
+        @dataclass
+        class FakeProfile:
+            label: str
+
+        @dataclass
+        class FakeReport:
+            change: FakeProfile
+            max_latency_regression_ms: float
+
+        scenario = Scenario.from_regression_report(
+            FakeReport(change=FakeProfile("v9"), max_latency_regression_ms=3.5)
+        )
+        assert scenario.added_latency_ms == 3.5
+        assert "v9" in scenario.label
+
+
+class TestGuards:
+    def test_missing_pool_rejected(self, multi_dc_sim):
+        with pytest.raises(KeyError):
+            WhatIfAnalyzer(
+                multi_dc_sim.store, "ZZ", QoSRequirement(latency_p95_ms=10.0)
+            )
+
+    def test_invalid_safety_margin_rejected(self, multi_dc_sim):
+        with pytest.raises(ValueError):
+            WhatIfAnalyzer(
+                multi_dc_sim.store, "D",
+                QoSRequirement(latency_p95_ms=58.0), safety_margin=0.0,
+            )

@@ -1,0 +1,99 @@
+"""Tests for the §III-A experiment orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.experiments import SimulatorRunner, run_reduction_experiment
+
+
+def _sim(pool="B", servers=30, seed=71):
+    fleet = build_single_pool_fleet(
+        pool, n_datacenters=1, servers_per_deployment=servers, seed=seed
+    )
+    return Simulator(
+        fleet, seed=seed, config=SimulationConfig(apply_availability_policies=False)
+    )
+
+
+@pytest.fixture(scope="module")
+def pool_b_report():
+    sim = _sim()
+    return run_reduction_experiment(
+        sim, "B", "DC1",
+        reduction_fraction=0.30,
+        baseline_windows=1440,
+        reduced_windows=720,
+        demand_scale_during_reduction=1.1,
+    )
+
+
+class TestSimulatorRunner:
+    def test_run_reduction_resizes_and_advances(self):
+        sim = _sim(seed=72)
+        runner = SimulatorRunner(sim)
+        start, stop = runner.run_reduction("B", "DC1", 20, 50)
+        assert (start, stop) == (0, 50)
+        assert sim.fleet.deployment("B", "DC1").pool.size == 20
+
+
+class TestReductionExperiment:
+    def test_rps_per_server_increases(self, pool_b_report):
+        report = pool_b_report
+        assert report.reduced.rps_per_server_p95 > report.baseline.rps_per_server_p95
+        assert report.rps_increase_at_p95 > 0.3  # 30 % fewer servers + growth
+
+    def test_cpu_forecast_accurate(self, pool_b_report):
+        # Paper: forecast 16.5 % vs measured 17.4 %.
+        assert pool_b_report.cpu_forecast_error_pct < 1.5
+
+    def test_latency_forecast_accurate(self, pool_b_report):
+        # Paper: forecast 31.5 ms vs measured 30.9 ms.
+        assert pool_b_report.latency_forecast_error_ms < 2.5
+
+    def test_models_trained_on_baseline_only(self, pool_b_report):
+        assert pool_b_report.resource_model.model.n == 1440
+
+    def test_percentile_table_renders(self, pool_b_report):
+        table = pool_b_report.render_percentile_table()
+        assert "Original Server Count" in table
+        assert "% Change" in table
+
+    def test_describe_includes_forecasts(self, pool_b_report):
+        text = pool_b_report.describe()
+        assert "forecast CPU" in text
+        assert "forecast p95 latency" in text
+
+    def test_invalid_fraction_rejected(self):
+        sim = _sim(seed=73, servers=10)
+        with pytest.raises(ValueError):
+            run_reduction_experiment(
+                sim, "B", "DC1", reduction_fraction=1.5,
+                baseline_windows=100, reduced_windows=50,
+            )
+
+    def test_invalid_demand_scale_rejected(self):
+        sim = _sim(seed=74, servers=10)
+        with pytest.raises(ValueError):
+            run_reduction_experiment(
+                sim, "B", "DC1", reduction_fraction=0.1,
+                baseline_windows=100, reduced_windows=50,
+                demand_scale_during_reduction=0.0,
+            )
+
+
+class TestPoolDExperiment:
+    def test_pool_d_10pct_reduction(self):
+        # The §III-A2 replication: 10 % reduction, smaller load shift.
+        sim = _sim(pool="D", servers=30, seed=75)
+        report = run_reduction_experiment(
+            sim, "D", "DC1",
+            reduction_fraction=0.10,
+            baseline_windows=1440,
+            reduced_windows=720,
+            demand_scale_during_reduction=1.1,
+        )
+        assert report.cpu_forecast_error_pct < 1.5
+        assert report.latency_forecast_error_ms < 3.0
+        assert 0.1 < report.rps_increase_at_p95 < 0.5

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.queuing import erlang_c_wait_probability
+from repro.cluster.latency import LatencyModel
+from repro.stats.descriptive import empirical_cdf, percentile_profile
+from repro.stats.regression import fit_linear, fit_polynomial
+from repro.telemetry.series import TimeSeries
+from repro.workload.diurnal import DiurnalPattern, WINDOWS_PER_DAY
+from repro.workload.request_mix import RequestClass, RequestMix
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRegressionProperties:
+    @given(
+        slope=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        intercept=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        n=st.integers(min_value=3, max_value=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_line_recovered(self, slope, intercept, n):
+        x = np.linspace(0.0, 10.0, n)
+        model = fit_linear(x, slope * x + intercept)
+        assert model.slope == pytest.approx(slope, abs=1e-6 + 1e-6 * abs(slope))
+        assert model.intercept == pytest.approx(
+            intercept, abs=1e-6 + 1e-6 * abs(intercept)
+        )
+
+    @given(
+        values=st.lists(finite_floats, min_size=4, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_r2_at_most_one(self, values):
+        x = np.arange(len(values), dtype=float)
+        model = fit_linear(x, values)
+        assert model.r2 <= 1.0 + 1e-9
+
+    @given(
+        coeffs=st.tuples(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quadratic_exact_recovery(self, coeffs):
+        a, b, c = coeffs
+        x = np.linspace(-3, 3, 20)
+        model = fit_polynomial(x, a * x**2 + b * x + c, degree=2)
+        pred = model.predict(1.7)
+        expected = a * 1.7**2 + b * 1.7 + c
+        assert pred == pytest.approx(expected, abs=1e-6 + 1e-4 * abs(expected))
+
+
+class TestDescriptiveProperties:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_profile_monotone(self, values):
+        profile = percentile_profile(values)
+        assert np.all(np.diff(profile) >= -1e-12)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_is_monotone_distribution(self, values):
+        cdf = empirical_cdf(values)
+        assert np.all(np.diff(cdf.ps) >= 0)
+        assert cdf.ps[-1] == pytest.approx(1.0)
+        assert cdf.fraction_at_or_below(float(np.max(values))) == pytest.approx(1.0)
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=100),
+        x=finite_floats,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_fractions_complement(self, values, x):
+        cdf = empirical_cdf(values)
+        total = cdf.fraction_at_or_below(x) + cdf.fraction_above(x)
+        assert total == pytest.approx(1.0)
+
+
+class TestTimeSeriesProperties:
+    @given(values=st.lists(finite_floats, min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_align_with_self_is_identity(self, values):
+        ts = TimeSeries(np.arange(len(values)), np.asarray(values))
+        a, b = ts.align_with(ts)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, ts.values)
+
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=100),
+        factor=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resample_sum_conserves_total(self, values, factor):
+        ts = TimeSeries(np.arange(len(values)), np.asarray(values))
+        down = ts.resample(factor, "sum")
+        assert float(down.values.sum()) == pytest.approx(
+            float(ts.values.sum()), rel=1e-9, abs=1e-6
+        )
+
+
+class TestWorkloadProperties:
+    @given(
+        base=st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+        amplitude=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+        window=st.integers(min_value=0, max_value=10 * WINDOWS_PER_DAY),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_demand_never_negative(self, base, amplitude, window):
+        pattern = DiurnalPattern(
+            base_rps=base, daily_amplitude=amplitude, second_harmonic=0.1
+        )
+        assert pattern.demand_at(window) >= 0.0
+
+    @given(
+        total=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        window=st.integers(min_value=0, max_value=5000),
+        drift=st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_split_volume_conserves_total(self, total, window, drift):
+        mix = RequestMix(
+            classes=(
+                RequestClass("a", 0.01),
+                RequestClass("b", 0.02),
+                RequestClass("c", 0.05),
+            ),
+            proportions=(0.5, 0.3, 0.2),
+            drift=drift,
+        )
+        split = mix.split_volume(total, window)
+        assert sum(split.values()) == pytest.approx(total, rel=1e-9, abs=1e-9)
+        assert all(v >= 0 for v in split.values())
+
+
+class TestLatencyModelProperties:
+    @given(
+        rps=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        util=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_latency_finite_positive(self, rps, util):
+        model = LatencyModel(base_ms=10.0)
+        latency = model.p95_ms(rps, util)
+        assert np.isfinite(latency)
+        assert latency >= model.base_ms
+
+    @given(
+        u1=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+        u2=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_latency_monotone_in_utilization(self, u1, u2):
+        assume(u1 < u2)
+        model = LatencyModel(base_ms=10.0, cold_ms=0.0)
+        assert model.p95_ms(100.0, u1) <= model.p95_ms(100.0, u2)
+
+
+class TestErlangCProperties:
+    @given(
+        offered=st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+        servers=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probability_in_unit_interval(self, offered, servers):
+        p = erlang_c_wait_probability(offered, 1.0, servers)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        offered=st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+        servers=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_servers(self, offered, servers):
+        p1 = erlang_c_wait_probability(offered, 1.0, servers)
+        p2 = erlang_c_wait_probability(offered, 1.0, servers + 1)
+        assert p2 <= p1 + 1e-12

@@ -1,0 +1,82 @@
+"""Unit tests for repro.stats.clustering."""
+
+import numpy as np
+import pytest
+
+from repro.stats.clustering import KMeans, select_k, silhouette_score
+
+
+def _two_blobs(rng, n=60, separation=10.0):
+    a = rng.normal(0.0, 0.5, (n // 2, 2))
+    b = rng.normal(separation, 0.5, (n // 2, 2))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_two_blobs_recovered(self, rng):
+        points = _two_blobs(rng)
+        result = KMeans(2, rng=rng).fit(points)
+        sizes = sorted(result.cluster_sizes())
+        assert sizes == [30, 30]
+        centers = sorted(result.centers[:, 0])
+        assert centers[0] == pytest.approx(0.0, abs=0.5)
+        assert centers[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_k1_center_is_mean(self, rng):
+        points = rng.normal(5.0, 1.0, (40, 2))
+        result = KMeans(1, rng=rng).fit(points)
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0), atol=1e-9)
+
+    def test_inertia_decreases_with_k(self, rng):
+        points = _two_blobs(rng)
+        inertia1 = KMeans(1, rng=np.random.default_rng(0)).fit(points).inertia
+        inertia2 = KMeans(2, rng=np.random.default_rng(0)).fit(points).inertia
+        assert inertia2 < inertia1
+
+    def test_more_clusters_than_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(5, rng=rng).fit([[1.0, 2.0]])
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_1d_input_reshaped(self, rng):
+        result = KMeans(2, rng=rng).fit([0.0, 0.1, 9.9, 10.0])
+        assert result.k == 2
+        assert sorted(result.cluster_sizes()) == [2, 2]
+
+
+class TestSilhouette:
+    def test_well_separated_high_score(self, rng):
+        points = _two_blobs(rng)
+        labels = np.r_[np.zeros(30, dtype=int), np.ones(30, dtype=int)]
+        assert silhouette_score(points, labels) > 0.8
+
+    def test_single_cluster_scores_zero(self, rng):
+        points = rng.normal(size=(20, 2))
+        assert silhouette_score(points, np.zeros(20, dtype=int)) == 0.0
+
+    def test_bad_labels_score_low(self, rng):
+        points = _two_blobs(rng)
+        labels = rng.integers(0, 2, 60)
+        good = np.r_[np.zeros(30, dtype=int), np.ones(30, dtype=int)]
+        assert silhouette_score(points, labels) < silhouette_score(points, good)
+
+
+class TestSelectK:
+    def test_two_blobs_select_two(self, rng):
+        points = _two_blobs(rng)
+        result = select_k(points, max_k=4, rng=rng)
+        assert result.k == 2
+
+    def test_single_blob_stays_one(self, rng):
+        points = rng.normal(0.0, 1.0, (50, 2))
+        result = select_k(points, max_k=4, rng=rng)
+        assert result.k == 1
+
+    def test_conservatism_threshold(self, rng):
+        # Two barely separated blobs: a high threshold keeps them merged.
+        points = _two_blobs(rng, separation=1.0)
+        result = select_k(points, max_k=4, min_silhouette=0.95, rng=rng)
+        assert result.k == 1

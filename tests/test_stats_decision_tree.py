@@ -1,0 +1,99 @@
+"""Unit tests for repro.stats.decision_tree."""
+
+import numpy as np
+import pytest
+
+from repro.stats.decision_tree import DecisionTreeClassifier
+
+
+def _separable_data(rng, n=400):
+    """Two clusters separable on feature 0."""
+    x0 = rng.normal(0.0, 1.0, (n // 2, 3))
+    x1 = rng.normal(0.0, 1.0, (n // 2, 3))
+    x1[:, 0] += 6.0
+    x = np.vstack([x0, x1])
+    y = np.r_[np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)]
+    return x, y
+
+
+class TestFit:
+    def test_separable_data_perfectly_classified(self, rng):
+        x, y = _separable_data(rng)
+        tree = DecisionTreeClassifier(min_leaf_size=10).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.99
+
+    def test_split_count_positive(self, rng):
+        x, y = _separable_data(rng)
+        tree = DecisionTreeClassifier(min_leaf_size=10).fit(x, y)
+        assert tree.count_splits() >= 1
+
+    def test_pure_labels_yield_leaf_root(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.ones(50, dtype=int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.count_splits() == 0
+        assert tree.predict_proba(x)[0] == 1.0
+
+    def test_min_leaf_size_respected(self, rng):
+        x, y = _separable_data(rng, n=100)
+        tree = DecisionTreeClassifier(min_leaf_size=40).fit(x, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree.root)) >= 40
+
+    def test_max_depth_respected(self, rng):
+        x = rng.normal(size=(300, 4))
+        y = (x[:, 0] + x[:, 1] * x[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(min_leaf_size=2, max_depth=3).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([[1.0], [2.0]], [0, 2])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([[1.0], [2.0]], [0])
+
+
+class TestPredict:
+    def test_proba_in_unit_interval(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(min_leaf_size=20).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+    def test_wrong_feature_count_raises(self, rng):
+        x, y = _separable_data(rng, n=100)
+        tree = DecisionTreeClassifier(min_leaf_size=5).fit(x, y)
+        with pytest.raises(ValueError):
+            tree.predict([[1.0]])
+
+    def test_single_row_prediction(self, rng):
+        x, y = _separable_data(rng, n=100)
+        tree = DecisionTreeClassifier(min_leaf_size=5).fit(x, y)
+        assert tree.predict_proba([10.0, 0.0, 0.0]).shape == (1,)
+
+
+class TestFeatureImportances:
+    def test_informative_feature_dominates(self, rng):
+        x, y = _separable_data(rng)
+        tree = DecisionTreeClassifier(min_leaf_size=10).fit(x, y)
+        importances = tree.feature_importances()
+        assert importances.argmax() == 0
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_no_split_gives_zero_importances(self):
+        x = np.zeros((20, 2))
+        y = np.ones(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.feature_importances().sum() == 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    Cdf,
+    empirical_cdf,
+    histogram_fractions,
+    percentile_profile,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.p50 == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+        assert stats.p5 == 7.0
+        assert stats.p95 == 7.0
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {
+            "count", "mean", "std", "min", "p5", "p25", "p50", "p75", "p95", "max",
+        }
+
+
+class TestPercentileProfile:
+    def test_default_grid_is_five_points(self):
+        profile = percentile_profile(np.arange(100.0))
+        assert profile.shape == (5,)
+        assert profile[0] < profile[-1]
+
+    def test_monotone_in_percentile(self):
+        rng = np.random.default_rng(3)
+        profile = percentile_profile(rng.normal(size=500))
+        assert np.all(np.diff(profile) >= 0)
+
+    def test_custom_percentiles(self):
+        profile = percentile_profile([0.0, 100.0], percentiles=[0, 100])
+        assert profile[0] == 0.0
+        assert profile[1] == 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_profile([])
+
+
+class TestCdf:
+    def test_fraction_at_or_below(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at_or_below(2.0) == pytest.approx(0.5)
+        assert cdf.fraction_at_or_below(0.5) == 0.0
+        assert cdf.fraction_at_or_below(10.0) == 1.0
+
+    def test_fraction_above_complements(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_above(2.0) == pytest.approx(0.5)
+
+    def test_quantile_inverts(self):
+        values = np.arange(1, 101, dtype=float)
+        cdf = empirical_cdf(values)
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_quantile_bounds_checked(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestHistogramFractions:
+    def test_fractions_sum_to_at_most_one(self):
+        fractions = histogram_fractions([1, 2, 3, 4, 5], bin_edges=[0, 2.5, 6])
+        assert fractions.sum() == pytest.approx(1.0)
+        assert fractions[0] == pytest.approx(2 / 5)
+
+    def test_out_of_range_samples_excluded(self):
+        fractions = histogram_fractions([1.0, 100.0], bin_edges=[0, 2])
+        assert fractions.sum() == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram_fractions([], bin_edges=[0, 1])

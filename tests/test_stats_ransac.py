@@ -1,0 +1,104 @@
+"""Unit tests for repro.stats.ransac."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ransac import RansacRegressor
+
+
+def _line_with_outliers(rng, n=200, outlier_fraction=0.2):
+    x = np.linspace(0, 100, n)
+    y = 0.5 * x + 10.0 + rng.normal(0, 0.3, n)
+    n_out = int(outlier_fraction * n)
+    idx = rng.choice(n, size=n_out, replace=False)
+    y[idx] += rng.uniform(20, 60, n_out)
+    return x, y, idx
+
+
+class TestRansacLinear:
+    def test_ignores_gross_outliers(self):
+        rng = np.random.default_rng(5)
+        x, y, _ = _line_with_outliers(rng)
+        result = RansacRegressor(degree=1, rng=rng).fit(x, y)
+        assert result.model.slope == pytest.approx(0.5, abs=0.02)
+        assert result.model.intercept == pytest.approx(10.0, abs=1.0)
+
+    def test_flags_outliers(self):
+        rng = np.random.default_rng(6)
+        x, y, outlier_idx = _line_with_outliers(rng)
+        result = RansacRegressor(degree=1, rng=rng).fit(x, y)
+        flagged = set(np.flatnonzero(~result.inlier_mask))
+        # Most injected outliers should be flagged.
+        overlap = len(flagged & set(outlier_idx)) / len(outlier_idx)
+        assert overlap >= 0.75
+
+    def test_ols_beats_nothing_on_clean_data(self):
+        rng = np.random.default_rng(7)
+        x = np.linspace(0, 10, 50)
+        y = 2.0 * x + 1.0
+        result = RansacRegressor(degree=1, rng=rng).fit(x, y)
+        assert result.n_outliers == 0
+        assert result.inlier_fraction == 1.0
+
+
+class TestRansacQuadratic:
+    def test_recovers_quadratic_with_outliers(self):
+        rng = np.random.default_rng(8)
+        x = np.linspace(10, 100, 300)
+        y = 4.66e-3 * x**2 - 0.8 * x + 86.5 + rng.normal(0, 0.5, 300)
+        y[::10] += 40.0  # deployment-coincident latency spikes
+        result = RansacRegressor(degree=2, rng=rng).fit(x, y)
+        coeffs = result.model.coefficients
+        assert coeffs[0] == pytest.approx(4.66e-3, rel=0.1)
+        assert coeffs[2] == pytest.approx(86.5, rel=0.1)
+
+    def test_predict_scalar(self):
+        rng = np.random.default_rng(9)
+        x = np.linspace(0, 10, 50)
+        y = x**2
+        result = RansacRegressor(degree=2, rng=rng).fit(x, y)
+        assert result.predict_scalar(4.0) == pytest.approx(16.0, abs=0.5)
+
+
+class TestRansacEdgeCases:
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            RansacRegressor(degree=2).fit([1.0, 2.0], [1.0, 2.0])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            RansacRegressor(degree=1).fit([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RansacRegressor(degree=0)
+        with pytest.raises(ValueError):
+            RansacRegressor(max_iterations=0)
+        with pytest.raises(ValueError):
+            RansacRegressor(min_inlier_fraction=0.0)
+
+    def test_constant_response(self):
+        rng = np.random.default_rng(10)
+        x = np.linspace(0, 10, 30)
+        y = np.full(30, 5.0)
+        result = RansacRegressor(degree=1, rng=rng).fit(x, y)
+        assert result.model.predict_scalar(100.0) == pytest.approx(5.0, abs=1e-6)
+
+    def test_no_consensus_falls_back_to_ols(self):
+        # Pure noise: RANSAC may find no majority consensus, but the
+        # caller still gets a usable model.
+        rng = np.random.default_rng(11)
+        x = rng.uniform(0, 1, 40)
+        y = rng.uniform(0, 1000, 40)
+        result = RansacRegressor(
+            degree=1, residual_threshold=1e-6, rng=rng
+        ).fit(x, y)
+        assert result.model.n >= 2
+
+    def test_deterministic_under_seed(self):
+        x = np.linspace(0, 10, 60)
+        y = 2 * x + np.sin(x) * 5
+        a = RansacRegressor(degree=1, rng=np.random.default_rng(42)).fit(x, y)
+        b = RansacRegressor(degree=1, rng=np.random.default_rng(42)).fit(x, y)
+        assert a.model.slope == b.model.slope
+        assert np.array_equal(a.inlier_mask, b.inlier_mask)

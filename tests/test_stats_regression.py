@@ -1,0 +1,135 @@
+"""Unit tests for repro.stats.regression."""
+
+import numpy as np
+import pytest
+
+from repro.stats.regression import (
+    fit_linear,
+    fit_multilinear,
+    fit_polynomial,
+    r_squared,
+)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r_squared(y, pred) == pytest.approx(0.0)
+
+    def test_constant_response_exact(self):
+        y = np.array([2.0, 2.0, 2.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_constant_response_wrong(self):
+        y = np.array([2.0, 2.0, 2.0])
+        assert r_squared(y, y + 1.0) == 0.0
+
+
+class TestFitLinear:
+    def test_recovers_exact_line(self):
+        x = np.linspace(0, 10, 50)
+        model = fit_linear(x, 3.0 * x + 2.0)
+        assert model.slope == pytest.approx(3.0)
+        assert model.intercept == pytest.approx(2.0)
+        assert model.r2 == pytest.approx(1.0)
+        assert model.n == 50
+
+    def test_recovers_noisy_line(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 100, 500)
+        y = 0.028 * x + 1.37 + rng.normal(0, 0.1, x.size)
+        model = fit_linear(x, y)
+        assert model.slope == pytest.approx(0.028, abs=0.002)
+        assert model.intercept == pytest.approx(1.37, abs=0.1)
+        assert model.r2 > 0.9
+
+    def test_predict_matches_scalar(self):
+        model = fit_linear([0.0, 1.0], [1.0, 3.0])
+        assert model.predict_scalar(2.0) == pytest.approx(5.0)
+        np.testing.assert_allclose(model.predict([2.0, 3.0]), [5.0, 7.0])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [2.0])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0, 2.0], [1.0])
+
+    def test_describe_contains_r2(self):
+        model = fit_linear([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+        assert "R^2" in model.describe()
+
+    def test_residual_std_positive_for_noise(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 10, 100)
+        model = fit_linear(x, x + rng.normal(0, 0.5, 100))
+        assert 0.3 < model.residual_std < 0.8
+
+
+class TestFitPolynomial:
+    def test_recovers_quadratic(self):
+        x = np.linspace(0, 100, 200)
+        y = 4.028e-5 * x**2 - 0.031 * x + 36.68
+        model = fit_polynomial(x, y, degree=2)
+        assert model.coefficients[0] == pytest.approx(4.028e-5, rel=1e-3)
+        assert model.coefficients[1] == pytest.approx(-0.031, rel=1e-3)
+        assert model.coefficients[2] == pytest.approx(36.68, rel=1e-3)
+        assert model.r2 == pytest.approx(1.0)
+
+    def test_degree_property(self):
+        model = fit_polynomial([0, 1, 2, 3], [0, 1, 4, 9], degree=2)
+        assert model.degree == 2
+
+    def test_extrapolation_flag(self):
+        model = fit_polynomial([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 4.0, 9.0], degree=2)
+        assert not model.is_extrapolating(1.5)
+        assert model.is_extrapolating(5.0)
+        assert model.is_extrapolating(-1.0)
+
+    def test_insufficient_points_raise(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([0.0, 1.0], [0.0, 1.0], degree=2)
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([0.0, 1.0], [0.0, 1.0], degree=0)
+
+    def test_describe_renders_terms(self):
+        model = fit_polynomial([0, 1, 2], [1, 2, 5], degree=2)
+        text = model.describe()
+        assert "x^2" in text and "R^2" in text
+
+
+class TestFitMultilinear:
+    def test_recovers_plane(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 10, size=(200, 2))
+        y = 2.0 * x[:, 0] + 5.0 * x[:, 1] + 1.0
+        model = fit_multilinear(x, y)
+        assert model.coefficients[0] == pytest.approx(2.0, abs=1e-9)
+        assert model.coefficients[1] == pytest.approx(5.0, abs=1e-9)
+        assert model.intercept == pytest.approx(1.0, abs=1e-9)
+        assert model.r2 == pytest.approx(1.0)
+
+    def test_single_feature_matches_linear(self):
+        x = np.linspace(0, 10, 30)
+        multi = fit_multilinear(x.reshape(-1, 1), 3 * x + 1)
+        linear = fit_linear(x, 3 * x + 1)
+        assert multi.coefficients[0] == pytest.approx(linear.slope)
+        assert multi.intercept == pytest.approx(linear.intercept)
+
+    def test_underdetermined_raises(self):
+        with pytest.raises(ValueError):
+            fit_multilinear([[1.0, 2.0]], [1.0])
+
+    def test_predict_shape(self):
+        model = fit_multilinear([[0.0], [1.0], [2.0]], [0.0, 2.0, 4.0])
+        pred = model.predict([[3.0]])
+        assert pred.shape == (1,)
+        assert pred[0] == pytest.approx(6.0)

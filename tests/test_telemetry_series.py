@@ -1,0 +1,124 @@
+"""Unit tests for repro.telemetry.series."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.series import TimeSeries
+
+
+def _series(values, start=0):
+    values = np.asarray(values, dtype=float)
+    return TimeSeries(np.arange(start, start + values.size), values)
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        ts = TimeSeries.from_pairs([(0, 1.0), (1, 2.0)])
+        assert len(ts) == 2
+        assert ts.values[1] == 2.0
+
+    def test_from_pairs_empty(self):
+        ts = TimeSeries.from_pairs([])
+        assert ts.is_empty
+
+    def test_unsorted_windows_are_sorted(self):
+        ts = TimeSeries([3, 1, 2], [30.0, 10.0, 20.0])
+        np.testing.assert_array_equal(ts.windows, [1, 2, 3])
+        np.testing.assert_array_equal(ts.values, [10.0, 20.0, 30.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries([0, 1], [1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries([[0]], [[1.0]])
+
+
+class TestSlicing:
+    def test_slice_windows(self):
+        ts = _series([1.0, 2.0, 3.0, 4.0])
+        sliced = ts.slice_windows(1, 3)
+        np.testing.assert_array_equal(sliced.windows, [1, 2])
+
+    def test_slice_empty_result(self):
+        ts = _series([1.0, 2.0])
+        assert ts.slice_windows(10, 20).is_empty
+
+    def test_where(self):
+        ts = _series([1.0, 5.0, 2.0, 8.0])
+        filtered = ts.where(lambda v: v > 2.0)
+        np.testing.assert_array_equal(filtered.values, [5.0, 8.0])
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert _series([1.0, 2.0, 3.0]).mean() == pytest.approx(2.0)
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries.from_pairs([]).mean()
+
+    def test_percentile(self):
+        ts = _series(np.arange(101, dtype=float))
+        assert ts.percentile(95) == pytest.approx(95.0)
+
+    def test_percentiles_vector(self):
+        ts = _series(np.arange(101, dtype=float))
+        p = ts.percentiles([50, 95])
+        assert p[0] == pytest.approx(50.0)
+        assert p[1] == pytest.approx(95.0)
+
+
+class TestAlign:
+    def test_align_common_windows(self):
+        a = TimeSeries([0, 1, 2, 5], [1.0, 2.0, 3.0, 6.0])
+        b = TimeSeries([1, 2, 3], [20.0, 30.0, 40.0])
+        va, vb = a.align_with(b)
+        np.testing.assert_array_equal(va, [2.0, 3.0])
+        np.testing.assert_array_equal(vb, [20.0, 30.0])
+
+    def test_align_disjoint_is_empty(self):
+        a = TimeSeries([0], [1.0])
+        b = TimeSeries([1], [2.0])
+        va, vb = a.align_with(b)
+        assert va.size == 0 and vb.size == 0
+
+
+class TestResample:
+    def test_mean_resample(self):
+        ts = _series([1.0, 3.0, 5.0, 7.0])
+        down = ts.resample(2, "mean")
+        np.testing.assert_array_equal(down.values, [2.0, 6.0])
+
+    def test_max_resample(self):
+        ts = _series([1.0, 3.0, 5.0, 7.0])
+        down = ts.resample(2, "max")
+        np.testing.assert_array_equal(down.values, [3.0, 7.0])
+
+    def test_sum_resample(self):
+        ts = _series([1.0, 1.0, 1.0])
+        down = ts.resample(3, "sum")
+        assert down.values[0] == 3.0
+
+    def test_unknown_reducer_rejected(self):
+        with pytest.raises(ValueError):
+            _series([1.0, 2.0]).resample(2, "median")
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            _series([1.0]).resample(0)
+
+
+class TestDiffFraction:
+    def test_step_change(self):
+        ts = _series([100.0, 150.0])
+        diff = ts.diff_fraction()
+        assert diff.values[0] == pytest.approx(0.5)
+
+    def test_short_series_empty(self):
+        assert _series([1.0]).diff_fraction().is_empty
+
+    def test_zero_previous_handled(self):
+        ts = _series([0.0, 10.0])
+        assert ts.diff_fraction().values[0] == 0.0

@@ -1,0 +1,148 @@
+"""Unit tests for repro.telemetry.store and counters."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.counters import Counter, CounterSample, WINDOW_SECONDS, workload_counter
+from repro.telemetry.store import MetricStore
+
+
+def _sample(window, server="s0", pool="P", dc="DC1", counter="cpu", value=1.0):
+    return CounterSample(
+        window_index=window,
+        server_id=server,
+        pool_id=pool,
+        datacenter_id=dc,
+        counter=counter,
+        value=value,
+    )
+
+
+@pytest.fixture()
+def store():
+    s = MetricStore()
+    for w in range(10):
+        s.record(_sample(w, server="s0", value=float(w)))
+        s.record(_sample(w, server="s1", value=float(w) * 2))
+        s.record(_sample(w, server="s0", counter="lat", value=10.0 + w))
+    s.record(_sample(0, server="s2", pool="Q", dc="DC2", value=5.0))
+    return s
+
+
+class TestCounters:
+    def test_window_seconds_is_paper_value(self):
+        assert WINDOW_SECONDS == 120
+
+    def test_workload_counter_name(self):
+        assert workload_counter("table_a") == "Requests/sec[table_a]"
+
+    def test_workload_counter_empty_rejected(self):
+        with pytest.raises(ValueError):
+            workload_counter("")
+
+    def test_sample_time_seconds(self):
+        assert _sample(3).time_seconds == 360.0
+
+    def test_resource_classification(self):
+        assert Counter.PROCESSOR_UTILIZATION.is_resource
+        assert not Counter.LATENCY_P95.is_resource
+        assert Counter.LATENCY_P95.is_qos
+        assert not Counter.AVAILABILITY.is_qos
+
+
+class TestIngest:
+    def test_sample_count(self, store):
+        assert store.sample_count() == 31
+
+    def test_pools_and_datacenters(self, store):
+        assert store.pools == ("P", "Q")
+        assert store.datacenters == ("DC1", "DC2")
+
+    def test_max_window(self, store):
+        assert store.max_window == 9
+
+    def test_empty_store(self):
+        s = MetricStore()
+        assert s.max_window == -1
+        assert s.sample_count() == 0
+
+    def test_record_fast_equivalent(self):
+        a, b = MetricStore(), MetricStore()
+        a.record(_sample(1, value=3.0))
+        b.record_fast(1, "s0", "P", "DC1", "cpu", 3.0)
+        sa = a.server_series("P", "cpu", "s0")
+        sb = b.server_series("P", "cpu", "s0")
+        np.testing.assert_array_equal(sa.values, sb.values)
+        np.testing.assert_array_equal(sa.windows, sb.windows)
+
+
+class TestQueries:
+    def test_server_series(self, store):
+        series = store.server_series("P", "cpu", "s0")
+        assert len(series) == 10
+        assert series.values[3] == 3.0
+
+    def test_server_series_sliced(self, store):
+        series = store.server_series("P", "cpu", "s0", start=2, stop=5)
+        np.testing.assert_array_equal(series.windows, [2, 3, 4])
+
+    def test_missing_series_empty(self, store):
+        assert store.server_series("P", "cpu", "nope").is_empty
+
+    def test_pool_mean_aggregate(self, store):
+        series = store.pool_window_aggregate("P", "cpu")
+        # mean of (w, 2w) = 1.5w
+        assert series.values[4] == pytest.approx(6.0)
+
+    def test_pool_sum_aggregate(self, store):
+        series = store.pool_window_aggregate("P", "cpu", reducer="sum")
+        assert series.values[4] == pytest.approx(12.0)
+
+    def test_pool_max_aggregate(self, store):
+        series = store.pool_window_aggregate("P", "cpu", reducer="max")
+        assert series.values[4] == pytest.approx(8.0)
+
+    def test_pool_count_aggregate(self, store):
+        series = store.pool_window_aggregate("P", "cpu", reducer="count")
+        assert series.values[0] == 2.0
+
+    def test_unknown_reducer_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.pool_window_aggregate("P", "cpu", reducer="median")
+
+    def test_dc_filter(self, store):
+        series = store.pool_window_aggregate("Q", "cpu", datacenter_id="DC2")
+        assert len(series) == 1
+        empty = store.pool_window_aggregate("Q", "cpu", datacenter_id="DC1")
+        assert empty.is_empty
+
+    def test_per_server_values(self, store):
+        per_server = store.per_server_values("P", "cpu")
+        assert set(per_server) == {"s0", "s1"}
+        assert per_server["s1"][2] == 4.0
+
+    def test_per_server_values_window_sliced(self, store):
+        per_server = store.per_server_values("P", "cpu", start=8)
+        assert per_server["s0"].size == 2
+
+    def test_all_values(self, store):
+        values = store.all_values("cpu")
+        assert values.size == 21
+
+    def test_all_values_pool_filtered(self, store):
+        values = store.all_values("cpu", pool_ids=["Q"])
+        assert values.size == 1
+
+    def test_all_values_missing_counter(self, store):
+        assert store.all_values("nothing").size == 0
+
+    def test_servers_in_pool(self, store):
+        assert store.servers_in_pool("P") == ("s0", "s1")
+        assert store.servers_in_pool("P", datacenter_id="DC2") == ()
+
+    def test_counters_for_pool(self, store):
+        assert set(store.counters_for_pool("P")) == {"cpu", "lat"}
+
+    def test_datacenters_for_pool(self, store):
+        assert store.datacenters_for_pool("P") == ("DC1",)
+        assert store.datacenters_for_pool("Q") == ("DC2",)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.workload.diurnal."""
+
+import numpy as np
+import pytest
+
+from repro.workload.diurnal import WINDOWS_PER_DAY, WINDOWS_PER_WEEK, DiurnalPattern
+
+
+class TestWindowsPerDay:
+    def test_720_windows_at_120s(self):
+        assert WINDOWS_PER_DAY == 720
+        assert WINDOWS_PER_WEEK == 5040
+
+
+class TestDiurnalPattern:
+    def test_mean_near_base(self):
+        pattern = DiurnalPattern(base_rps=1000.0)
+        demand = pattern.demand_series(WINDOWS_PER_DAY)
+        assert demand.mean() == pytest.approx(1000.0, rel=0.1)
+
+    def test_daily_swing_matches_amplitude(self):
+        pattern = DiurnalPattern(base_rps=1000.0, daily_amplitude=0.5, second_harmonic=0.0)
+        peak, trough = pattern.daily_peak(), pattern.daily_trough()
+        assert peak == pytest.approx(1500.0, rel=0.02)
+        assert trough == pytest.approx(500.0, rel=0.05)
+
+    def test_peak_at_configured_local_hour(self):
+        pattern = DiurnalPattern(
+            base_rps=100.0, second_harmonic=0.0, peak_hour_local=20.0,
+            timezone_offset_hours=0.0,
+        )
+        demand = pattern.demand_series(WINDOWS_PER_DAY)
+        peak_window = int(np.argmax(demand))
+        peak_hour = peak_window / WINDOWS_PER_DAY * 24.0
+        assert peak_hour == pytest.approx(20.0, abs=0.2)
+
+    def test_timezone_shifts_peak(self):
+        base = DiurnalPattern(base_rps=100.0, second_harmonic=0.0)
+        shifted = DiurnalPattern(
+            base_rps=100.0, second_harmonic=0.0, timezone_offset_hours=6.0
+        )
+        d_base = base.demand_series(WINDOWS_PER_DAY)
+        d_shift = shifted.demand_series(WINDOWS_PER_DAY)
+        # +6h offset means the same local hour occurs 6h earlier in
+        # simulation time.
+        shift_windows = int(6 / 24 * WINDOWS_PER_DAY)
+        peak_delta = (int(np.argmax(d_base)) - int(np.argmax(d_shift))) % WINDOWS_PER_DAY
+        assert peak_delta == pytest.approx(shift_windows, abs=3)
+
+    def test_weekend_dip(self):
+        pattern = DiurnalPattern(base_rps=100.0, weekend_factor=0.5)
+        weekday = pattern.demand_at(0)
+        weekend = pattern.demand_at(5 * WINDOWS_PER_DAY)
+        assert weekend == pytest.approx(weekday * 0.5)
+
+    def test_weekly_growth_compounds(self):
+        pattern = DiurnalPattern(base_rps=100.0, weekly_growth=0.1)
+        now = pattern.demand_at(0)
+        later = pattern.demand_at(WINDOWS_PER_WEEK)
+        assert later / now == pytest.approx(1.1, rel=0.01)
+
+    def test_demand_never_negative(self):
+        pattern = DiurnalPattern(base_rps=10.0, daily_amplitude=0.9, second_harmonic=0.3)
+        demand = pattern.demand_series(WINDOWS_PER_WEEK)
+        assert np.all(demand >= 0.0)
+
+    def test_with_base_keeps_shape(self):
+        pattern = DiurnalPattern(base_rps=100.0, daily_amplitude=0.3)
+        scaled = pattern.with_base(200.0)
+        assert scaled.base_rps == 200.0
+        assert scaled.daily_amplitude == 0.3
+        assert scaled.demand_at(7) == pytest.approx(2 * pattern.demand_at(7))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(base_rps=0.0)
+        with pytest.raises(ValueError):
+            DiurnalPattern(base_rps=1.0, daily_amplitude=1.5)
+        with pytest.raises(ValueError):
+            DiurnalPattern(base_rps=1.0, weekend_factor=0.0)
+
+    def test_negative_window_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(base_rps=1.0).demand_series(-1)

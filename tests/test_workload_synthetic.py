@@ -1,0 +1,126 @@
+"""Unit tests for repro.workload.synthetic (methodology Step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.diurnal import DiurnalPattern
+from repro.workload.request_mix import RequestClass, RequestMix
+from repro.workload.synthetic import (
+    RampPlan,
+    SyntheticWorkloadModel,
+    compare_traces,
+)
+from repro.workload.traces import generate_trace
+
+
+@pytest.fixture()
+def production_trace(rng):
+    mix = RequestMix(
+        classes=(RequestClass("a", 0.01), RequestClass("b", 0.02)),
+        proportions=(0.7, 0.3),
+    )
+    pattern = DiurnalPattern(base_rps=800.0)
+    return generate_trace(pattern, mix, 720, rng)
+
+
+class TestRampPlan:
+    def test_linear_levels(self):
+        ramp = RampPlan.linear(100.0, 500.0, 5, windows_per_level=3)
+        assert len(ramp.levels) == 5
+        assert ramp.levels[0] == 100.0
+        assert ramp.levels[-1] == 500.0
+        assert ramp.total_windows == 15
+
+    def test_level_at_steps(self):
+        ramp = RampPlan.linear(0.0, 10.0, 2, windows_per_level=2)
+        assert ramp.level_at(0) == 0.0
+        assert ramp.level_at(1) == 0.0
+        assert ramp.level_at(2) == 10.0
+
+    def test_level_out_of_range(self):
+        ramp = RampPlan.linear(0.0, 10.0, 2, windows_per_level=1)
+        with pytest.raises(IndexError):
+            ramp.level_at(5)
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            RampPlan(levels=(), windows_per_level=1)
+        with pytest.raises(ValueError):
+            RampPlan(levels=(-1.0,), windows_per_level=1)
+        with pytest.raises(ValueError):
+            RampPlan.linear(0.0, 10.0, 1)
+
+
+class TestSyntheticWorkloadModel:
+    def test_unfitted_generate_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            SyntheticWorkloadModel().generate(10, rng)
+
+    def test_fit_on_empty_trace_rejected(self):
+        from repro.workload.traces import WorkloadTrace
+
+        empty = WorkloadTrace(0, np.array([]), {})
+        with pytest.raises(ValueError):
+            SyntheticWorkloadModel().fit(empty)
+
+    def test_generated_volume_matches(self, production_trace, rng):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        synthetic = model.generate(720, rng)
+        assert synthetic.totals.mean() == pytest.approx(
+            production_trace.totals.mean(), rel=0.05
+        )
+
+    def test_generated_mix_matches(self, production_trace, rng):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        synthetic = model.generate(720, rng)
+        prod_share = (
+            production_trace.class_volumes["a"] / production_trace.totals
+        ).mean()
+        nonzero = synthetic.totals > 0
+        syn_share = (
+            synthetic.class_volumes["a"][nonzero] / synthetic.totals[nonzero]
+        ).mean()
+        assert syn_share == pytest.approx(prod_share, abs=0.03)
+
+    def test_ramp_holds_levels(self, production_trace, rng):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        ramp = RampPlan.linear(100.0, 400.0, 4, windows_per_level=5)
+        trace = model.generate_ramp(ramp, rng, noise=0.0)
+        assert len(trace) == 20
+        np.testing.assert_allclose(trace.totals[:5], 100.0)
+        np.testing.assert_allclose(trace.totals[-5:], 400.0)
+
+    def test_ramp_reproducible(self, production_trace):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        ramp = RampPlan.linear(100.0, 400.0, 4)
+        t1 = model.generate_ramp(ramp, np.random.default_rng(5))
+        t2 = model.generate_ramp(ramp, np.random.default_rng(5))
+        np.testing.assert_array_equal(t1.totals, t2.totals)
+
+
+class TestCompareTraces:
+    def test_synthetic_passes_fidelity(self, production_trace, rng):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        synthetic = model.generate(720, rng)
+        report = compare_traces(production_trace, synthetic)
+        assert report.passed, report.describe()
+
+    def test_wrong_volume_fails(self, production_trace, rng):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        synthetic = model.generate(720, rng).scaled(2.0)
+        report = compare_traces(production_trace, synthetic)
+        assert not report.passed
+        assert report.volume_mean_error > 0.5
+
+    def test_class_mismatch_rejected(self, production_trace, rng):
+        from repro.workload.traces import WorkloadTrace
+
+        other = WorkloadTrace(0, np.array([1.0]), {"zzz": np.array([1.0])})
+        with pytest.raises(ValueError):
+            compare_traces(production_trace, other)
+
+    def test_describe_mentions_status(self, production_trace, rng):
+        model = SyntheticWorkloadModel().fit(production_trace)
+        synthetic = model.generate(720, rng)
+        report = compare_traces(production_trace, synthetic)
+        assert "PASS" in report.describe()

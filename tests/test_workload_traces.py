@@ -1,0 +1,118 @@
+"""Unit tests for repro.workload.traces."""
+
+import numpy as np
+import pytest
+
+from repro.workload.diurnal import DiurnalPattern
+from repro.workload.request_mix import RequestClass, RequestMix
+from repro.workload.traces import WorkloadTrace, generate_trace
+
+
+@pytest.fixture()
+def mix():
+    return RequestMix(
+        classes=(RequestClass("a", 0.01), RequestClass("b", 0.02)),
+        proportions=(0.7, 0.3),
+    )
+
+
+@pytest.fixture()
+def pattern():
+    return DiurnalPattern(base_rps=500.0)
+
+
+class TestWorkloadTrace:
+    def test_class_volumes_align(self):
+        trace = WorkloadTrace(
+            start_window=0,
+            totals=np.array([10.0, 20.0]),
+            class_volumes={"a": np.array([10.0, 20.0])},
+        )
+        assert len(trace) == 2
+        assert trace.class_names == ("a",)
+
+    def test_misaligned_volumes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(
+                start_window=0,
+                totals=np.array([10.0, 20.0]),
+                class_volumes={"a": np.array([10.0])},
+            )
+
+    def test_total_at_window(self):
+        trace = WorkloadTrace(5, np.array([1.0, 2.0]), {"a": np.array([1.0, 2.0])})
+        assert trace.total_at(6) == 2.0
+        with pytest.raises(IndexError):
+            trace.total_at(7)
+
+    def test_class_volume_at(self):
+        trace = WorkloadTrace(0, np.array([3.0]), {"a": np.array([3.0])})
+        assert trace.class_volume_at(0) == {"a": 3.0}
+
+    def test_scaled(self):
+        trace = WorkloadTrace(0, np.array([2.0]), {"a": np.array([2.0])})
+        doubled = trace.scaled(2.0)
+        assert doubled.totals[0] == 4.0
+        assert doubled.class_volumes["a"][0] == 4.0
+
+    def test_scaled_negative_rejected(self):
+        trace = WorkloadTrace(0, np.array([2.0]), {"a": np.array([2.0])})
+        with pytest.raises(ValueError):
+            trace.scaled(-1.0)
+
+    def test_concat_contiguous(self):
+        a = WorkloadTrace(0, np.array([1.0, 2.0]), {"x": np.array([1.0, 2.0])})
+        b = WorkloadTrace(2, np.array([3.0]), {"x": np.array([3.0])})
+        joined = a.concat(b)
+        assert len(joined) == 3
+        assert joined.total_at(2) == 3.0
+
+    def test_concat_gap_rejected(self):
+        a = WorkloadTrace(0, np.array([1.0]), {"x": np.array([1.0])})
+        b = WorkloadTrace(5, np.array([1.0]), {"x": np.array([1.0])})
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_concat_class_mismatch_rejected(self):
+        a = WorkloadTrace(0, np.array([1.0]), {"x": np.array([1.0])})
+        b = WorkloadTrace(1, np.array([1.0]), {"y": np.array([1.0])})
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+
+class TestGenerateTrace:
+    def test_shape_and_classes(self, pattern, mix, rng):
+        trace = generate_trace(pattern, mix, 100, rng)
+        assert len(trace) == 100
+        assert set(trace.class_names) == {"a", "b"}
+
+    def test_class_volumes_sum_to_totals(self, pattern, mix, rng):
+        trace = generate_trace(pattern, mix, 50, rng)
+        summed = trace.class_volumes["a"] + trace.class_volumes["b"]
+        np.testing.assert_allclose(summed, trace.totals, rtol=1e-9)
+
+    def test_noise_level(self, pattern, mix, rng):
+        trace = generate_trace(pattern, mix, 720, rng, noise=0.05)
+        expected = pattern.demand_series(720)
+        ratio = trace.totals / expected
+        assert np.std(ratio) == pytest.approx(0.05, rel=0.4)
+        assert np.mean(ratio) == pytest.approx(1.0, rel=0.02)
+
+    def test_zero_noise_deterministic(self, pattern, mix, rng):
+        trace = generate_trace(pattern, mix, 50, rng, noise=0.0)
+        np.testing.assert_allclose(trace.totals, pattern.demand_series(50))
+
+    def test_reproducible_under_seed(self, pattern, mix):
+        t1 = generate_trace(pattern, mix, 50, np.random.default_rng(3))
+        t2 = generate_trace(pattern, mix, 50, np.random.default_rng(3))
+        np.testing.assert_array_equal(t1.totals, t2.totals)
+
+    def test_start_window_respected(self, pattern, mix, rng):
+        trace = generate_trace(pattern, mix, 10, rng, start_window=100)
+        assert trace.windows[0] == 100
+
+    def test_invalid_args_rejected(self, pattern, mix, rng):
+        with pytest.raises(ValueError):
+            generate_trace(pattern, mix, -1, rng)
+        with pytest.raises(ValueError):
+            generate_trace(pattern, mix, 10, rng, noise=-0.1)
