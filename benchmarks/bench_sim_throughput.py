@@ -1,0 +1,99 @@
+"""Simulation + ingest throughput: columnar engine vs the seed path.
+
+The refactor target: advancing the fleet one telemetry window used to
+cost a Python loop per server per counter; the columnar engine computes
+each counter for a whole pool as one NumPy array and appends it to the
+metric store in one batched call.  This benchmark measures windows/sec
+and samples/sec on a large synthetic fleet (1000 servers x 1000
+windows) for both engines and records the speedup in
+``BENCH_sim_throughput.json`` for the perf trajectory.
+
+The legacy engine is measured over a window subset and extrapolated
+per-window (it is the seed's per-sample path, ~2 orders of magnitude
+slower; running it for the full duration would only add noise-free
+waiting).
+
+Run as a pytest benchmark (``pytest benchmarks/bench_sim_throughput.py``)
+or directly (``PYTHONPATH=src python benchmarks/bench_sim_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+
+#: Headline configuration (the ISSUE's 1000-server x 1000-window run).
+SERVERS = 1000
+WINDOWS = 1000
+#: Windows actually executed on the slow legacy engine before
+#: extrapolating its per-window rate.
+LEGACY_WINDOWS = 60
+
+#: Required speedup of the columnar engine over the seed path.
+TARGET_SPEEDUP = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"
+
+
+def _measure(engine: str, n_windows: int, servers: int = SERVERS) -> dict:
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=servers, seed=29
+    )
+    sim = Simulator(fleet, seed=29, config=SimulationConfig(engine=engine))
+    started = time.perf_counter()
+    sim.run(n_windows)
+    elapsed = time.perf_counter() - started
+    samples = sim.store.sample_count()
+    return {
+        "engine": engine,
+        "servers": servers,
+        "windows": n_windows,
+        "elapsed_s": elapsed,
+        "samples": samples,
+        "windows_per_sec": n_windows / elapsed,
+        "samples_per_sec": samples / elapsed,
+    }
+
+
+def run_benchmark() -> dict:
+    batch = _measure("batch", WINDOWS)
+    legacy = _measure("legacy", LEGACY_WINDOWS)
+    speedup = batch["windows_per_sec"] / legacy["windows_per_sec"]
+    result = {
+        "benchmark": "sim_throughput",
+        "fleet": {"pool": "B", "servers": SERVERS, "windows": WINDOWS},
+        "batch": batch,
+        "legacy": legacy,
+        "speedup_windows_per_sec": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_sim_throughput():
+    result = run_benchmark()
+    batch = result["batch"]
+    legacy = result["legacy"]
+    print()
+    print(
+        f"columnar engine: {batch['windows_per_sec']:8.1f} windows/s "
+        f"({batch['samples_per_sec']:,.0f} samples/s) over "
+        f"{batch['windows']} windows x {batch['servers']} servers"
+    )
+    print(
+        f"legacy engine:   {legacy['windows_per_sec']:8.1f} windows/s "
+        f"({legacy['samples_per_sec']:,.0f} samples/s) over "
+        f"{legacy['windows']} windows (extrapolated)"
+    )
+    print(f"speedup: {result['speedup_windows_per_sec']:.1f}x -> {RESULT_PATH.name}")
+    assert result["speedup_windows_per_sec"] >= TARGET_SPEEDUP
+
+
+if __name__ == "__main__":
+    outcome = run_benchmark()
+    print(json.dumps(outcome, indent=2))

@@ -88,23 +88,29 @@ def study_fleet_utilization(
 ) -> FleetUtilizationStudy:
     """Build the utilization study over the whole store (or some pools)."""
     pools = pool_ids if pool_ids is not None else list(store.pools)
-    p95s: List[float] = []
-    maxima: List[float] = []
+    p95s: List[np.ndarray] = []
+    maxima: List[np.ndarray] = []
     chunks: List[np.ndarray] = []
     for pool in pools:
-        per_server = store.per_server_values(
+        # One dense (window, server) CPU cube per pool: the per-server
+        # percentile/max reductions become single vectorized passes.
+        _windows, _names, matrix = store.pool_matrix(
             pool, Counter.PROCESSOR_UTILIZATION.value
         )
-        for _server_id, values in sorted(per_server.items()):
-            if values.size < 10:
-                continue
-            p95s.append(float(np.percentile(values, 95.0)))
-            maxima.append(float(values.max()))
-            chunks.append(values)
+        if matrix.size == 0:
+            continue
+        counts = np.sum(~np.isnan(matrix), axis=0)
+        keep = counts >= 10
+        if not keep.any():
+            continue
+        kept = matrix[:, keep]
+        p95s.append(np.nanpercentile(kept, 95.0, axis=0))
+        maxima.append(np.nanmax(kept, axis=0))
+        chunks.append(kept[~np.isnan(kept)])
     if not chunks:
         raise ValueError("no CPU telemetry found for the requested pools")
     return FleetUtilizationStudy(
-        server_p95=np.asarray(p95s, dtype=float),
+        server_p95=np.concatenate(p95s),
         all_samples=np.concatenate(chunks),
-        server_spike_max=np.asarray(maxima, dtype=float),
+        server_spike_max=np.concatenate(maxima),
     )

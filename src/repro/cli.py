@@ -31,6 +31,8 @@ from repro.telemetry.export import export_store, import_store
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import time
+
     datacenters = PAPER_DATACENTERS[: args.datacenters]
     fleet = build_paper_fleet(
         servers_per_deployment=args.servers,
@@ -38,20 +40,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         pools=args.pools.split(",") if args.pools else None,
         seed=args.seed,
     )
+    n_windows = (
+        args.windows
+        if args.windows is not None
+        else int(round(args.days * 720))
+    )
     print(
         f"simulating {fleet.total_servers()} servers "
         f"({len(fleet.pool_ids)} pools x {len(datacenters)} DCs) "
-        f"for {args.days} day(s) ...",
+        f"for {n_windows} window(s) with the {args.engine!r} engine ...",
         file=sys.stderr,
     )
     simulator = Simulator(
         fleet,
         seed=args.seed,
-        config=SimulationConfig(record_request_classes=True),
+        config=SimulationConfig(record_request_classes=True, engine=args.engine),
     )
-    simulator.run_days(args.days)
-    rows = export_store(simulator.store, args.output)
-    print(f"wrote {rows} samples to {args.output}", file=sys.stderr)
+    started = time.perf_counter()
+    simulator.run(n_windows)
+    elapsed = time.perf_counter() - started
+    samples = simulator.store.sample_count()
+    rate = n_windows / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"simulated {n_windows} windows ({samples} samples) in {elapsed:.2f}s "
+        f"= {rate:.1f} windows/s, {samples / max(elapsed, 1e-9):,.0f} samples/s",
+        file=sys.stderr,
+    )
+    if args.output is not None:
+        rows = export_store(simulator.store, args.output)
+        print(f"wrote {rows} samples to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -116,14 +133,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="simulate a fleet and archive telemetry")
-    simulate.add_argument("output", help="archive path (.csv or .csv.gz)")
+    simulate.add_argument(
+        "output", nargs="?", default=None,
+        help="archive path (.csv or .csv.gz); omit to only print throughput "
+             "(large-fleet benchmarking runs)",
+    )
     simulate.add_argument("--days", type=float, default=2.0)
+    simulate.add_argument(
+        "--windows", type=int, default=None,
+        help="simulate exactly N windows (overrides --days; 720 windows = 1 day)",
+    )
     simulate.add_argument("--servers", type=int, default=6, help="servers per deployment")
     simulate.add_argument(
         "--datacenters", type=int, default=9, choices=range(1, 10), metavar="1-9"
     )
     simulate.add_argument("--pools", default=None, help="comma-separated pool letters")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--engine", default="batch", choices=("batch", "per-sample", "legacy"),
+        help="simulation engine (batch = vectorized columnar default)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     plan = sub.add_parser("plan", help="right-size pools from an archive")

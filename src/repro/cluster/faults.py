@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Protocol
 
 import numpy as np
@@ -29,11 +30,35 @@ from repro.workload.diurnal import WINDOWS_PER_DAY
 
 
 class AvailabilityPolicy(Protocol):
-    """Decides, deterministically, whether a server is online."""
+    """Decides, deterministically, whether a server is online.
+
+    Implementations may additionally provide the vectorized
+    ``online_mask(n_servers, window) -> np.ndarray`` used by the
+    simulator's batched hot path; :func:`policy_online_mask` falls back
+    to the per-index method for policies that don't.
+    """
 
     def is_online(self, server_index: int, n_servers: int, window: int) -> bool:
         """True when the server should be serving traffic this window."""
         ...
+
+
+def policy_online_mask(
+    policy: AvailabilityPolicy, n_servers: int, window: int
+) -> np.ndarray:
+    """Boolean online mask over all of a pool's servers for one window.
+
+    Uses the policy's vectorized ``online_mask`` when available,
+    otherwise loops ``is_online`` (custom user policies).
+    """
+    mask_fn = getattr(policy, "online_mask", None)
+    if mask_fn is not None:
+        return mask_fn(n_servers, window)
+    return np.fromiter(
+        (policy.is_online(i, n_servers, window) for i in range(n_servers)),
+        dtype=bool,
+        count=n_servers,
+    )
 
 
 @dataclass(frozen=True)
@@ -42,6 +67,9 @@ class AlwaysOnline:
 
     def is_online(self, server_index: int, n_servers: int, window: int) -> bool:
         return True
+
+    def online_mask(self, n_servers: int, window: int) -> np.ndarray:
+        return np.ones(n_servers, dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -72,6 +100,21 @@ class RollingMaintenance:
         # Slot wraps past midnight.
         return not (day_offset >= slot_start or day_offset < slot_end - WINDOWS_PER_DAY)
 
+    def online_mask(self, n_servers: int, window: int) -> np.ndarray:
+        """Vectorized :meth:`is_online` over the whole pool."""
+        if self.daily_downtime_fraction == 0.0 or n_servers < 1:
+            return np.ones(max(n_servers, 0), dtype=bool)
+        downtime = max(int(round(self.daily_downtime_fraction * WINDOWS_PER_DAY)), 1)
+        day_offset = window % WINDOWS_PER_DAY
+        slot_start = (
+            np.arange(n_servers, dtype=float) / n_servers * WINDOWS_PER_DAY
+        ).astype(np.int64)
+        slot_end = slot_start + downtime
+        plain = (slot_start <= day_offset) & (day_offset < slot_end)
+        wrapped = (day_offset >= slot_start) | (day_offset < slot_end - WINDOWS_PER_DAY)
+        offline = np.where(slot_end <= WINDOWS_PER_DAY, plain, wrapped)
+        return ~offline
+
 
 @dataclass(frozen=True)
 class MaintenancePolicy:
@@ -88,6 +131,12 @@ class MaintenancePolicy:
             daily_downtime_fraction=1.0 - self.target_availability
         )
         return rolling.is_online(server_index, n_servers, window)
+
+    def online_mask(self, n_servers: int, window: int) -> np.ndarray:
+        rolling = RollingMaintenance(
+            daily_downtime_fraction=1.0 - self.target_availability
+        )
+        return rolling.online_mask(n_servers, window)
 
 
 @dataclass(frozen=True)
@@ -155,6 +204,22 @@ class RepurposingPolicy:
         position = (server_index - offset) % n_servers
         return position >= n_borrowed
 
+    def online_mask(self, n_servers: int, window: int) -> np.ndarray:
+        """Vectorized :meth:`is_online` over the whole pool."""
+        if n_servers < 1:
+            return np.ones(0, dtype=bool)
+        maintenance = RollingMaintenance(daily_downtime_fraction=self.base_maintenance)
+        mask = maintenance.online_mask(n_servers, window)
+        if self.borrowed_fraction == 0.0 or not self._in_night_window(window):
+            return mask
+        day = window // WINDOWS_PER_DAY
+        n_borrowed = int(math.floor(self.borrowed_fraction * n_servers))
+        if n_borrowed == 0:
+            return mask
+        offset = (day * n_borrowed) % n_servers
+        position = (np.arange(n_servers) - offset) % n_servers
+        return mask & (position >= n_borrowed)
+
 
 def policy_for_availability(target: float) -> AvailabilityPolicy:
     """Pick the policy class that matches a target mean availability.
@@ -187,14 +252,53 @@ class RandomFailures:
         if self.daily_probability <= 0.0:
             return False
         day = window // WINDOWS_PER_DAY
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.seed, server_index, day])
-        )
-        if rng.random() >= self.daily_probability:
+        draw, start = _failure_draw(self.seed, server_index, day)
+        if draw >= self.daily_probability:
             return False
-        start = int(rng.integers(0, WINDOWS_PER_DAY))
         offset = window % WINDOWS_PER_DAY
         return start <= offset < start + self.duration_windows
+
+    def failed_mask(self, n_servers: int, window: int) -> np.ndarray:
+        """Vectorized :meth:`is_failed` over the whole pool.
+
+        The per-(server, day) draws are cached, so the per-server
+        generator seeding costs once per day rather than per window.
+        """
+        if self.daily_probability <= 0.0 or n_servers < 1:
+            return np.zeros(max(n_servers, 0), dtype=bool)
+        day = window // WINDOWS_PER_DAY
+        draws, starts = _failure_draws_for_day(self.seed, n_servers, day)
+        offset = window % WINDOWS_PER_DAY
+        return (
+            (draws < self.daily_probability)
+            & (starts <= offset)
+            & (offset < starts + self.duration_windows)
+        )
+
+
+@lru_cache(maxsize=65536)
+def _failure_draw(seed: int, server_index: int, day: int) -> tuple:
+    """The (uniform draw, outage start window) for one server-day.
+
+    Identical to the pre-vectorization inline draws: one ``random()``
+    then one ``integers(0, WINDOWS_PER_DAY)`` from a generator seeded by
+    (seed, server, day).  The start is drawn unconditionally so cached
+    and uncached paths agree.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, server_index, day]))
+    draw = float(rng.random())
+    start = int(rng.integers(0, WINDOWS_PER_DAY))
+    return draw, start
+
+
+@lru_cache(maxsize=64)
+def _failure_draws_for_day(seed: int, n_servers: int, day: int) -> tuple:
+    """Per-server (draws, starts) arrays for one day, cached."""
+    draws = np.empty(n_servers, dtype=float)
+    starts = np.empty(n_servers, dtype=np.int64)
+    for index in range(n_servers):
+        draws[index], starts[index] = _failure_draw(seed, index, day)
+    return draws, starts
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.cluster.deployment import SoftwareVersion
 from repro.cluster.hardware import HardwareSpec
-from repro.cluster.server import Server, ServerState
+from repro.cluster.server import Server, ServerArrays, ServerState
 from repro.cluster.service import MicroServiceProfile
 
 
@@ -27,6 +27,9 @@ class ServerPool:
     datacenter_id: str
     profile: MicroServiceProfile
     servers: List[Server] = field(default_factory=list)
+    #: Cached column view of the servers for the batched observation
+    #: path; rebuilt lazily after any composition change.
+    _arrays: Optional[ServerArrays] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def build(
@@ -86,6 +89,27 @@ class ServerPool:
     def online_count(self) -> int:
         return len(self.online_servers())
 
+    def server_arrays(self) -> ServerArrays:
+        """Cached column view of the servers (the batched hot path).
+
+        The cache is invalidated by :meth:`resize` and
+        :meth:`set_version`; code that mutates ``Server`` objects
+        directly must call :meth:`invalidate_arrays` afterwards.
+        """
+        if self._arrays is None or len(self._arrays.server_ids) != self.size:
+            self._arrays = ServerArrays.from_servers(self.servers)
+        return self._arrays
+
+    def flush_arrays(self) -> None:
+        """Write the cached column view's mutable state back to servers."""
+        if self._arrays is not None and len(self._arrays.server_ids) == self.size:
+            self._arrays.flush(self.servers)
+
+    def invalidate_arrays(self) -> None:
+        """Flush and drop the cached column view after a mutation."""
+        self.flush_arrays()
+        self._arrays = None
+
     def resize(self, n_servers: int, rng: np.random.Generator) -> None:
         """Grow or shrink the pool to ``n_servers`` total servers.
 
@@ -95,6 +119,7 @@ class ServerPool:
         """
         if n_servers < 1:
             raise ValueError("cannot shrink a pool below one server")
+        self.invalidate_arrays()
         if n_servers < self.size:
             del self.servers[n_servers:]
             return
@@ -114,6 +139,9 @@ class ServerPool:
 
     def set_version(self, version: SoftwareVersion) -> None:
         """Deploy a software version to every server (instantaneous)."""
+        # The restart resets working sets, so the stale cached column
+        # view is dropped without flushing back.
+        self._arrays = None
         for server in self.servers:
             server.version = version
             server.restart()

@@ -4,6 +4,15 @@ A :class:`Server` converts the request volume routed to it into the
 observable counter values of Fig 2.  The translation is the simulator's
 ground truth; the planner only ever sees the emitted counters.
 
+Two implementations share the same ground-truth math:
+
+* :meth:`Server.observe` — the original per-server scalar path, kept
+  for direct use and tests;
+* :func:`observe_pool` over a :class:`ServerArrays` view — the batched
+  path: every counter for every online server of a pool is computed as
+  one NumPy expression, which is what lets the simulator advance
+  thousand-server fleets at array speed.
+
 Behaviours reproduced from the paper's measurements:
 
 * CPU tracks per-class workload linearly (plus idle base and noise);
@@ -21,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -190,3 +199,161 @@ class Server:
                 for name, rps in class_rps.items()
             },
         }
+
+
+# ----------------------------------------------------------------------
+# Batched (columnar) observation path
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServerArrays:
+    """Column view of a pool's servers for the vectorized hot path.
+
+    One array per per-server attribute the counter math reads, gathered
+    once from the ``Server`` objects and cached by the pool until its
+    composition changes (resize, version deploy).  ``working_set_mb`` is
+    *owned* by this view while it is active; :meth:`flush` writes it
+    back to the ``Server`` objects before the pool mutates them.
+    """
+
+    server_ids: Tuple[str, ...]
+    cpu_scale: np.ndarray
+    version_cpu_multiplier: np.ndarray
+    latency_base_delta_ms: np.ndarray
+    latency_queue_multiplier: np.ndarray
+    memory_leak_mb_per_window: np.ndarray
+    noise_phase: np.ndarray
+    working_set_mb: np.ndarray
+
+    @classmethod
+    def from_servers(cls, servers: Sequence["Server"]) -> "ServerArrays":
+        return cls(
+            server_ids=tuple(s.server_id for s in servers),
+            cpu_scale=np.array([s.hardware.cpu_scale for s in servers]),
+            version_cpu_multiplier=np.array(
+                [s.version.cpu_multiplier for s in servers]
+            ),
+            latency_base_delta_ms=np.array(
+                [s.version.latency_base_delta_ms for s in servers]
+            ),
+            latency_queue_multiplier=np.array(
+                [s.version.latency_queue_multiplier for s in servers]
+            ),
+            memory_leak_mb_per_window=np.array(
+                [s.version.memory_leak_mb_per_window for s in servers]
+            ),
+            noise_phase=np.array([s.noise_phase for s in servers], dtype=np.int64),
+            working_set_mb=np.array([s.working_set_mb for s in servers]),
+        )
+
+    def flush(self, servers: Sequence["Server"]) -> None:
+        """Write the mutable working-set column back to the servers."""
+        for server, ws in zip(servers, self.working_set_mb):
+            server.working_set_mb = float(ws)
+
+
+def observe_pool(
+    profile: MicroServiceProfile,
+    arrays: ServerArrays,
+    online: np.ndarray,
+    window: int,
+    class_rps: Dict[str, float],
+    rng: np.random.Generator,
+) -> Dict[str, np.ndarray]:
+    """One window of counter values for a pool's *online* servers.
+
+    ``online`` is the integer index array of online servers (positions
+    into ``arrays``); ``class_rps`` is the per-class volume the load
+    balancer routes to each of them (even split, so one scalar per
+    class).  Returns counter name -> value array aligned with
+    ``online``.  Offline servers emit only availability, which the
+    caller derives from the mask; this function also advances the leak
+    accounting for online servers.
+
+    The math is the vectorized transcription of :meth:`Server.observe`;
+    each draw that was per-server scalar becomes one array draw.
+    """
+    m = int(online.size)
+    noise = profile.noise
+    total_rps = float(sum(class_rps.values()))
+
+    cpu_scale = arrays.cpu_scale[online]
+    cpu_mult = arrays.version_cpu_multiplier[online]
+    phase = arrays.noise_phase[online]
+
+    # --- CPU ----------------------------------------------------------
+    work = profile.mix.cpu_for(class_rps)
+    cpu = noise.idle_cpu_pct + work * cpu_scale * cpu_mult
+    cpu = cpu + rng.normal(0.0, noise.idle_cpu_noise_pct, size=m)
+    if noise.log_upload_period_windows > 0:
+        upload_active = (
+            (window + phase) % noise.log_upload_period_windows
+        ) < noise.log_upload_duration_windows
+    else:
+        upload_active = np.zeros(m, dtype=bool)
+    cpu = cpu + noise.log_upload_cpu_pct * upload_active
+    cpu = cpu * rng.normal(1.0, profile.cpu_observation_noise, size=m)
+    cpu = np.clip(cpu, 0.0, 100.0)
+
+    # --- Latency ------------------------------------------------------
+    model = profile.latency
+    utilization = cpu / 100.0
+    util_clamped = np.minimum(utilization, model.utilization_cap - 1e-6)
+    cold = model.cold_ms * np.exp(-total_rps / model.warmup_rps)
+    queue = model.queue_coeff_ms * util_clamped**2 / (1.0 - util_clamped)
+    p95 = (
+        model.base_ms
+        + arrays.latency_base_delta_ms[online]
+        + cold
+        + queue * arrays.latency_queue_multiplier[online]
+    )
+    p95 = p95 * rng.normal(1.0, profile.latency_observation_noise, size=m)
+    p95 = np.maximum(p95, 0.1)
+    p50 = model.median_fraction * p95
+
+    # --- Network ------------------------------------------------------
+    by_name = {c.name: c for c in profile.mix.classes}
+    bytes_total = sum(
+        by_name[name].bytes_per_request * rps
+        for name, rps in class_rps.items()
+        if name in by_name
+    )
+    bytes_total = bytes_total * rng.normal(1.0, 0.15, size=m)
+    bytes_total = np.maximum(bytes_total, 0.0)
+    packets = bytes_total / _PACKET_BYTES
+
+    # --- Disk and memory (background-dominated; Fig 2's bands) --------
+    disk_read = np.abs(rng.normal(0.0, noise.disk_noise_bytes, size=m))
+    disk_read = disk_read + noise.log_upload_disk_bytes * upload_active
+    memory_pages = np.abs(rng.normal(0.0, noise.memory_pages_noise, size=m))
+    memory_pages = memory_pages + disk_read / 8e3 * rng.uniform(0.5, 1.5, size=m)
+    disk_queue = np.maximum(rng.normal(noise.disk_queue_mean, 1.0, size=m), 0.0)
+
+    # --- Memory working set (leak accounting) -------------------------
+    arrays.working_set_mb[online] += arrays.memory_leak_mb_per_window[online]
+    working_set = arrays.working_set_mb[online] * 1e6
+
+    # --- Errors -------------------------------------------------------
+    error_rate = np.where(
+        utilization > 0.9, (utilization - 0.9) * total_rps * 0.5, 0.0
+    )
+    errors = np.maximum(rng.normal(error_rate, 0.01), 0.0)
+
+    observations: Dict[str, np.ndarray] = {
+        Counter.AVAILABILITY.value: np.ones(m),
+        Counter.REQUESTS.value: np.full(m, total_rps),
+        Counter.PROCESSOR_UTILIZATION.value: cpu,
+        Counter.LATENCY_P95.value: p95,
+        Counter.LATENCY_P50.value: p50,
+        Counter.NETWORK_BYTES_TOTAL.value: bytes_total,
+        Counter.NETWORK_PACKETS.value: packets,
+        Counter.DISK_READ_BYTES.value: disk_read,
+        Counter.DISK_QUEUE_LENGTH.value: disk_queue,
+        Counter.MEMORY_PAGES.value: memory_pages,
+        Counter.MEMORY_WORKING_SET.value: working_set,
+        Counter.ERRORS.value: errors,
+    }
+    for name, rps in class_rps.items():
+        observations[workload_counter(name)] = np.full(m, rps)
+    return observations

@@ -1,13 +1,29 @@
-"""Discrete-time fleet simulation engine.
+"""Discrete-time fleet simulation engine (columnar hot path).
 
 Advances the fleet window by window (one telemetry window = 120 s):
 
 1. compute each deployment's offered demand from its diurnal pattern,
    multiplicative noise, active surges, and outage-driven failover;
 2. apply availability policies, random failures and outages to decide
-   which servers are online;
-3. route traffic evenly across online servers and collect each
-   server's counter observations into the :class:`MetricStore`.
+   which servers are online — as one boolean mask per pool;
+3. route traffic evenly across online servers and emit each counter for
+   *all* of a pool's servers as one NumPy array
+   (:func:`repro.cluster.server.observe_pool`), which the
+   :class:`~repro.telemetry.store.MetricStore` ingests through its
+   batched :meth:`~repro.telemetry.store.MetricStore.record_batch` API.
+
+The columnar data flow — mask arrays in, counter arrays out, whole
+arrays appended per (pool, counter, window) — is what lets thousand
+server fleets advance at array speed instead of per-sample Python
+speed.  Three interchangeable engines share the experiment controls:
+
+* ``"batch"`` (default) — vectorized emission, batched ingest;
+* ``"per-sample"`` — the *same* vectorized emission (identical RNG
+  draws, hence bit-identical counter values) ingested one sample at a
+  time through the compatibility shims; exists to prove old/new
+  equivalence and to measure ingest overhead in isolation;
+* ``"legacy"`` — the original per-server ``Server.observe`` loop, kept
+  as the seed-faithful baseline for throughput benchmarks.
 
 Interventions — resizing pools, deploying software versions, injecting
 outages and surges — are the experimental controls of §II-B and §II-D.
@@ -29,8 +45,9 @@ from repro.cluster.faults import (
     RepurposingPolicy,
     TrafficSurge,
     policy_for_availability,
+    policy_online_mask,
 )
-from repro.cluster.server import ServerState
+from repro.cluster.server import ServerState, observe_pool
 from repro.telemetry.counters import Counter
 from repro.telemetry.store import MetricStore
 
@@ -41,6 +58,11 @@ DEFAULT_COUNTERS: Tuple[str, ...] = (
     Counter.LATENCY_P95.value,
     Counter.AVAILABILITY.value,
 )
+
+#: Valid values of :attr:`SimulationConfig.engine`.
+ENGINES: Tuple[str, ...] = ("batch", "per-sample", "legacy")
+
+_WORKLOAD_PREFIX = "Requests/sec["
 
 
 @dataclass
@@ -61,6 +83,17 @@ class SimulationConfig:
     #: Apply each profile's availability_mean as a policy (True for
     #: fleet studies; False for controlled reduction experiments).
     apply_availability_policies: bool = True
+    #: Simulation engine: "batch" (vectorized emission + batched
+    #: ingest, the default), "per-sample" (same emission, per-sample
+    #: ingest — bit-identical telemetry, used for equivalence tests),
+    #: or "legacy" (the original per-server Python loop).
+    engine: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
 
 class Simulator:
@@ -81,6 +114,13 @@ class Simulator:
         self._outages: List[DatacenterOutage] = []
         self._surges: List[TrafficSurge] = []
         self._policies: Dict[Tuple[str, str], AvailabilityPolicy] = {}
+        #: Per-deployment cache of interned store index arrays, keyed by
+        #: the identity of the pool's server-id tuple so pool resizes
+        #: re-intern automatically.
+        self._index_cache: Dict[
+            Tuple[str, str], Tuple[Tuple[str, ...], np.ndarray]
+        ] = {}
+        self._wanted_set: frozenset = frozenset()
         if self.config.apply_availability_policies:
             for deployment in fleet.deployments():
                 policy = policy_for_availability(
@@ -207,9 +247,29 @@ class Simulator:
         return base
 
     # ------------------------------------------------------------------
-    # State updates
+    # Server state
     # ------------------------------------------------------------------
+    def _online_mask(self, deployment: PoolDeployment, window: int) -> np.ndarray:
+        """Boolean online mask over a deployment's servers.
+
+        Online-ness matches the legacy per-server state machine: a
+        server serves traffic iff its datacenter is up, it has not
+        randomly crashed, and its availability policy keeps it online.
+        """
+        n = deployment.pool.size
+        if self._outage_active(deployment.datacenter_id, window):
+            return np.zeros(n, dtype=bool)
+        mask = np.ones(n, dtype=bool)
+        failures = self.config.random_failures
+        if failures is not None:
+            mask &= ~failures.failed_mask(n, window)
+        policy = self._policies.get((deployment.pool_id, deployment.datacenter_id))
+        if policy is not None:
+            mask &= policy_online_mask(policy, n, window)
+        return mask
+
     def _update_server_states(self, deployment: PoolDeployment, window: int) -> None:
+        """Per-server state writes — the legacy engine's bookkeeping."""
         pool = deployment.pool
         key = (deployment.pool_id, deployment.datacenter_id)
         policy = self._policies.get(key)
@@ -236,10 +296,90 @@ class Simulator:
         sigma = np.sqrt(np.log1p(noise**2))
         return float(demand * self._rng.lognormal(-0.5 * sigma**2, sigma))
 
-    def step(self) -> None:
-        """Simulate one telemetry window."""
-        window = self._window
-        demand = self.offered_demand(window)
+    def _wanted_counter(self, counter: str) -> bool:
+        # Falsy counters (None or empty) means "record everything",
+        # matching the legacy engine's truthiness check.
+        if not self.config.counters:
+            return True
+        if counter in self._wanted_set:
+            return True
+        return self.config.record_request_classes and counter.startswith(
+            _WORKLOAD_PREFIX
+        )
+
+    def _store_indices(
+        self, deployment: PoolDeployment, server_ids: Tuple[str, ...]
+    ) -> np.ndarray:
+        key = (deployment.pool_id, deployment.datacenter_id)
+        entry = self._index_cache.get(key)
+        if entry is not None and entry[0] is server_ids:
+            return entry[1]
+        indices = self.store.intern_servers(server_ids)
+        self._index_cache[key] = (server_ids, indices)
+        return indices
+
+    def _step_deployment_vector(
+        self,
+        deployment: PoolDeployment,
+        window: int,
+        base_demand: float,
+        batch: bool,
+    ) -> None:
+        """Advance one deployment one window through the columnar path."""
+        pool = deployment.pool
+        pool_id = deployment.pool_id
+        dc_id = deployment.datacenter_id
+        mask = self._online_mask(deployment, window)
+        total = self._noisy(base_demand)
+        class_volumes = deployment.mix.split_volume(total, window, self._rng)
+        online = np.flatnonzero(mask)
+        arrays = pool.server_arrays()
+
+        observations: Dict[str, np.ndarray] = {}
+        if online.size:
+            m = int(online.size)
+            per_server_rps = {
+                name: volume / m for name, volume in class_volumes.items()
+            }
+            observations = observe_pool(
+                pool.profile, arrays, online, window, per_server_rps, self._rng
+            )
+            observations.pop(Counter.AVAILABILITY.value, None)
+
+        store = self.store
+        availability = Counter.AVAILABILITY.value
+        if batch:
+            indices = self._store_indices(deployment, arrays.server_ids)
+            if self._wanted_counter(availability):
+                store.record_batch(
+                    pool_id, dc_id, availability, window, indices, mask.astype(float)
+                )
+            if online.size:
+                online_indices = indices[online]
+                for counter, values in observations.items():
+                    if self._wanted_counter(counter):
+                        store.record_batch(
+                            pool_id, dc_id, counter, window, online_indices, values
+                        )
+        else:
+            record = store.record_fast
+            server_ids = arrays.server_ids
+            if self._wanted_counter(availability):
+                for index, value in enumerate(mask):
+                    record(
+                        window, server_ids[index], pool_id, dc_id,
+                        availability, float(value),
+                    )
+            for counter, values in observations.items():
+                if self._wanted_counter(counter):
+                    for position, value in zip(online, values):
+                        record(
+                            window, server_ids[position], pool_id, dc_id,
+                            counter, float(value),
+                        )
+
+    def _step_legacy(self, window: int, demand: Dict[Tuple[str, str], float]) -> None:
+        """The seed per-sample path: per-server observe, per-sample record."""
         wanted = set(self.config.counters) if self.config.counters else None
         record = self.store.record_fast
         for deployment in self.fleet.deployments():
@@ -256,11 +396,58 @@ class Simulator:
                 for counter, value in counters.items():
                     if wanted is not None and counter not in wanted:
                         if not (
-                            record_classes and counter.startswith("Requests/sec[")
+                            record_classes and counter.startswith(_WORKLOAD_PREFIX)
                         ):
                             continue
                     record(window, server_id, pool_id, dc_id, counter, value)
+
+    def step(self) -> None:
+        """Simulate one telemetry window.
+
+        On the vector engines, per-server ``Server.state`` /
+        ``working_set_mb`` are *not* maintained window to window (that
+        per-server loop is exactly the cost the columnar path removes);
+        :meth:`run` reconciles them on completion.  Callers driving
+        ``step()`` directly and reading pool state mid-run must call
+        :meth:`sync_server_state` first — telemetry in the store is
+        always correct either way.
+        """
+        window = self._window
+        demand = self.offered_demand(window)
+        engine = self.config.engine
+        if engine == "legacy":
+            self._step_legacy(window, demand)
+        else:
+            self._wanted_set = (
+                set(self.config.counters) if self.config.counters else frozenset()
+            )
+            batch = engine == "batch"
+            for deployment in self.fleet.deployments():
+                self._step_deployment_vector(
+                    deployment,
+                    window,
+                    demand[(deployment.pool_id, deployment.datacenter_id)],
+                    batch,
+                )
         self._window += 1
+
+    def sync_server_state(self) -> None:
+        """Write the vector engines' state back onto the Server objects.
+
+        The columnar hot path tracks online-ness as masks and working
+        sets as cached arrays, leaving ``Server.state`` /
+        ``Server.working_set_mb`` untouched window to window.  This
+        reconciles them with the last simulated window so post-run
+        introspection (``pool.online_servers()``, leak inspection)
+        sees what the legacy engine would have left behind.  Called
+        automatically at the end of :meth:`run`.
+        """
+        if self._window == 0 or self.config.engine == "legacy":
+            return
+        last_window = self._window - 1
+        for deployment in self.fleet.deployments():
+            self._update_server_states(deployment, last_window)
+            deployment.pool.flush_arrays()
 
     def run(self, n_windows: int) -> None:
         """Simulate ``n_windows`` consecutive windows."""
@@ -268,6 +455,7 @@ class Simulator:
             raise ValueError("n_windows must be non-negative")
         for _ in range(n_windows):
             self.step()
+        self.sync_server_state()
 
     def run_days(self, days: float) -> None:
         """Simulate a number of days (720 windows per day)."""

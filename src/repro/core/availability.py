@@ -11,6 +11,7 @@ reclaimable capacity — the "Online Savings" column of Table IV.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -36,19 +37,34 @@ def daily_availability(
     A server's availability on a day is the mean of its AVAILABILITY
     counter (1.0 online / 0.0 offline) over that day's windows.
     """
-    per_server = store.per_server_values(
+    _windows, names, matrix = store.pool_matrix(
         pool_id, Counter.AVAILABILITY.value, datacenter_id=datacenter_id
     )
     out: Dict[str, np.ndarray] = {}
-    for server_id, values in per_server.items():
-        if values.size == 0:
-            continue
-        n_days = values.size // WINDOWS_PER_DAY
+    if matrix.size == 0:
+        return out
+    n_windows = matrix.shape[0]
+    n_days = n_windows // WINDOWS_PER_DAY
+    with warnings.catch_warnings():
+        # Server-days with no observations (late joiners) are all-NaN
+        # slices; they are dropped below, so the nanmean warning is
+        # noise.
+        warnings.simplefilter("ignore", category=RuntimeWarning)
         if n_days >= 1:
-            trimmed = values[: n_days * WINDOWS_PER_DAY]
-            out[server_id] = trimmed.reshape(n_days, WINDOWS_PER_DAY).mean(axis=1)
+            # One reshape + nanmean over the dense (window, server)
+            # cube replaces the per-server loop; a server's missing
+            # windows (NaN) simply don't contribute to its daily mean.
+            trimmed = matrix[: n_days * WINDOWS_PER_DAY]
+            daily = np.nanmean(
+                trimmed.reshape(n_days, WINDOWS_PER_DAY, matrix.shape[1]), axis=1
+            )
         else:
-            out[server_id] = np.array([float(values.mean())])
+            daily = np.nanmean(matrix, axis=0, keepdims=True)
+    for column, server_id in enumerate(names):
+        values = daily[:, column]
+        values = values[~np.isnan(values)]
+        if values.size:
+            out[server_id] = values
     return out
 
 

@@ -25,7 +25,7 @@ import numpy as np
 from repro.stats.clustering import ClusteringResult, select_k
 from repro.stats.crossval import CrossValidationResult, cross_validate_classifier
 from repro.stats.decision_tree import DecisionTreeClassifier
-from repro.stats.descriptive import STANDARD_PERCENTILES, percentile_profile
+from repro.stats.descriptive import STANDARD_PERCENTILES
 from repro.stats.regression import fit_linear
 from repro.telemetry.counters import Counter
 from repro.telemetry.store import MetricStore
@@ -68,6 +68,40 @@ class PoolGroupReport:
         return self.n_groups == 1
 
 
+def _server_cpu_percentiles(
+    store: MetricStore,
+    pool_id: str,
+    percentiles: Sequence[float],
+    datacenter_id: Optional[str] = None,
+    start: Optional[int] = None,
+    stop: Optional[int] = None,
+    min_samples: int = 10,
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Per-server CPU percentile rows via the store's dense cube.
+
+    One ``np.nanpercentile`` over the (window, server) CPU matrix
+    replaces the per-server Python loop; offline windows are NaN and
+    ignored, and servers with fewer than ``min_samples`` observations
+    are dropped.  Rows are ordered by server id.
+    """
+    _windows, names, matrix = store.pool_matrix(
+        pool_id,
+        Counter.PROCESSOR_UTILIZATION.value,
+        datacenter_id=datacenter_id,
+        start=start,
+        stop=stop,
+    )
+    if matrix.size == 0:
+        return np.empty((0, len(percentiles)), dtype=float), ()
+    order = sorted(range(len(names)), key=lambda i: names[i])
+    counts = np.sum(~np.isnan(matrix), axis=0)
+    keep = [i for i in order if counts[i] >= min_samples]
+    if not keep:
+        return np.empty((0, len(percentiles)), dtype=float), ()
+    rows = np.nanpercentile(matrix[:, keep], list(percentiles), axis=0).T
+    return rows, tuple(names[i] for i in keep)
+
+
 def server_percentile_points(
     store: MetricStore,
     pool_id: str,
@@ -81,23 +115,14 @@ def server_percentile_points(
     offline windows would drag the 5th percentile to zero and make
     every pool look bimodal.
     """
-    per_server = store.per_server_values(
+    return _server_cpu_percentiles(
+        store,
         pool_id,
-        Counter.PROCESSOR_UTILIZATION.value,
+        (5.0, 95.0),
         datacenter_id=datacenter_id,
         start=start,
         stop=stop,
     )
-    ids: List[str] = []
-    points: List[Tuple[float, float]] = []
-    for server_id in sorted(per_server):
-        values = per_server[server_id]
-        if values.size < 10:
-            continue
-        p5, p95 = np.percentile(values, [5.0, 95.0])
-        ids.append(server_id)
-        points.append((float(p5), float(p95)))
-    return np.asarray(points, dtype=float), tuple(ids)
 
 
 def identify_server_groups(
@@ -189,22 +214,15 @@ def server_feature_matrix(
     datacenter_id: Optional[str] = None,
 ) -> Tuple[np.ndarray, Tuple[str, ...]]:
     """Per-server feature vectors for the predictability tree."""
-    per_server = store.per_server_values(
+    profiles, ids = _server_cpu_percentiles(
+        store,
         pool_id,
-        Counter.PROCESSOR_UTILIZATION.value,
+        STANDARD_PERCENTILES,
         datacenter_id=datacenter_id,
     )
-    ids = []
-    profiles = []
-    for server_id in sorted(per_server):
-        values = per_server[server_id]
-        if values.size < 10:
-            continue
-        ids.append(server_id)
-        profiles.append(percentile_profile(values))
-    if not profiles:
+    if profiles.shape[0] == 0:
         return np.empty((0, len(FEATURE_NAMES))), ()
-    slope, intercept, r2 = _pool_percentile_regression(profiles)
+    slope, intercept, r2 = _pool_percentile_regression(list(profiles))
     rows = [
         np.concatenate([profile, [slope, intercept, r2]]) for profile in profiles
     ]

@@ -21,6 +21,8 @@ import io
 from pathlib import Path
 from typing import Iterator, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.telemetry.store import MetricStore
 
 _HEADER = ("window", "server_id", "pool_id", "datacenter_id", "counter", "value")
@@ -46,32 +48,40 @@ def export_store(
     """
     path = Path(path)
     wanted = set(counters) if counters is not None else None
+    # Regroup the columnar tables into per-server runs so the archive
+    # keeps its historical (pool, counter, server) ordering.
+    entries = []
+    for (pool_id, dc_id, counter), windows, servers, values in store.iter_tables():
+        if wanted is not None and counter not in wanted:
+            continue
+        if values.size == 0:
+            continue
+        order = np.argsort(servers, kind="stable")
+        sorted_servers = servers[order]
+        boundaries = np.flatnonzero(np.diff(sorted_servers)) + 1
+        starts = np.concatenate(([0], boundaries))
+        window_runs = np.split(windows[order], boundaries)
+        value_runs = np.split(values[order], boundaries)
+        for offset, run_windows, run_values in zip(starts, window_runs, value_runs):
+            server_id = store.server_name(int(sorted_servers[offset]))
+            entries.append(
+                (pool_id, counter, server_id, dc_id, run_windows, run_values)
+            )
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+
     rows = 0
     with _open_text(path, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(_HEADER)
-        # Walk the store's internal columns; this module is part of the
-        # telemetry package, so reaching into the sibling class is the
-        # intended coupling.
-        for key, column in sorted(
-            store._columns.items(),
-            key=lambda item: (
-                item[0].pool_id,
-                item[0].counter,
-                item[0].server_id,
-            ),
-        ):
-            if wanted is not None and key.counter not in wanted:
-                continue
-            windows, values = column.arrays()
-            for window, value in zip(windows, values):
+        for pool_id, counter, server_id, dc_id, run_windows, run_values in entries:
+            for window, value in zip(run_windows, run_values):
                 writer.writerow(
                     (
                         int(window),
-                        key.server_id,
-                        key.pool_id,
-                        key.datacenter_id,
-                        key.counter,
+                        server_id,
+                        pool_id,
+                        dc_id,
+                        counter,
                         repr(float(value)),
                     )
                 )
@@ -80,9 +90,14 @@ def export_store(
 
 
 def import_store(path: PathLike) -> MetricStore:
-    """Load a store previously written by :func:`export_store`."""
+    """Load a store previously written by :func:`export_store`.
+
+    Rows are columnised per (pool, datacenter, counter) table in file
+    order and appended through the store's batch path.
+    """
     path = Path(path)
     store = MetricStore()
+    grouped: dict = {}
     with _open_text(path, "r") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
@@ -95,9 +110,23 @@ def import_store(path: PathLike) -> MetricStore:
             if len(row) != len(_HEADER):
                 raise ValueError(f"{path}:{line_number}: malformed row {row!r}")
             window, server_id, pool_id, datacenter_id, counter, value = row
-            store.record_fast(
-                int(window), server_id, pool_id, datacenter_id, counter, float(value)
-            )
+            key = (pool_id, datacenter_id, counter)
+            bucket = grouped.get(key)
+            if bucket is None:
+                bucket = ([], [], [])
+                grouped[key] = bucket
+            bucket[0].append(int(window))
+            bucket[1].append(store.intern_server(server_id))
+            bucket[2].append(float(value))
+    for (pool_id, datacenter_id, counter), (windows, indices, values) in grouped.items():
+        store.record_columns(
+            pool_id,
+            datacenter_id,
+            counter,
+            np.asarray(windows, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(values, dtype=float),
+        )
     return store
 
 

@@ -30,12 +30,28 @@ class TimeSeries:
             raise ValueError("windows and values must be one-dimensional")
         if windows.size != values.size:
             raise ValueError("windows and values must have equal length")
+        # Already-sorted inputs (every producer inside the store) skip
+        # the argsort entirely; only genuinely unsorted input pays.
         if windows.size > 1 and np.any(np.diff(windows) < 0):
             order = np.argsort(windows, kind="stable")
             windows = windows[order]
             values = values[order]
         object.__setattr__(self, "windows", windows)
         object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_sorted(cls, windows: np.ndarray, values: np.ndarray) -> "TimeSeries":
+        """Wrap already-sorted, already-typed arrays without validation.
+
+        The metric store's hot path: its grouped outputs are sorted by
+        construction, so the ``__post_init__`` checks are pure overhead.
+        Callers must guarantee aligned 1-D arrays with non-decreasing
+        windows.
+        """
+        series = cls.__new__(cls)
+        object.__setattr__(series, "windows", np.asarray(windows, dtype=int))
+        object.__setattr__(series, "values", np.asarray(values, dtype=float))
+        return series
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[Tuple[int, float]]) -> "TimeSeries":

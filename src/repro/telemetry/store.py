@@ -1,21 +1,32 @@
-"""In-memory metric store.
+"""In-memory columnar metric store.
 
 The paper's pipeline ingests ~3 GB/s of counters into a trace store and
 answers pool/datacenter/time-scoped aggregate queries over 90 days of
-history.  This module provides the equivalent for the simulator:
-samples are appended during simulation and queried by the planner as
-(server, pool, datacenter, counter, window-range) slices.
+history.  This module provides the equivalent for the simulator, built
+around an end-to-end columnar data flow:
 
-Storage is columnar (parallel lists converted lazily to numpy arrays)
-so long simulations stay cheap, and an index by (pool, counter) keeps
-the common queries O(matching samples).
+* **Ingest** is batched: the simulator emits one NumPy array per
+  (pool, datacenter, counter, window) and hands it to
+  :meth:`MetricStore.record_batch`, which appends whole arrays to the
+  matching table.  Server ids are interned once into integer indices
+  (:meth:`MetricStore.intern_servers`), so the hot path never hashes
+  strings per sample.  ``record`` / ``record_many`` / ``record_fast``
+  remain as thin compatibility shims over the same tables.
+* **Storage** is one table per (pool, datacenter, counter): three
+  parallel column chunk lists (window, server index, value) that are
+  concatenated lazily into frozen arrays on first query.
+* **Queries** (:meth:`pool_window_aggregate`, :meth:`per_server_values`,
+  :meth:`pool_matrix`) group with ``np.bincount`` / stable argsort over
+  the frozen columns instead of per-sample Python loops, and the
+  common pool aggregates are memoized in a cache that is invalidated
+  whenever new samples arrive.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -25,7 +36,12 @@ from repro.telemetry.series import TimeSeries
 
 @dataclass(frozen=True)
 class MetricKey:
-    """Identity of a stored series: one counter on one server."""
+    """Identity of a stored series: one counter on one server.
+
+    Retained for compatibility with pre-columnar callers; internally the
+    store now keys tables by (pool, datacenter, counter) and tracks the
+    server as an interned integer column.
+    """
 
     server_id: str
     pool_id: str
@@ -33,65 +49,247 @@ class MetricKey:
     counter: str
 
 
-class _Column:
-    """Append-optimised column of (window, value) pairs."""
+class _Table:
+    """Columnar (window, server index, value) rows of one table.
 
-    __slots__ = ("windows", "values", "_frozen_windows", "_frozen_values")
+    Appends go to chunk lists (one ndarray per batch, plus a scalar
+    spill buffer for the per-sample compatibility shims); queries read
+    the lazily concatenated frozen arrays.
+    """
+
+    __slots__ = (
+        "_window_chunks",
+        "_server_chunks",
+        "_value_chunks",
+        "_scalar_windows",
+        "_scalar_servers",
+        "_scalar_values",
+        "_frozen",
+        "n_rows",
+    )
 
     def __init__(self) -> None:
-        self.windows: List[int] = []
-        self.values: List[float] = []
-        self._frozen_windows: Optional[np.ndarray] = None
-        self._frozen_values: Optional[np.ndarray] = None
+        self._window_chunks: List[np.ndarray] = []
+        self._server_chunks: List[np.ndarray] = []
+        self._value_chunks: List[np.ndarray] = []
+        self._scalar_windows: List[int] = []
+        self._scalar_servers: List[int] = []
+        self._scalar_values: List[float] = []
+        self._frozen: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self.n_rows: int = 0
 
-    def append(self, window: int, value: float) -> None:
-        self.windows.append(window)
-        self.values.append(value)
-        self._frozen_windows = None
-        self._frozen_values = None
+    def _spill_scalars(self) -> None:
+        if self._scalar_windows:
+            self._window_chunks.append(np.asarray(self._scalar_windows, dtype=np.int64))
+            self._server_chunks.append(np.asarray(self._scalar_servers, dtype=np.int64))
+            self._value_chunks.append(np.asarray(self._scalar_values, dtype=float))
+            self._scalar_windows.clear()
+            self._scalar_servers.clear()
+            self._scalar_values.clear()
 
-    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        if self._frozen_windows is None:
-            self._frozen_windows = np.asarray(self.windows, dtype=int)
-            self._frozen_values = np.asarray(self.values, dtype=float)
-        return self._frozen_windows, self._frozen_values
+    def append(self, window: int, server_index: int, value: float) -> None:
+        self._scalar_windows.append(window)
+        self._scalar_servers.append(server_index)
+        self._scalar_values.append(value)
+        self._frozen = None
+        self.n_rows += 1
+
+    def append_batch(
+        self,
+        windows: np.ndarray,
+        server_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self._spill_scalars()
+        self._window_chunks.append(windows)
+        self._server_chunks.append(server_indices)
+        self._value_chunks.append(values)
+        self._frozen = None
+        self.n_rows += int(values.size)
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(windows, server indices, values) in append order."""
+        if self._frozen is None:
+            self._spill_scalars()
+            if not self._value_chunks:
+                empty = np.array([], dtype=np.int64)
+                self._frozen = (empty, empty, np.array([], dtype=float))
+            elif len(self._value_chunks) == 1:
+                self._frozen = (
+                    self._window_chunks[0],
+                    self._server_chunks[0],
+                    self._value_chunks[0],
+                )
+            else:
+                self._frozen = (
+                    np.concatenate(self._window_chunks),
+                    np.concatenate(self._server_chunks),
+                    np.concatenate(self._value_chunks),
+                )
+                # Re-chunk so repeated freezes stay O(1).
+                self._window_chunks = [self._frozen[0]]
+                self._server_chunks = [self._frozen[1]]
+                self._value_chunks = [self._frozen[2]]
+        return self._frozen
+
+
+#: Key of one stored table: (pool_id, datacenter_id, counter).
+TableKey = Tuple[str, str, str]
 
 
 class MetricStore:
     """Columnar store of counter samples with pool/DC-scoped queries."""
 
     def __init__(self) -> None:
-        self._columns: Dict[MetricKey, _Column] = {}
-        self._by_pool_counter: Dict[Tuple[str, str], List[MetricKey]] = defaultdict(list)
+        self._tables: Dict[TableKey, _Table] = {}
+        self._by_pool_counter: Dict[Tuple[str, str], List[TableKey]] = defaultdict(list)
         self._pools: Set[str] = set()
         self._datacenters: Set[str] = set()
+        self._servers_by_pool_dc: Dict[Tuple[str, str], Set[int]] = defaultdict(set)
+        self._server_names: List[str] = []
+        self._server_index: Dict[str, int] = {}
         self._max_window: int = -1
+        self._agg_cache: Dict[Tuple, TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Server interning
+    # ------------------------------------------------------------------
+    def intern_server(self, server_id: str) -> int:
+        """Map a server id to its stable integer index."""
+        index = self._server_index.get(server_id)
+        if index is None:
+            index = len(self._server_names)
+            self._server_index[server_id] = index
+            self._server_names.append(server_id)
+        return index
+
+    def intern_servers(self, server_ids: Sequence[str]) -> np.ndarray:
+        """Intern many server ids at once (the batch hot path setup).
+
+        Returns the integer index array to pass to :meth:`record_batch`
+        in place of the string ids; callers cache it per pool.
+        """
+        return np.fromiter(
+            (self.intern_server(s) for s in server_ids),
+            dtype=np.int64,
+            count=len(server_ids),
+        )
+
+    def server_name(self, index: int) -> str:
+        return self._server_names[index]
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def record(self, sample: CounterSample) -> None:
-        """Append one counter sample."""
-        key = MetricKey(
-            server_id=sample.server_id,
-            pool_id=sample.pool_id,
-            datacenter_id=sample.datacenter_id,
-            counter=sample.counter,
+    def _table(self, pool_id: str, datacenter_id: str, counter: str) -> _Table:
+        key = (pool_id, datacenter_id, counter)
+        table = self._tables.get(key)
+        if table is None:
+            table = _Table()
+            self._tables[key] = table
+            self._by_pool_counter[(pool_id, counter)].append(key)
+            self._pools.add(pool_id)
+            self._datacenters.add(datacenter_id)
+        return table
+
+    def record_batch(
+        self,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        window: int,
+        server_ids: Sequence[str],
+        values: np.ndarray,
+    ) -> None:
+        """Append one window of one counter for many servers at once.
+
+        ``server_ids`` may be a sequence of id strings or an integer
+        ndarray previously obtained from :meth:`intern_servers` (the
+        simulator's zero-hash hot path).  ``values`` must be aligned
+        with ``server_ids``.  Both arrays are copied, so callers may
+        reuse scratch buffers across calls.
+        """
+        if isinstance(server_ids, np.ndarray) and server_ids.dtype.kind in "iu":
+            indices = np.array(server_ids, dtype=np.int64)
+        else:
+            indices = self.intern_servers(server_ids)
+        values = np.array(values, dtype=float)
+        if indices.size != values.size:
+            raise ValueError("server_ids and values must be aligned")
+        if indices.size == 0:
+            return
+        table = self._table(pool_id, datacenter_id, counter)
+        windows = np.full(indices.size, window, dtype=np.int64)
+        table.append_batch(windows, indices, values)
+        self._servers_by_pool_dc[(pool_id, datacenter_id)].update(indices.tolist())
+        if window > self._max_window:
+            self._max_window = window
+        if self._agg_cache:
+            self._agg_cache.clear()
+
+    def record_columns(
+        self,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        windows: np.ndarray,
+        server_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Append pre-columnised rows with mixed windows (bulk loads).
+
+        ``server_indices`` are interned indices from
+        :meth:`intern_server` / :meth:`intern_servers`.  The store
+        takes ownership of the arrays — callers must not mutate them
+        afterwards.  This is the bulk-ingest primitive behind
+        :meth:`record_many` and the archive importer;
+        :meth:`record_batch` is the single-window convenience over it.
+        """
+        if values.size == 0:
+            return
+        table = self._table(pool_id, datacenter_id, counter)
+        table.append_batch(windows, server_indices, values)
+        self._servers_by_pool_dc[(pool_id, datacenter_id)].update(
+            np.unique(server_indices).tolist()
         )
-        column = self._columns.get(key)
-        if column is None:
-            column = _Column()
-            self._columns[key] = column
-            self._by_pool_counter[(key.pool_id, key.counter)].append(key)
-            self._pools.add(key.pool_id)
-            self._datacenters.add(key.datacenter_id)
-        column.append(sample.window_index, sample.value)
-        if sample.window_index > self._max_window:
-            self._max_window = sample.window_index
+        max_w = int(windows.max())
+        if max_w > self._max_window:
+            self._max_window = max_w
+        if self._agg_cache:
+            self._agg_cache.clear()
+
+    def record(self, sample: CounterSample) -> None:
+        """Append one counter sample (compatibility shim)."""
+        self.record_fast(
+            sample.window_index,
+            sample.server_id,
+            sample.pool_id,
+            sample.datacenter_id,
+            sample.counter,
+            sample.value,
+        )
 
     def record_many(self, samples: Iterable[CounterSample]) -> None:
+        """Append many samples, columnised per table (the batch path)."""
+        grouped: Dict[TableKey, Tuple[List[int], List[int], List[float]]] = {}
         for sample in samples:
-            self.record(sample)
+            key = (sample.pool_id, sample.datacenter_id, sample.counter)
+            bucket = grouped.get(key)
+            if bucket is None:
+                bucket = ([], [], [])
+                grouped[key] = bucket
+            bucket[0].append(sample.window_index)
+            bucket[1].append(self.intern_server(sample.server_id))
+            bucket[2].append(sample.value)
+        for (pool_id, dc_id, counter), (windows, indices, values) in grouped.items():
+            self.record_columns(
+                pool_id,
+                dc_id,
+                counter,
+                np.asarray(windows, dtype=np.int64),
+                np.asarray(indices, dtype=np.int64),
+                np.asarray(values, dtype=float),
+            )
 
     def record_fast(
         self,
@@ -104,24 +302,17 @@ class MetricStore:
     ) -> None:
         """Append one sample without constructing a CounterSample.
 
-        The simulator's hot path: identical semantics to :meth:`record`.
+        .. deprecated::
+            Per-sample ingestion survives for compatibility and tests;
+            new code should build arrays and call :meth:`record_batch`.
         """
-        key = MetricKey(
-            server_id=server_id,
-            pool_id=pool_id,
-            datacenter_id=datacenter_id,
-            counter=counter,
-        )
-        column = self._columns.get(key)
-        if column is None:
-            column = _Column()
-            self._columns[key] = column
-            self._by_pool_counter[(pool_id, counter)].append(key)
-            self._pools.add(pool_id)
-            self._datacenters.add(datacenter_id)
-        column.append(window, value)
+        index = self.intern_server(server_id)
+        self._table(pool_id, datacenter_id, counter).append(window, index, value)
+        self._servers_by_pool_dc[(pool_id, datacenter_id)].add(index)
         if window > self._max_window:
             self._max_window = window
+        if self._agg_cache:
+            self._agg_cache.clear()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,43 +343,80 @@ class MetricStore:
         pool_id: str,
         datacenter_id: Optional[str] = None,
     ) -> Tuple[str, ...]:
-        servers: Set[str] = set()
-        for (pool, _counter), keys in self._by_pool_counter.items():
+        indices: Set[int] = set()
+        for (pool, dc), members in self._servers_by_pool_dc.items():
             if pool != pool_id:
                 continue
-            for key in keys:
-                if datacenter_id is None or key.datacenter_id == datacenter_id:
-                    servers.add(key.server_id)
-        return tuple(sorted(servers))
+            if datacenter_id is None or dc == datacenter_id:
+                indices.update(members)
+        return tuple(sorted(self._server_names[i] for i in indices))
 
     def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
-        dcs: Set[str] = set()
-        for (pool, _counter), keys in self._by_pool_counter.items():
-            if pool != pool_id:
-                continue
-            for key in keys:
-                dcs.add(key.datacenter_id)
+        dcs = {
+            dc
+            for (pool, dc, _counter) in self._tables
+            if pool == pool_id
+        }
         return tuple(sorted(dcs))
+
+    def iter_tables(
+        self,
+    ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield (key, windows, server indices, values) per table.
+
+        The export module's bulk read; rows are in append order.
+        """
+        for key in self._tables:
+            windows, servers, values = self._tables[key].columns()
+            yield key, windows, servers, values
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _matching_keys(
+    def _matching_tables(
         self,
         pool_id: str,
         counter: str,
         datacenter_id: Optional[str],
-        server_id: Optional[str],
-    ) -> List[MetricKey]:
+    ) -> List[_Table]:
         keys = self._by_pool_counter.get((pool_id, counter), [])
-        out = []
-        for key in keys:
-            if datacenter_id is not None and key.datacenter_id != datacenter_id:
+        # Sorted by datacenter so query results never depend on table
+        # creation order (which an export/import round trip reshuffles).
+        return [
+            self._tables[key]
+            for key in sorted(keys, key=lambda k: k[1])
+            if datacenter_id is None or key[1] == datacenter_id
+        ]
+
+    def _gather(
+        self,
+        tables: List[_Table],
+        lo: int,
+        hi: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Window-sliced (windows, server indices, values) of many tables."""
+        ws: List[np.ndarray] = []
+        ss: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        for table in tables:
+            windows, servers, values = table.columns()
+            if windows.size == 0:
                 continue
-            if server_id is not None and key.server_id != server_id:
-                continue
-            out.append(key)
-        return out
+            if lo <= 0 and hi > self._max_window:
+                ws.append(windows)
+                ss.append(servers)
+                vs.append(values)
+            else:
+                mask = (windows >= lo) & (windows < hi)
+                ws.append(windows[mask])
+                ss.append(servers[mask])
+                vs.append(values[mask])
+        if not ws:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty, np.array([], dtype=float)
+        if len(ws) == 1:
+            return ws[0], ss[0], vs[0]
+        return np.concatenate(ws), np.concatenate(ss), np.concatenate(vs)
 
     def server_series(
         self,
@@ -199,17 +427,32 @@ class MetricStore:
         stop: Optional[int] = None,
     ) -> TimeSeries:
         """Series of one counter on one server, optionally window-sliced."""
-        keys = self._matching_keys(pool_id, counter, None, server_id)
-        if not keys:
-            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
-        windows, values = self._columns[keys[0]].arrays()
-        series = TimeSeries(windows, values)
-        if start is not None or stop is not None:
-            series = series.slice_windows(
-                start if start is not None else 0,
-                stop if stop is not None else self._max_window + 1,
-            )
-        return series
+        index = self._server_index.get(server_id)
+        empty = TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        if index is None:
+            return empty
+        lo = start if start is not None else 0
+        hi = stop if stop is not None else self._max_window + 1
+        window_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        for table in self._matching_tables(pool_id, counter, None):
+            windows, servers, values = table.columns()
+            mask = servers == index
+            if not mask.any():
+                continue
+            windows = windows[mask]
+            values = values[mask]
+            if start is not None or stop is not None:
+                sliced = (windows >= lo) & (windows < hi)
+                windows = windows[sliced]
+                values = values[sliced]
+            window_parts.append(windows)
+            value_parts.append(values)
+        if not window_parts:
+            return empty
+        if len(window_parts) == 1:
+            return TimeSeries(window_parts[0], value_parts[0])
+        return TimeSeries(np.concatenate(window_parts), np.concatenate(value_parts))
 
     def pool_window_aggregate(
         self,
@@ -224,40 +467,52 @@ class MetricStore:
 
         ``reducer``: ``"mean"`` (default), ``"sum"``, ``"max"``,
         ``"count"``.  The planner's workhorse — e.g. average RPS/server
-        or summed pool workload per window.
+        or summed pool workload per window.  Grouping is a pair of
+        ``np.bincount`` calls over the window column; results are
+        memoized until the next ingest.
         """
-        keys = self._matching_keys(pool_id, counter, datacenter_id, None)
-        if not keys:
-            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        if reducer not in ("mean", "sum", "max", "count"):
+            raise ValueError(f"unknown reducer {reducer!r}")
+        cache_key = (pool_id, counter, datacenter_id, start, stop, reducer)
+        cached = self._agg_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        def memoize(series: TimeSeries) -> TimeSeries:
+            # The memoized object is shared across callers; freeze its
+            # arrays so an accidental in-place mutation raises instead
+            # of silently poisoning the cache.
+            series.windows.setflags(write=False)
+            series.values.setflags(write=False)
+            self._agg_cache[cache_key] = series
+            return series
         lo = start if start is not None else 0
         hi = stop if stop is not None else self._max_window + 1
-
-        sums: Dict[int, float] = defaultdict(float)
-        counts: Dict[int, int] = defaultdict(int)
-        maxima: Dict[int, float] = {}
-        for key in keys:
-            windows, values = self._columns[key].arrays()
-            mask = (windows >= lo) & (windows < hi)
-            for w, v in zip(windows[mask], values[mask]):
-                w = int(w)
-                sums[w] += float(v)
-                counts[w] += 1
-                if w not in maxima or v > maxima[w]:
-                    maxima[w] = float(v)
-        if not counts:
-            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
-        ordered = sorted(counts)
-        if reducer == "mean":
-            values_out = [sums[w] / counts[w] for w in ordered]
-        elif reducer == "sum":
-            values_out = [sums[w] for w in ordered]
+        tables = self._matching_tables(pool_id, counter, datacenter_id)
+        windows, _servers, values = self._gather(tables, lo, hi)
+        if windows.size == 0:
+            return memoize(
+                TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+            )
+        base = int(windows.min())
+        shifted = windows - base
+        length = int(shifted.max()) + 1
+        counts = np.bincount(shifted, minlength=length)
+        present = counts > 0
+        out_windows = np.flatnonzero(present) + base
+        if reducer == "count":
+            out_values = counts[present].astype(float)
         elif reducer == "max":
-            values_out = [maxima[w] for w in ordered]
-        elif reducer == "count":
-            values_out = [float(counts[w]) for w in ordered]
+            maxima = np.full(length, -np.inf)
+            np.maximum.at(maxima, shifted, values)
+            out_values = maxima[present]
         else:
-            raise ValueError(f"unknown reducer {reducer!r}")
-        return TimeSeries(np.asarray(ordered, dtype=int), np.asarray(values_out, dtype=float))
+            sums = np.bincount(shifted, weights=values, minlength=length)
+            if reducer == "sum":
+                out_values = sums[present]
+            else:  # mean
+                out_values = sums[present] / counts[present]
+        return memoize(TimeSeries.from_sorted(out_windows, out_values))
 
     def per_server_values(
         self,
@@ -267,16 +522,58 @@ class MetricStore:
         start: Optional[int] = None,
         stop: Optional[int] = None,
     ) -> Dict[str, np.ndarray]:
-        """All window values per server (for percentile feature vectors)."""
-        keys = self._matching_keys(pool_id, counter, datacenter_id, None)
-        out: Dict[str, np.ndarray] = {}
+        """All window values per server (for percentile feature vectors).
+
+        Values keep their append (window) order within each server;
+        grouping is one stable argsort over the interned server column.
+        """
         lo = start if start is not None else 0
         hi = stop if stop is not None else self._max_window + 1
-        for key in keys:
-            windows, values = self._columns[key].arrays()
-            mask = (windows >= lo) & (windows < hi)
-            out[key.server_id] = values[mask]
+        out: Dict[str, np.ndarray] = {}
+        for table in self._matching_tables(pool_id, counter, datacenter_id):
+            _windows, servers, values = self._gather([table], lo, hi)
+            if values.size == 0:
+                continue
+            order = np.argsort(servers, kind="stable")
+            sorted_servers = servers[order]
+            sorted_values = values[order]
+            boundaries = np.flatnonzero(np.diff(sorted_servers)) + 1
+            starts = np.concatenate(([0], boundaries))
+            pieces = np.split(sorted_values, boundaries)
+            for offset, piece in zip(starts, pieces):
+                out[self._server_names[sorted_servers[offset]]] = piece
         return out
+
+    def pool_matrix(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Tuple[np.ndarray, Tuple[str, ...], np.ndarray]:
+        """Dense (windows, server_ids, values[window, server]) cube.
+
+        Missing observations (offline servers, late joiners) are NaN.
+        This is the array-native view consumers use to compute
+        per-server statistics in one vectorized pass.
+        """
+        lo = start if start is not None else 0
+        hi = stop if stop is not None else self._max_window + 1
+        tables = self._matching_tables(pool_id, counter, datacenter_id)
+        windows, servers, values = self._gather(tables, lo, hi)
+        if values.size == 0:
+            return (
+                np.array([], dtype=np.int64),
+                (),
+                np.empty((0, 0), dtype=float),
+            )
+        uniq_windows, window_pos = np.unique(windows, return_inverse=True)
+        uniq_servers, server_pos = np.unique(servers, return_inverse=True)
+        matrix = np.full((uniq_windows.size, uniq_servers.size), np.nan)
+        matrix[window_pos, server_pos] = values
+        names = tuple(self._server_names[i] for i in uniq_servers)
+        return uniq_windows, names, matrix
 
     def all_values(
         self,
@@ -291,7 +588,7 @@ class MetricStore:
         chunks: List[np.ndarray] = []
         for pool in pools:
             for key in self._by_pool_counter.get((pool, counter), []):
-                _windows, values = self._columns[key].arrays()
+                _windows, _servers, values = self._tables[key].columns()
                 chunks.append(values)
         if not chunks:
             return np.array([], dtype=float)
@@ -299,4 +596,4 @@ class MetricStore:
 
     def sample_count(self) -> int:
         """Total number of stored samples."""
-        return sum(len(col.windows) for col in self._columns.values())
+        return sum(table.n_rows for table in self._tables.values())

@@ -158,6 +158,42 @@ class TestDemandEvents:
         )
         assert availability.values[0] == 0.0
 
+    def test_server_states_synced_after_run(self):
+        """Post-run Server.state reflects the last window's mask."""
+        from repro.cluster.server import ServerState
+
+        fleet = build_single_pool_fleet(
+            "B", n_datacenters=2, servers_per_deployment=4, seed=3
+        )
+        sim = Simulator(
+            fleet, seed=3,
+            config=SimulationConfig(apply_availability_policies=False),
+        )
+        sim.add_outage(DatacenterOutage("DC1", 0, 100))
+        sim.run(3)
+        down = fleet.deployment("B", "DC1").pool
+        up = fleet.deployment("B", "DC2").pool
+        assert all(s.state is ServerState.OFFLINE_FAILED for s in down.servers)
+        assert down.online_count == 0
+        assert up.online_count == 4
+
+    def test_working_set_flushed_after_run(self):
+        """Leak accounting lands back on the Server objects post-run."""
+        from repro.cluster.deployment import leaky_version
+
+        fleet = build_single_pool_fleet(
+            "B", n_datacenters=1, servers_per_deployment=2, seed=3
+        )
+        sim = Simulator(
+            fleet, seed=3,
+            config=SimulationConfig(apply_availability_policies=False),
+        )
+        sim.set_version("B", leaky_version(mb_per_window=4.0))
+        baseline = fleet.deployment("B", "DC1").pool.servers[0].working_set_mb
+        sim.run(10)
+        grown = fleet.deployment("B", "DC1").pool.servers[0].working_set_mb
+        assert grown == pytest.approx(baseline + 40.0)
+
     def test_surge_multiplies_demand(self, small_sim):
         small_sim.add_surge(TrafficSurge("DC2", 0, 10, factor=4.0, pool_id="B"))
         surged = small_sim.offered_demand(5)[("B", "DC2")]

@@ -1,0 +1,62 @@
+"""Tier-1 performance guard for the columnar simulation engine.
+
+A 200-server x 200-window run must finish far inside a generous
+wall-clock budget; the seed per-sample path took multiple seconds at
+this scale, the columnar engine takes well under one.  The budget is
+deliberately loose (slow CI machines) — it exists to catch order-of-
+magnitude regressions such as an accidental fall-back to per-sample
+ingestion, not to benchmark.
+"""
+
+import time
+
+from repro.cluster.builders import build_single_pool_fleet
+from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.telemetry.counters import Counter
+
+#: Generous wall-clock ceiling (seconds) for the 200x200 run.
+BUDGET_SECONDS = 15.0
+
+
+def test_simulation_throughput_smoke():
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=200, seed=37
+    )
+    sim = Simulator(
+        fleet,
+        seed=37,
+        config=SimulationConfig(apply_availability_policies=False),
+    )
+    started = time.perf_counter()
+    sim.run(200)
+    elapsed = time.perf_counter() - started
+    assert elapsed < BUDGET_SECONDS, (
+        f"200x200 simulation took {elapsed:.2f}s; the columnar engine "
+        f"should finish far inside {BUDGET_SECONDS:.0f}s"
+    )
+    # All four default counters for every server-window made it in.
+    assert sim.store.sample_count() == 200 * 200 * 4
+    rps = sim.store.pool_window_aggregate("B", Counter.REQUESTS.value)
+    assert len(rps) == 200
+
+
+def test_query_layer_smoke():
+    """Aggregate + per-server queries stay fast on a wide store."""
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=300, seed=39
+    )
+    sim = Simulator(
+        fleet, seed=39, config=SimulationConfig(apply_availability_policies=False)
+    )
+    sim.run(100)
+    store = sim.store
+    started = time.perf_counter()
+    for _ in range(50):
+        store.pool_window_aggregate("B", Counter.PROCESSOR_UTILIZATION.value)
+        store.pool_window_aggregate(
+            "B", Counter.REQUESTS.value, reducer="sum"
+        )
+    per_server = store.per_server_values("B", Counter.PROCESSOR_UTILIZATION.value)
+    elapsed = time.perf_counter() - started
+    assert len(per_server) == 300
+    assert elapsed < 5.0

@@ -76,6 +76,89 @@ class TestIngest:
         np.testing.assert_array_equal(sa.windows, sb.windows)
 
 
+class TestBatchIngest:
+    def test_record_batch_equivalent_to_record(self):
+        a, b = MetricStore(), MetricStore()
+        for w in range(3):
+            for i, server in enumerate(["s0", "s1", "s2"]):
+                a.record(_sample(w, server=server, value=float(w * 10 + i)))
+        for w in range(3):
+            b.record_batch(
+                "P", "DC1", "cpu", w,
+                ["s0", "s1", "s2"],
+                np.array([w * 10.0, w * 10.0 + 1, w * 10.0 + 2]),
+            )
+        assert a.sample_count() == b.sample_count()
+        for server in ("s0", "s1", "s2"):
+            sa = a.server_series("P", "cpu", server)
+            sb = b.server_series("P", "cpu", server)
+            np.testing.assert_array_equal(sa.windows, sb.windows)
+            np.testing.assert_array_equal(sa.values, sb.values)
+        for reducer in ("mean", "sum", "max", "count"):
+            np.testing.assert_array_equal(
+                a.pool_window_aggregate("P", "cpu", reducer=reducer).values,
+                b.pool_window_aggregate("P", "cpu", reducer=reducer).values,
+            )
+
+    def test_record_batch_with_interned_indices(self):
+        store = MetricStore()
+        indices = store.intern_servers(["s0", "s1"])
+        store.record_batch("P", "DC1", "cpu", 0, indices, np.array([1.0, 2.0]))
+        store.record_batch("P", "DC1", "cpu", 1, indices, np.array([3.0, 4.0]))
+        assert store.servers_in_pool("P") == ("s0", "s1")
+        series = store.server_series("P", "cpu", "s1")
+        np.testing.assert_array_equal(series.values, [2.0, 4.0])
+
+    def test_record_batch_copies_caller_buffers(self):
+        store = MetricStore()
+        buffer = np.array([1.0, 2.0])
+        indices = store.intern_servers(["s0", "s1"])
+        store.record_batch("P", "DC1", "cpu", 0, indices, buffer)
+        buffer[:] = 99.0  # caller reuses the scratch array
+        np.testing.assert_array_equal(
+            store.pool_window_aggregate("P", "cpu", reducer="sum").values, [3.0]
+        )
+
+    def test_record_batch_misaligned_rejected(self):
+        store = MetricStore()
+        with pytest.raises(ValueError):
+            store.record_batch("P", "DC1", "cpu", 0, ["s0"], np.array([1.0, 2.0]))
+
+    def test_record_many_delegates_to_batch_path(self):
+        store = MetricStore()
+        store.record_many(
+            [
+                _sample(0, server="s0", value=1.0),
+                _sample(0, server="s1", value=2.0),
+                _sample(1, server="s0", counter="lat", value=9.0),
+            ]
+        )
+        assert store.sample_count() == 3
+        assert store.pool_window_aggregate("P", "cpu", reducer="sum").values[0] == 3.0
+        assert store.server_series("P", "lat", "s0").values[0] == 9.0
+
+    def test_aggregate_cache_invalidated_on_ingest(self):
+        store = MetricStore()
+        store.record_batch("P", "DC1", "cpu", 0, ["s0"], np.array([1.0]))
+        first = store.pool_window_aggregate("P", "cpu")
+        # Same query twice returns the memoized object.
+        assert store.pool_window_aggregate("P", "cpu") is first
+        store.record_batch("P", "DC1", "cpu", 1, ["s0"], np.array([5.0]))
+        refreshed = store.pool_window_aggregate("P", "cpu")
+        assert refreshed is not first
+        np.testing.assert_array_equal(refreshed.values, [1.0, 5.0])
+
+    def test_pool_matrix_dense_view(self):
+        store = MetricStore()
+        store.record_batch("P", "DC1", "cpu", 0, ["s0", "s1"], np.array([1.0, 2.0]))
+        store.record_batch("P", "DC1", "cpu", 2, ["s0"], np.array([3.0]))
+        windows, names, matrix = store.pool_matrix("P", "cpu")
+        np.testing.assert_array_equal(windows, [0, 2])
+        assert names == ("s0", "s1")
+        np.testing.assert_array_equal(matrix[:, 0], [1.0, 3.0])
+        assert matrix[1, 1] != matrix[1, 1]  # NaN for the missing sample
+
+
 class TestQueries:
     def test_server_series(self, store):
         series = store.server_series("P", "cpu", "s0")
