@@ -1,0 +1,24 @@
+# Development entry points.  Everything runs from the source tree via
+# PYTHONPATH=src, so no install step is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke docs-check check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast sanity pass over the throughput benchmark (small fleet, no JSON).
+bench-smoke:
+	$(PYTHON) benchmarks/bench_sim_throughput.py --smoke
+
+# Full 1000x1000 benchmark; rewrites BENCH_sim_throughput.json.
+bench:
+	$(PYTHON) benchmarks/bench_sim_throughput.py
+
+# Fails when README code blocks drift from the actual CLI flags.
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+check: docs-check test

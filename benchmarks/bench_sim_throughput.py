@@ -1,30 +1,37 @@
-"""Simulation + ingest throughput: columnar engine vs the seed path.
+"""Simulation + ingest throughput: engines, sharding and block emission.
 
-The refactor target: advancing the fleet one telemetry window used to
-cost a Python loop per server per counter; the columnar engine computes
-each counter for a whole pool as one NumPy array and appends it to the
-metric store in one batched call.  This benchmark measures windows/sec
-and samples/sec on a large synthetic fleet (1000 servers x 1000
-windows) for both engines and records the speedup in
-``BENCH_sim_throughput.json`` for the perf trajectory.
+Measures windows/sec and samples/sec on a large synthetic fleet (1000
+servers x 1000 windows) for:
 
-The legacy engine is measured over a window subset and extrapolated
-per-window (it is the seed's per-sample path, ~2 orders of magnitude
-slower; running it for the full duration would only add noise-free
-waiting).
+* the seed ``legacy`` per-sample path (measured over a window subset
+  and extrapolated — it is ~2 orders of magnitude slower);
+* the PR 1 ``batch`` engine (per-window columnar emission + batched
+  ingest) — the baseline every later configuration is judged against;
+* a sweep of (shards, workers, block_windows) configurations combining
+  the sharded store (:class:`~repro.telemetry.sharding.\
+ShardedMetricStore`) with cross-window block emission
+  (``SimulationConfig.block_windows``).
+
+The best configuration must clear ``TARGET_BLOCK_SPEEDUP`` x the batch
+baseline (and batch itself ``TARGET_SPEEDUP`` x legacy); all results
+land in ``BENCH_sim_throughput.json`` for the perf trajectory.
 
 Run as a pytest benchmark (``pytest benchmarks/bench_sim_throughput.py``)
-or directly (``PYTHONPATH=src python benchmarks/bench_sim_throughput.py``).
+or directly (``PYTHONPATH=src python benchmarks/bench_sim_throughput.py``;
+pass ``--smoke`` for a fast, JSON-less sanity run).
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import time
 from pathlib import Path
+from typing import Optional
 
 from repro.cluster.builders import build_single_pool_fleet
 from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.telemetry.sharding import ShardedMetricStore
 
 #: Headline configuration (the ISSUE's 1000-server x 1000-window run).
 SERVERS = 1000
@@ -35,23 +42,58 @@ LEGACY_WINDOWS = 60
 
 #: Required speedup of the columnar engine over the seed path.
 TARGET_SPEEDUP = 5.0
+#: Required speedup of the best (shards, workers, block) configuration
+#: over the plain per-window batch engine.
+TARGET_BLOCK_SPEEDUP = 1.5
+
+#: The (shards, workers, block_windows) sweep.  Thread workers only pay
+#: off with more than one CPU; single-shard + blocks is the expected
+#: winner on small machines, sharded variants document the fan-out cost.
+CONFIGS = (
+    {"shards": 1, "workers": 1, "block_windows": 16},
+    {"shards": 1, "workers": 1, "block_windows": 64},
+    {"shards": 4, "workers": 1, "block_windows": 64},
+    {"shards": 4, "workers": 4, "block_windows": 64},
+)
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"
 
 
-def _measure(engine: str, n_windows: int, servers: int = SERVERS) -> dict:
+def _measure(
+    engine: str,
+    n_windows: int,
+    servers: int = SERVERS,
+    shards: int = 1,
+    workers: int = 1,
+    block_windows: int = 1,
+) -> dict:
     fleet = build_single_pool_fleet(
         "B", n_datacenters=1, servers_per_deployment=servers, seed=29
     )
-    sim = Simulator(fleet, seed=29, config=SimulationConfig(engine=engine))
+    store = (
+        ShardedMetricStore(n_shards=shards, workers=workers)
+        if shards > 1
+        else None
+    )
+    sim = Simulator(
+        fleet,
+        store=store,
+        seed=29,
+        config=SimulationConfig(engine=engine, block_windows=block_windows),
+    )
     started = time.perf_counter()
     sim.run(n_windows)
     elapsed = time.perf_counter() - started
     samples = sim.store.sample_count()
+    if store is not None:
+        store.close()
     return {
         "engine": engine,
         "servers": servers,
         "windows": n_windows,
+        "shards": shards,
+        "workers": workers,
+        "block_windows": block_windows,
         "elapsed_s": elapsed,
         "samples": samples,
         "windows_per_sec": n_windows / elapsed,
@@ -59,29 +101,41 @@ def _measure(engine: str, n_windows: int, servers: int = SERVERS) -> dict:
     }
 
 
-def run_benchmark() -> dict:
-    batch = _measure("batch", WINDOWS)
-    legacy = _measure("legacy", LEGACY_WINDOWS)
+def run_benchmark(
+    windows: int = WINDOWS,
+    servers: int = SERVERS,
+    legacy_windows: int = LEGACY_WINDOWS,
+    result_path: Optional[Path] = RESULT_PATH,
+) -> dict:
+    batch = _measure("batch", windows, servers)
+    legacy = _measure("legacy", legacy_windows, servers)
+    configs = [
+        _measure("batch", windows, servers, **config) for config in CONFIGS
+    ]
+    best = max(configs, key=lambda r: r["windows_per_sec"])
     speedup = batch["windows_per_sec"] / legacy["windows_per_sec"]
     result = {
         "benchmark": "sim_throughput",
-        "fleet": {"pool": "B", "servers": SERVERS, "windows": WINDOWS},
+        "fleet": {"pool": "B", "servers": servers, "windows": windows},
         "batch": batch,
         "legacy": legacy,
+        "configs": configs,
+        "best": best,
+        "best_speedup_vs_batch": best["windows_per_sec"] / batch["windows_per_sec"],
+        "target_block_speedup": TARGET_BLOCK_SPEEDUP,
         "speedup_windows_per_sec": speedup,
         "target_speedup": TARGET_SPEEDUP,
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    if result_path is not None:
+        result_path.write_text(json.dumps(result, indent=2) + "\n")
     return result
 
 
-def test_sim_throughput():
-    result = run_benchmark()
+def _print_result(result: dict) -> None:
     batch = result["batch"]
     legacy = result["legacy"]
-    print()
     print(
-        f"columnar engine: {batch['windows_per_sec']:8.1f} windows/s "
+        f"batch engine:    {batch['windows_per_sec']:8.1f} windows/s "
         f"({batch['samples_per_sec']:,.0f} samples/s) over "
         f"{batch['windows']} windows x {batch['servers']} servers"
     )
@@ -90,10 +144,41 @@ def test_sim_throughput():
         f"({legacy['samples_per_sec']:,.0f} samples/s) over "
         f"{legacy['windows']} windows (extrapolated)"
     )
-    print(f"speedup: {result['speedup_windows_per_sec']:.1f}x -> {RESULT_PATH.name}")
+    for entry in result["configs"]:
+        label = (
+            f"shards={entry['shards']} workers={entry['workers']} "
+            f"block={entry['block_windows']}"
+        )
+        print(
+            f"  {label:30s} {entry['windows_per_sec']:8.1f} windows/s "
+            f"({entry['samples_per_sec']:,.0f} samples/s)"
+        )
+    best = result["best"]
+    print(
+        f"best config: shards={best['shards']} workers={best['workers']} "
+        f"block={best['block_windows']} -> "
+        f"{result['best_speedup_vs_batch']:.2f}x batch, "
+        f"batch {result['speedup_windows_per_sec']:.1f}x legacy"
+    )
+
+
+def test_sim_throughput():
+    result = run_benchmark()
+    print()
+    _print_result(result)
+    print(f"-> {RESULT_PATH.name}")
     assert result["speedup_windows_per_sec"] >= TARGET_SPEEDUP
+    assert result["best_speedup_vs_batch"] >= TARGET_BLOCK_SPEEDUP
 
 
 if __name__ == "__main__":
-    outcome = run_benchmark()
-    print(json.dumps(outcome, indent=2))
+    smoke = "--smoke" in sys.argv[1:]
+    if smoke:
+        outcome = run_benchmark(
+            windows=60, servers=100, legacy_windows=10, result_path=None
+        )
+    else:
+        outcome = run_benchmark()
+    _print_result(outcome)
+    if not smoke:
+        print(f"results written to {RESULT_PATH}")

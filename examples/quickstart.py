@@ -1,21 +1,68 @@
 """Quickstart: right-size a small geo-distributed service.
 
-Builds the Table I micro-service fleet across three datacenters,
-simulates two days of diurnal production traffic, then runs the
+Builds the Table I micro-service fleet across the paper's nine
+datacenters, simulates diurnal production traffic, then runs the
 black-box capacity planner over the recorded telemetry and prints the
 per-pool savings table (the paper's Table IV layout).
 
+The simulation knobs mirror the CLI (``python -m repro simulate``):
+
 Run:
     python examples/quickstart.py
+    python examples/quickstart.py --windows 240 --engine batch
+    python examples/quickstart.py --shards 4 --workers 2 --block-windows 32
 """
 
-from repro import CapacityPlanner, QoSRequirement, Simulator, build_paper_fleet
-from repro.cluster.simulation import SimulationConfig
+import argparse
+
+from repro import (
+    CapacityPlanner,
+    MetricStore,
+    QoSRequirement,
+    ShardedMetricStore,
+    Simulator,
+    build_paper_fleet,
+)
 from repro.cluster.builders import PAPER_DATACENTERS
 from repro.cluster.service import service_catalog
+from repro.cluster.simulation import ENGINES, SimulationConfig
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--windows", type=positive_int, default=1440,
+        help="windows to simulate (720 = 1 day; default 2 days)",
+    )
+    parser.add_argument(
+        "--engine", default="batch", choices=ENGINES,
+        help="simulation engine (batch = vectorized columnar default)",
+    )
+    parser.add_argument(
+        "--block-windows", type=positive_int, default=1,
+        help="cross-window block size for the batch engine",
+    )
+    parser.add_argument(
+        "--shards", type=positive_int, default=1,
+        help="metric store shard count (1 = single store)",
+    )
+    parser.add_argument(
+        "--workers", type=positive_int, default=1,
+        help="ingest worker fan-out for a sharded store",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    return parser.parse_args()
 
 
 def main() -> None:
+    args = parse_args()
     # Every pool of Table I across all nine regions.  Nine matters:
     # the survive-one-datacenter headroom is then ~1/8 of demand, as in
     # the paper's fleet; with very few regions the disaster-recovery
@@ -23,18 +70,31 @@ def main() -> None:
     fleet = build_paper_fleet(
         servers_per_deployment=6,
         datacenters=PAPER_DATACENTERS,
-        seed=7,
+        seed=args.seed,
+    )
+    store = (
+        ShardedMetricStore(n_shards=args.shards, workers=args.workers)
+        if args.shards > 1
+        else MetricStore()
     )
     print(
         f"simulating {fleet.total_servers()} servers, "
         f"{len(fleet.pool_ids)} micro-services, "
-        f"{len(fleet.datacenters)} datacenters ..."
+        f"{len(fleet.datacenters)} datacenters "
+        f"({args.windows} windows, engine={args.engine!r}, "
+        f"block={args.block_windows}, shards={args.shards}) ..."
     )
     simulator = Simulator(
-        fleet, seed=7,
-        config=SimulationConfig(record_request_classes=True),
+        fleet,
+        store=store,
+        seed=args.seed,
+        config=SimulationConfig(
+            record_request_classes=True,
+            engine=args.engine,
+            block_windows=args.block_windows,
+        ),
     )
-    simulator.run_days(2)
+    simulator.run(args.windows)
 
     # Each pool's QoS contract comes from its owning team; here we use
     # the catalogue's SLOs.

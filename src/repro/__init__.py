@@ -57,7 +57,7 @@ from repro.core import (
     detect_surge_events,
     identify_server_groups,
 )
-from repro.telemetry import Counter, MetricStore, TimeSeries
+from repro.telemetry import Counter, MetricStore, ShardedMetricStore, TimeSeries
 from repro.workload import (
     DiurnalPattern,
     RampPlan,
@@ -99,6 +99,7 @@ __all__ = [
     "identify_server_groups",
     "Counter",
     "MetricStore",
+    "ShardedMetricStore",
     "TimeSeries",
     "DiurnalPattern",
     "RampPlan",

@@ -23,11 +23,21 @@ from typing import List, Optional
 from repro.cluster.builders import PAPER_DATACENTERS, build_paper_fleet
 from repro.cluster.service import service_catalog
 from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.store import MetricStore
 from repro.core.availability import study_fleet_availability
 from repro.core.metric_validation import MetricValidator
 from repro.core.planner import CapacityPlanner
 from repro.core.slo import QoSRequirement
 from repro.telemetry.export import export_store, import_store
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (clean error, exit 2)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -45,17 +55,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.windows is not None
         else int(round(args.days * 720))
     )
+    if args.shards > 1:
+        store = ShardedMetricStore(n_shards=args.shards, workers=args.workers)
+        store_desc = f"{args.shards}-shard store ({args.workers} worker(s))"
+    else:
+        store = MetricStore()
+        store_desc = "single store"
     print(
         f"simulating {fleet.total_servers()} servers "
         f"({len(fleet.pool_ids)} pools x {len(datacenters)} DCs) "
-        f"for {n_windows} window(s) with the {args.engine!r} engine ...",
+        f"for {n_windows} window(s) with the {args.engine!r} engine "
+        f"(block={args.block_windows}) into a {store_desc} ...",
         file=sys.stderr,
     )
-    simulator = Simulator(
-        fleet,
-        seed=args.seed,
-        config=SimulationConfig(record_request_classes=True, engine=args.engine),
-    )
+    try:
+        config = SimulationConfig(
+            record_request_classes=True,
+            engine=args.engine,
+            block_windows=args.block_windows,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    simulator = Simulator(fleet, store=store, seed=args.seed, config=config)
     started = time.perf_counter()
     simulator.run(n_windows)
     elapsed = time.perf_counter() - started
@@ -152,6 +174,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--engine", default="batch", choices=("batch", "per-sample", "legacy"),
         help="simulation engine (batch = vectorized columnar default)",
+    )
+    simulate.add_argument(
+        "--shards", type=_positive_int, default=1, metavar="N",
+        help="hash-partition the metric store across N shards "
+             "(1 = single store; sharded telemetry is bit-identical)",
+    )
+    simulate.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="ingest fan-out width for a sharded store "
+             "(>1 dispatches shard appends through a worker pool; "
+             "no-op with a single shard)",
+    )
+    simulate.add_argument(
+        "--block-windows", type=_positive_int, default=1, metavar="W",
+        help="emit W windows per (pool, counter) block to amortize "
+             "per-window overhead (batch engine only; 1 = per-window)",
     )
     simulate.set_defaults(func=_cmd_simulate)
 

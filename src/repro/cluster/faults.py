@@ -61,6 +61,25 @@ def policy_online_mask(
     )
 
 
+def policy_online_mask_block(
+    policy: AvailabilityPolicy, n_servers: int, windows: np.ndarray
+) -> np.ndarray:
+    """(n_windows, n_servers) boolean online grid for a window block.
+
+    The cross-window companion of :func:`policy_online_mask`, used by
+    the simulator's blocked engine.  Policies may provide a vectorized
+    ``online_mask_block(n_servers, windows)``; otherwise the per-window
+    mask is stacked, so every policy produces a grid whose rows equal
+    its per-window masks exactly.
+    """
+    block_fn = getattr(policy, "online_mask_block", None)
+    if block_fn is not None:
+        return block_fn(n_servers, windows)
+    return np.stack(
+        [policy_online_mask(policy, n_servers, int(w)) for w in windows]
+    )
+
+
 @dataclass(frozen=True)
 class AlwaysOnline:
     """No planned downtime at all (used in controlled experiments)."""
@@ -70,6 +89,9 @@ class AlwaysOnline:
 
     def online_mask(self, n_servers: int, window: int) -> np.ndarray:
         return np.ones(n_servers, dtype=bool)
+
+    def online_mask_block(self, n_servers: int, windows: np.ndarray) -> np.ndarray:
+        return np.ones((len(windows), n_servers), dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -102,13 +124,25 @@ class RollingMaintenance:
 
     def online_mask(self, n_servers: int, window: int) -> np.ndarray:
         """Vectorized :meth:`is_online` over the whole pool."""
+        return self.online_mask_block(
+            n_servers, np.array([window], dtype=np.int64)
+        )[0]
+
+    def online_mask_block(self, n_servers: int, windows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`online_mask` over a whole window block.
+
+        The single source of the slot math: :meth:`online_mask` is the
+        one-window slice of this grid, so the per-window and blocked
+        engines can never drift apart.
+        """
+        windows = np.asarray(windows, dtype=np.int64)
         if self.daily_downtime_fraction == 0.0 or n_servers < 1:
-            return np.ones(max(n_servers, 0), dtype=bool)
+            return np.ones((windows.size, max(n_servers, 0)), dtype=bool)
         downtime = max(int(round(self.daily_downtime_fraction * WINDOWS_PER_DAY)), 1)
-        day_offset = window % WINDOWS_PER_DAY
+        day_offset = (windows % WINDOWS_PER_DAY)[:, None]
         slot_start = (
             np.arange(n_servers, dtype=float) / n_servers * WINDOWS_PER_DAY
-        ).astype(np.int64)
+        ).astype(np.int64)[None, :]
         slot_end = slot_start + downtime
         plain = (slot_start <= day_offset) & (day_offset < slot_end)
         wrapped = (day_offset >= slot_start) | (day_offset < slot_end - WINDOWS_PER_DAY)
@@ -137,6 +171,12 @@ class MaintenancePolicy:
             daily_downtime_fraction=1.0 - self.target_availability
         )
         return rolling.online_mask(n_servers, window)
+
+    def online_mask_block(self, n_servers: int, windows: np.ndarray) -> np.ndarray:
+        rolling = RollingMaintenance(
+            daily_downtime_fraction=1.0 - self.target_availability
+        )
+        return rolling.online_mask_block(n_servers, windows)
 
 
 @dataclass(frozen=True)

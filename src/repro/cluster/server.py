@@ -357,3 +357,155 @@ def observe_pool(
     for name, rps in class_rps.items():
         observations[workload_counter(name)] = np.full(m, rps)
     return observations
+
+
+def observe_pool_block(
+    profile: MicroServiceProfile,
+    arrays: ServerArrays,
+    online_mask: np.ndarray,
+    windows: np.ndarray,
+    class_rps_per_window: Sequence[Dict[str, float]],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+    """A whole block of windows of counter values in one vectorized pass.
+
+    The blocked mode of :func:`observe_pool`: instead of one emission
+    per window, the counter math for ``len(windows)`` consecutive
+    windows runs as a single set of NumPy expressions over the
+    flattened (window, online server) grid, amortizing the per-window
+    Python and RNG-call overhead that dominates per-window stepping.
+
+    ``online_mask`` is the boolean (n_windows, n_servers) online grid;
+    ``class_rps_per_window`` gives, per window, the per-server RPS of
+    each request class (the even load-balancer split for that window).
+    Returns ``(flat_windows, flat_positions, observations)`` where the
+    flat arrays enumerate the online (window, server) cells in
+    window-major order — exactly the row order the per-window batch
+    engine appends — and ``observations`` maps counter name to the
+    aligned value array.  Availability is *not* included: the caller
+    derives it from ``online_mask`` for all servers, offline included.
+
+    RNG draws happen in the same counter order as :func:`observe_pool`
+    but sized for the whole block, so a block of W windows consumes
+    different draw shapes than W per-window calls: for ``W == 1`` the
+    streams coincide and the output is bit-identical to the batch
+    engine; for ``W > 1`` it is statistically equivalent (same
+    distributions, different draws).  Leak accounting is advanced for
+    the whole block, with each emitted working set reflecting the
+    cumulative online windows up to and including its own.
+    """
+    n_windows, n_servers = online_mask.shape
+    if len(windows) != n_windows or len(class_rps_per_window) != n_windows:
+        raise ValueError("windows and class_rps_per_window must match the mask")
+    windows = np.asarray(windows, dtype=np.int64)
+    # Window-major enumeration of online cells: np.nonzero on a 2-D
+    # array walks rows first, matching per-window append order.
+    window_pos, flat_positions = np.nonzero(online_mask)
+    flat_windows = windows[window_pos]
+    flat_count = int(window_pos.size)
+    noise = profile.noise
+    by_name = {c.name: c for c in profile.mix.classes}
+
+    # Per-window scalars of the counter math (cheap Python, O(W)).
+    class_names = list(class_rps_per_window[0].keys()) if n_windows else []
+    total_rps_w = np.empty(n_windows)
+    work_w = np.empty(n_windows)
+    bytes_w = np.empty(n_windows)
+    class_rps_w = {name: np.empty(n_windows) for name in class_names}
+    for i, class_rps in enumerate(class_rps_per_window):
+        total_rps_w[i] = float(sum(class_rps.values()))
+        work_w[i] = profile.mix.cpu_for(class_rps)
+        bytes_w[i] = sum(
+            by_name[name].bytes_per_request * rps
+            for name, rps in class_rps.items()
+            if name in by_name
+        )
+        for name in class_names:
+            class_rps_w[name][i] = class_rps[name]
+
+    total_rps = total_rps_w[window_pos]
+    cpu_scale = arrays.cpu_scale[flat_positions]
+    cpu_mult = arrays.version_cpu_multiplier[flat_positions]
+    phase = arrays.noise_phase[flat_positions]
+
+    # --- CPU ----------------------------------------------------------
+    cpu = noise.idle_cpu_pct + work_w[window_pos] * cpu_scale * cpu_mult
+    cpu = cpu + rng.normal(0.0, noise.idle_cpu_noise_pct, size=flat_count)
+    if noise.log_upload_period_windows > 0:
+        upload_active = (
+            (flat_windows + phase) % noise.log_upload_period_windows
+        ) < noise.log_upload_duration_windows
+    else:
+        upload_active = np.zeros(flat_count, dtype=bool)
+    cpu = cpu + noise.log_upload_cpu_pct * upload_active
+    cpu = cpu * rng.normal(1.0, profile.cpu_observation_noise, size=flat_count)
+    cpu = np.clip(cpu, 0.0, 100.0)
+
+    # --- Latency ------------------------------------------------------
+    model = profile.latency
+    utilization = cpu / 100.0
+    util_clamped = np.minimum(utilization, model.utilization_cap - 1e-6)
+    cold = model.cold_ms * np.exp(-total_rps / model.warmup_rps)
+    queue = model.queue_coeff_ms * util_clamped**2 / (1.0 - util_clamped)
+    p95 = (
+        model.base_ms
+        + arrays.latency_base_delta_ms[flat_positions]
+        + cold
+        + queue * arrays.latency_queue_multiplier[flat_positions]
+    )
+    p95 = p95 * rng.normal(1.0, profile.latency_observation_noise, size=flat_count)
+    p95 = np.maximum(p95, 0.1)
+    p50 = model.median_fraction * p95
+
+    # --- Network ------------------------------------------------------
+    bytes_total = bytes_w[window_pos] * rng.normal(1.0, 0.15, size=flat_count)
+    bytes_total = np.maximum(bytes_total, 0.0)
+    packets = bytes_total / _PACKET_BYTES
+
+    # --- Disk and memory (background-dominated; Fig 2's bands) --------
+    disk_read = np.abs(rng.normal(0.0, noise.disk_noise_bytes, size=flat_count))
+    disk_read = disk_read + noise.log_upload_disk_bytes * upload_active
+    memory_pages = np.abs(
+        rng.normal(0.0, noise.memory_pages_noise, size=flat_count)
+    )
+    memory_pages = memory_pages + disk_read / 8e3 * rng.uniform(
+        0.5, 1.5, size=flat_count
+    )
+    disk_queue = np.maximum(
+        rng.normal(noise.disk_queue_mean, 1.0, size=flat_count), 0.0
+    )
+
+    # --- Memory working set (leak accounting) -------------------------
+    # cumulative[w, s] = online windows of s in the block up to w incl.
+    cumulative = np.cumsum(online_mask, axis=0, dtype=np.int64)
+    leak = arrays.memory_leak_mb_per_window
+    emitted_ws = (
+        arrays.working_set_mb[flat_positions]
+        + leak[flat_positions] * cumulative[window_pos, flat_positions]
+    )
+    working_set = emitted_ws * 1e6
+    if n_windows:
+        arrays.working_set_mb += leak * cumulative[-1]
+
+    # --- Errors -------------------------------------------------------
+    error_rate = np.where(
+        utilization > 0.9, (utilization - 0.9) * total_rps * 0.5, 0.0
+    )
+    errors = np.maximum(rng.normal(error_rate, 0.01), 0.0)
+
+    observations: Dict[str, np.ndarray] = {
+        Counter.REQUESTS.value: total_rps,
+        Counter.PROCESSOR_UTILIZATION.value: cpu,
+        Counter.LATENCY_P95.value: p95,
+        Counter.LATENCY_P50.value: p50,
+        Counter.NETWORK_BYTES_TOTAL.value: bytes_total,
+        Counter.NETWORK_PACKETS.value: packets,
+        Counter.DISK_READ_BYTES.value: disk_read,
+        Counter.DISK_QUEUE_LENGTH.value: disk_queue,
+        Counter.MEMORY_PAGES.value: memory_pages,
+        Counter.MEMORY_WORKING_SET.value: working_set,
+        Counter.ERRORS.value: errors,
+    }
+    for name in class_names:
+        observations[workload_counter(name)] = class_rps_w[name][window_pos]
+    return flat_windows, flat_positions, observations

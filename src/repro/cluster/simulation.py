@@ -25,6 +25,22 @@ speed.  Three interchangeable engines share the experiment controls:
 * ``"legacy"`` — the original per-server ``Server.observe`` loop, kept
   as the seed-faithful baseline for throughput benchmarks.
 
+The ``batch`` engine additionally supports **cross-window block
+emission** (:attr:`SimulationConfig.block_windows` > 1): the fleet
+advances ``block_windows`` windows per step, each deployment emitting
+one (windows x servers) block per counter through
+:func:`repro.cluster.server.observe_pool_block` and ingesting it with a
+single ``record_columns`` call — amortizing the per-window Python and
+RNG-call overhead that dominates small fleets.  A block of one window
+is bit-identical to per-window batch stepping; larger blocks are
+statistically equivalent (identical availability masks and sample
+counts, same distributions, different RNG draw shapes).
+
+The store may be a single :class:`~repro.telemetry.store.MetricStore`
+or a :class:`~repro.telemetry.sharding.ShardedMetricStore`; the
+simulator only uses the shared ingest/interning surface, and sharded
+telemetry is bit-identical to single-store telemetry either way.
+
 Interventions — resizing pools, deploying software versions, injecting
 outages and surges — are the experimental controls of §II-B and §II-D.
 """
@@ -32,7 +48,7 @@ outages and surges — are the experimental controls of §II-B and §II-D.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,10 +62,15 @@ from repro.cluster.faults import (
     TrafficSurge,
     policy_for_availability,
     policy_online_mask,
+    policy_online_mask_block,
 )
-from repro.cluster.server import ServerState, observe_pool
+from repro.cluster.server import ServerState, observe_pool, observe_pool_block
 from repro.telemetry.counters import Counter
+from repro.telemetry.sharding import ShardedMetricStore
 from repro.telemetry.store import MetricStore
+
+#: Anything the simulator can ingest into: a single store or a shard set.
+StoreLike = Union[MetricStore, ShardedMetricStore]
 
 #: Counters recorded by default — the planner's working set.
 DEFAULT_COUNTERS: Tuple[str, ...] = (
@@ -88,21 +109,42 @@ class SimulationConfig:
     #: ingest — bit-identical telemetry, used for equivalence tests),
     #: or "legacy" (the original per-server Python loop).
     engine: str = "batch"
+    #: Cross-window block size for the batch engine: :meth:`Simulator.run`
+    #: advances the fleet this many windows per step, emitting one
+    #: (windows x servers) block per counter per deployment.  1 (the
+    #: default) is plain per-window batch stepping; >1 requires the
+    #: "batch" engine.
+    block_windows: int = 1
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
+        if self.block_windows < 1:
+            raise ValueError("block_windows must be >= 1")
+        if self.block_windows > 1 and self.engine != "batch":
+            raise ValueError(
+                "block_windows > 1 requires the 'batch' engine "
+                f"(got engine={self.engine!r})"
+            )
 
 
 class Simulator:
-    """Drives a :class:`~repro.cluster.datacenter.Fleet` through time."""
+    """Drives a :class:`~repro.cluster.datacenter.Fleet` through time.
+
+    ``store`` may be a :class:`~repro.telemetry.store.MetricStore`
+    (default) or a :class:`~repro.telemetry.sharding.ShardedMetricStore`
+    — telemetry recorded through either is bit-identical.  ``config``
+    picks the engine and, for the batch engine, the cross-window block
+    size (see :class:`SimulationConfig` and :meth:`run` for the
+    equivalence guarantees of each path).
+    """
 
     def __init__(
         self,
         fleet: Fleet,
-        store: Optional[MetricStore] = None,
+        store: Optional[StoreLike] = None,
         seed: int = 0,
         config: Optional[SimulationConfig] = None,
     ) -> None:
@@ -378,6 +420,105 @@ class Simulator:
                             counter, float(value),
                         )
 
+    # ------------------------------------------------------------------
+    # Blocked (cross-window) stepping
+    # ------------------------------------------------------------------
+    def _online_mask_block(
+        self, deployment: PoolDeployment, windows: np.ndarray
+    ) -> np.ndarray:
+        """(n_windows, n_servers) online grid; rows == :meth:`_online_mask`."""
+        n = deployment.pool.size
+        policy = self._policies.get((deployment.pool_id, deployment.datacenter_id))
+        if policy is not None:
+            mask = policy_online_mask_block(policy, n, windows)
+        else:
+            mask = np.ones((windows.size, n), dtype=bool)
+        failures = self.config.random_failures
+        for i, window in enumerate(windows):
+            window = int(window)
+            if self._outage_active(deployment.datacenter_id, window):
+                mask[i] = False
+            elif failures is not None:
+                mask[i] &= ~failures.failed_mask(n, window)
+        return mask
+
+    def _step_deployment_block(
+        self,
+        deployment: PoolDeployment,
+        windows: np.ndarray,
+        base_demand: np.ndarray,
+    ) -> None:
+        """Advance one deployment a whole block of windows at once."""
+        pool = deployment.pool
+        pool_id = deployment.pool_id
+        dc_id = deployment.datacenter_id
+        n_windows = int(windows.size)
+
+        # Noisy demand per window.  Draws are skipped for windows with
+        # zero demand (or zero noise), matching the per-window engine's
+        # _noisy; with one active window per block the stream coincides
+        # with per-window stepping exactly.
+        noise = self.config.workload_noise
+        totals = np.array(base_demand, dtype=float)
+        if noise > 0:
+            active = totals > 0
+            n_active = int(active.sum())
+            if n_active:
+                sigma = np.sqrt(np.log1p(noise**2))
+                totals[active] *= self._rng.lognormal(
+                    -0.5 * sigma**2, sigma, size=n_active
+                )
+        class_volumes = [
+            deployment.mix.split_volume(float(total), int(window), self._rng)
+            for window, total in zip(windows, totals)
+        ]
+
+        mask_block = self._online_mask_block(deployment, windows)
+        counts = mask_block.sum(axis=1)
+        per_server_rps = [
+            {name: volume / m for name, volume in volumes.items()}
+            if m
+            else {name: 0.0 for name in volumes}
+            for volumes, m in zip(class_volumes, (int(c) for c in counts))
+        ]
+
+        arrays = pool.server_arrays()
+        flat_windows, flat_positions, observations = observe_pool_block(
+            pool.profile, arrays, mask_block, windows, per_server_rps, self._rng
+        )
+
+        store = self.store
+        indices = self._store_indices(deployment, arrays.server_ids)
+        availability = Counter.AVAILABILITY.value
+        if self._wanted_counter(availability):
+            store.record_columns(
+                pool_id,
+                dc_id,
+                availability,
+                np.repeat(windows, pool.size),
+                np.tile(indices, n_windows),
+                mask_block.astype(float).ravel(),
+            )
+        if flat_windows.size:
+            flat_indices = indices[flat_positions]
+            for counter, values in observations.items():
+                if self._wanted_counter(counter):
+                    store.record_columns(
+                        pool_id, dc_id, counter, flat_windows, flat_indices, values
+                    )
+
+    def _step_block(self, n_windows: int) -> None:
+        """Simulate ``n_windows`` consecutive windows as one block."""
+        windows = np.arange(
+            self._window, self._window + n_windows, dtype=np.int64
+        )
+        demands = [self.offered_demand(int(w)) for w in windows]
+        for deployment in self.fleet.deployments():
+            key = (deployment.pool_id, deployment.datacenter_id)
+            base = np.array([demand[key] for demand in demands])
+            self._step_deployment_block(deployment, windows, base)
+        self._window += n_windows
+
     def _step_legacy(self, window: int, demand: Dict[Tuple[str, str], float]) -> None:
         """The seed per-sample path: per-server observe, per-sample record."""
         wanted = set(self.config.counters) if self.config.counters else None
@@ -450,11 +591,39 @@ class Simulator:
             deployment.pool.flush_arrays()
 
     def run(self, n_windows: int) -> None:
-        """Simulate ``n_windows`` consecutive windows."""
+        """Simulate ``n_windows`` consecutive windows.
+
+        The main entry point of all three engines:
+
+        * ``"batch"`` with ``block_windows == 1`` (the default) steps
+          per window; with ``block_windows > 1`` it advances in blocks
+          through the cross-window emission path (the last block is
+          truncated to the remaining windows).  A block size of one is
+          bit-identical to per-window stepping; larger blocks are
+          statistically equivalent.
+        * ``"per-sample"`` produces bit-identical telemetry to
+          ``"batch"`` (same emission and RNG draws, per-sample ingest).
+        * ``"legacy"`` is the seed per-server loop: identical
+          availability, statistically equivalent noisy counters.
+
+        Per-server ``Server.state`` / ``working_set_mb`` are reconciled
+        by :meth:`sync_server_state` on completion.
+        """
         if n_windows < 0:
             raise ValueError("n_windows must be non-negative")
-        for _ in range(n_windows):
-            self.step()
+        block = self.config.block_windows
+        if block > 1 and self.config.engine == "batch":
+            self._wanted_set = (
+                set(self.config.counters) if self.config.counters else frozenset()
+            )
+            remaining = n_windows
+            while remaining > 0:
+                step = min(block, remaining)
+                self._step_block(step)
+                remaining -= step
+        else:
+            for _ in range(n_windows):
+                self.step()
         self.sync_server_state()
 
     def run_days(self, days: float) -> None:

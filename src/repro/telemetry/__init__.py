@@ -14,7 +14,8 @@ from repro.telemetry.counters import (
     workload_counter,
 )
 from repro.telemetry.series import TimeSeries
-from repro.telemetry.store import MetricKey, MetricStore
+from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.store import MetricKey, MetricStore, ServerInterner
 
 __all__ = [
     "Counter",
@@ -24,4 +25,6 @@ __all__ = [
     "TimeSeries",
     "MetricKey",
     "MetricStore",
+    "ServerInterner",
+    "ShardedMetricStore",
 ]

@@ -37,11 +37,17 @@ def _open_text(path: Path, mode: str):
 
 
 def export_store(
-    store: MetricStore,
+    store: "MetricStore",
     path: PathLike,
     counters: Optional[Sequence[str]] = None,
 ) -> int:
     """Write the store to ``path``; returns the number of rows written.
+
+    ``store`` may be a single :class:`MetricStore` or a
+    :class:`~repro.telemetry.sharding.ShardedMetricStore` — only the
+    ``iter_tables`` / ``server_name`` surface is used, and because every
+    server lives on exactly one shard the archive written from a
+    sharded store is byte-identical to the single-store export.
 
     ``counters`` optionally restricts the export to a subset of counter
     names (e.g. only the planner's working set).

@@ -1,0 +1,581 @@
+"""Hash-partitioned sharding of the metric store.
+
+The paper's production pipeline ingests ~3 GB/s by spreading counter
+rows across many trace-store machines and merging scoped queries over
+the partitions.  :class:`ShardedMetricStore` is the in-process
+equivalent: N :class:`~repro.telemetry.store.MetricStore` shards, rows
+routed by ``interned_server_index % n_shards``, one shared
+:class:`~repro.telemetry.store.ServerInterner` so indices (and thus
+query ordering) stay globally consistent.
+
+**Ingest** fans each batch out shard-wise: the facade partitions the
+(windows, server indices, values) columns by server index and appends
+each partition to its shard — serially by default, or concurrently
+through a ``concurrent.futures`` thread pool when ``workers > 1``.
+Threads (not processes) are used because shards are in-memory Python
+objects: each partition lands on exactly one shard per call, so the
+fan-out needs no locks, and NumPy slicing/append work releases the GIL
+for real overlap.  A ``multiprocessing`` pool would have to serialise
+every batch across process boundaries, which for an in-memory store
+costs more than the appends themselves; the shard boundary introduced
+here is exactly the seam a future PR can move onto separate processes
+or machines (shards only ever see ``record_columns`` calls and answer
+column gathers).
+
+**Queries** merge shard results shard-wise:
+
+* ``count`` / ``max`` aggregates sum (respectively maximum) per-shard
+  bincount partials over the union of windows — exact, because integer
+  sums and maxima are associative;
+* ``sum`` / ``mean`` aggregates re-gather the raw shard columns into
+  the single store's canonical accumulation order first (float addition
+  is *not* associative, so summing per-shard partials would drift in
+  the last ulp and break the bit-identity guarantee);
+* :meth:`pool_matrix` stacks per-shard dense matrices by column slice
+  (every cell lives on exactly one shard);
+* :meth:`per_server_values` and :meth:`server_series` route to the one
+  shard that owns the server.
+
+The result: every query on a :class:`ShardedMetricStore` fed by the
+batch (or blocked-batch) simulation engine is **bit-identical** to the
+same query on a single :class:`MetricStore` fed by the same engine —
+proven by ``tests/test_sharded_store.py`` and
+``tests/test_sim_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.telemetry.counters import CounterSample
+from repro.telemetry.series import TimeSeries
+from repro.telemetry.store import (
+    MetricStore,
+    ServerInterner,
+    TableKey,
+    columnise_samples,
+    window_aggregate_arrays,
+)
+
+_REDUCERS = ("mean", "sum", "max", "count")
+
+
+class ShardedMetricStore:
+    """N hash-partitioned :class:`MetricStore` shards behind one facade.
+
+    Drop-in replacement for a single :class:`MetricStore`: the public
+    surface (interning, ``record*`` ingest, every query, and
+    :meth:`iter_tables` for the archive exporter) matches.  Query
+    results are bit-identical to a single store fed the same batches
+    provided each table's rows arrive in canonical (window asc, server
+    asc) order — which every simulation engine guarantees; for
+    arbitrary ingest orders, ``sum``/``mean`` aggregates may differ
+    from the single store in the last ulp (the facade re-accumulates
+    in canonical order, the single store in raw append order), while
+    all other queries remain exact.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of partitions.  Rows are routed by
+        ``server_index % n_shards``, so one server's history always
+        lives on one shard.
+    workers:
+        Ingest fan-out width.  ``1`` (default) appends partitions
+        serially; ``>1`` dispatches them through a shared
+        ``concurrent.futures.ThreadPoolExecutor`` (capped at
+        ``n_shards`` — more workers than shards cannot help).
+    """
+
+    def __init__(self, n_shards: int = 4, workers: int = 1) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._interner = ServerInterner()
+        self._shards: List[MetricStore] = [
+            MetricStore(interner=self._interner) for _ in range(n_shards)
+        ]
+        self._workers = min(workers, n_shards)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._agg_cache: Dict[Tuple, TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def shards(self) -> Tuple[MetricStore, ...]:
+        """The underlying shards (read-only view, for tests/diagnostics)."""
+        return tuple(self._shards)
+
+    def shard_of(self, server_index: int) -> int:
+        """The shard that owns a server's rows."""
+        return server_index % len(self._shards)
+
+    def close(self) -> None:
+        """Shut down the ingest worker pool (no-op when serial)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedMetricStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers,
+                thread_name_prefix="metric-shard",
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Server interning (shared across shards)
+    # ------------------------------------------------------------------
+    @property
+    def interner(self) -> ServerInterner:
+        return self._interner
+
+    def intern_server(self, server_id: str) -> int:
+        """Map a server id to its stable global integer index."""
+        return self._interner.intern(server_id)
+
+    def intern_servers(self, server_ids: Sequence[str]) -> np.ndarray:
+        """Intern many server ids at once (the batch hot path setup)."""
+        return self._interner.intern_many(server_ids)
+
+    def server_name(self, index: int) -> str:
+        return self._interner.name(index)
+
+    # ------------------------------------------------------------------
+    # Ingest (shard fan-out)
+    # ------------------------------------------------------------------
+    def _dispatch(self, parts: List[Tuple[int, tuple]], method: str) -> None:
+        """Run ``shard.<method>(*args)`` for every (shard id, args) part.
+
+        Each partition touches exactly one shard, so concurrent
+        dispatch needs no locking; the caller thread owns the interner
+        and all bookkeeping that spans shards.
+        """
+        if self._workers > 1 and len(parts) > 1:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(getattr(self._shards[shard_id], method), *args)
+                for shard_id, args in parts
+            ]
+            for future in futures:
+                future.result()
+        else:
+            for shard_id, args in parts:
+                getattr(self._shards[shard_id], method)(*args)
+
+    def record_columns(
+        self,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        windows: np.ndarray,
+        server_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Partition pre-columnised rows by server index and append.
+
+        Same contract as :meth:`MetricStore.record_columns`; the
+        relative row order within each shard is preserved, which is
+        what keeps shard tables in the canonical (window, server)
+        order the merge layer relies on.
+        """
+        if values.size == 0:
+            return
+        n = len(self._shards)
+        if n == 1:
+            self._shards[0].record_columns(
+                pool_id, datacenter_id, counter, windows, server_indices, values
+            )
+        else:
+            shard_ids = server_indices % n
+            parts: List[Tuple[int, tuple]] = []
+            for shard_id in range(n):
+                mask = shard_ids == shard_id
+                if not mask.any():
+                    continue
+                parts.append(
+                    (
+                        shard_id,
+                        (
+                            pool_id,
+                            datacenter_id,
+                            counter,
+                            windows[mask],
+                            server_indices[mask],
+                            values[mask],
+                        ),
+                    )
+                )
+            self._dispatch(parts, "record_columns")
+        if self._agg_cache:
+            self._agg_cache.clear()
+
+    def record_batch(
+        self,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        window: int,
+        server_ids: Sequence[str],
+        values: np.ndarray,
+    ) -> None:
+        """Append one window of one counter for many servers at once.
+
+        Same contract as :meth:`MetricStore.record_batch` (string ids
+        or pre-interned index arrays; buffers may be reused by the
+        caller afterwards).
+        """
+        if isinstance(server_ids, np.ndarray) and server_ids.dtype.kind in "iu":
+            indices = np.array(server_ids, dtype=np.int64)
+        else:
+            indices = self.intern_servers(server_ids)
+        values = np.array(values, dtype=float)
+        if indices.size != values.size:
+            raise ValueError("server_ids and values must be aligned")
+        if indices.size == 0:
+            return
+        windows = np.full(indices.size, window, dtype=np.int64)
+        self.record_columns(
+            pool_id, datacenter_id, counter, windows, indices, values
+        )
+
+    def record_fast(
+        self,
+        window: int,
+        server_id: str,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        value: float,
+    ) -> None:
+        """Append one sample (compatibility shim; routes to one shard)."""
+        index = self._interner.intern(server_id)
+        self._shards[index % len(self._shards)].record_fast(
+            window, server_id, pool_id, datacenter_id, counter, value
+        )
+        if self._agg_cache:
+            self._agg_cache.clear()
+
+    def record(self, sample: CounterSample) -> None:
+        """Append one counter sample (compatibility shim)."""
+        self.record_fast(
+            sample.window_index,
+            sample.server_id,
+            sample.pool_id,
+            sample.datacenter_id,
+            sample.counter,
+            sample.value,
+        )
+
+    def record_many(self, samples) -> None:
+        """Append many samples, columnised per table then fanned out."""
+        for (pool_id, dc_id, counter), windows, indices, values in columnise_samples(
+            samples, self.intern_server
+        ):
+            self.record_columns(pool_id, dc_id, counter, windows, indices, values)
+
+    # ------------------------------------------------------------------
+    # Introspection (shard unions)
+    # ------------------------------------------------------------------
+    @property
+    def pools(self) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.pools)
+        return tuple(sorted(names))
+
+    @property
+    def datacenters(self) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.datacenters)
+        return tuple(sorted(names))
+
+    @property
+    def max_window(self) -> int:
+        """Largest window index seen on any shard; -1 when empty."""
+        return max(shard.max_window for shard in self._shards)
+
+    def counters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.counters_for_pool(pool_id))
+        return tuple(sorted(names))
+
+    def servers_in_pool(
+        self,
+        pool_id: str,
+        datacenter_id: Optional[str] = None,
+    ) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.servers_in_pool(pool_id, datacenter_id))
+        return tuple(sorted(names))
+
+    def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.datacenters_for_pool(pool_id))
+        return tuple(sorted(names))
+
+    def sample_count(self) -> int:
+        """Total number of stored samples across all shards."""
+        return sum(shard.sample_count() for shard in self._shards)
+
+    def iter_tables(
+        self,
+    ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield (key, windows, server indices, values) per shard table.
+
+        A table key may appear once per shard (each shard holds its
+        servers' slice of the table); the archive exporter regroups
+        rows per server, and every server lives on exactly one shard,
+        so exports come out identical to a single store's.
+        """
+        for shard in self._shards:
+            yield from shard.iter_tables()
+
+    # ------------------------------------------------------------------
+    # Queries (shard-wise merges)
+    # ------------------------------------------------------------------
+    def _dcs_for(self, pool_id: str, counter: str) -> List[str]:
+        """Datacenters holding (pool, counter) rows on any shard, sorted."""
+        dcs: Set[str] = set()
+        for shard in self._shards:
+            # Same-package access: the shard's table directory is the
+            # authoritative (pool, counter) -> datacenter mapping.
+            for key in shard._by_pool_counter.get((pool_id, counter), []):
+                dcs.add(key[1])
+        return sorted(dcs)
+
+    def gather_columns(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shard rows re-merged into the single store's canonical order.
+
+        Per datacenter (sorted, as :meth:`MetricStore._matching_tables`
+        orders tables), shard columns are concatenated and stably
+        lexsorted by (window, server index).  Because the batch and
+        blocked engines append each table in exactly that order, the
+        merged columns are bit-identical to what an unsharded store
+        would hand its own aggregation kernel — including the float
+        accumulation order of downstream ``np.bincount`` sums.
+        """
+        dcs = [datacenter_id] if datacenter_id is not None else self._dcs_for(
+            pool_id, counter
+        )
+        ws: List[np.ndarray] = []
+        ss: List[np.ndarray] = []
+        vs: List[np.ndarray] = []
+        for dc in dcs:
+            w_parts: List[np.ndarray] = []
+            s_parts: List[np.ndarray] = []
+            v_parts: List[np.ndarray] = []
+            for shard in self._shards:
+                w, s, v = shard.gather_columns(pool_id, counter, dc, start, stop)
+                if w.size:
+                    w_parts.append(w)
+                    s_parts.append(s)
+                    v_parts.append(v)
+            if not w_parts:
+                continue
+            w = np.concatenate(w_parts) if len(w_parts) > 1 else w_parts[0]
+            s = np.concatenate(s_parts) if len(s_parts) > 1 else s_parts[0]
+            v = np.concatenate(v_parts) if len(v_parts) > 1 else v_parts[0]
+            order = np.lexsort((s, w))
+            ws.append(w[order])
+            ss.append(s[order])
+            vs.append(v[order])
+        if not ws:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty, np.array([], dtype=float)
+        if len(ws) == 1:
+            return ws[0], ss[0], vs[0]
+        return np.concatenate(ws), np.concatenate(ss), np.concatenate(vs)
+
+    def pool_window_aggregate(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        reducer: str = "mean",
+    ) -> TimeSeries:
+        """Per-window aggregate merged across shards.
+
+        ``count`` and ``max`` merge per-shard bincount partials over
+        the union of windows (associative, hence exact).  ``sum`` and
+        ``mean`` instead aggregate the canonically re-ordered gather of
+        all shard rows, so their float accumulation order — and
+        therefore every output bit — matches the unsharded store.
+        Results are memoized until the next ingest, like the single
+        store's cache.
+        """
+        if reducer not in _REDUCERS:
+            raise ValueError(f"unknown reducer {reducer!r}")
+        cache_key = (pool_id, counter, datacenter_id, start, stop, reducer)
+        cached = self._agg_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        def memoize(series: TimeSeries) -> TimeSeries:
+            series.windows.setflags(write=False)
+            series.values.setflags(write=False)
+            self._agg_cache[cache_key] = series
+            return series
+
+        empty = TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        if reducer in ("count", "max"):
+            partials = [
+                shard.pool_window_aggregate(
+                    pool_id, counter, datacenter_id, start, stop, reducer
+                )
+                for shard in self._shards
+            ]
+            partials = [p for p in partials if len(p)]
+            if not partials:
+                return memoize(empty)
+            all_windows = partials[0].windows
+            for part in partials[1:]:
+                all_windows = np.union1d(all_windows, part.windows)
+            fill = 0.0 if reducer == "count" else -np.inf
+            acc = np.full(all_windows.size, fill)
+            for part in partials:
+                pos = np.searchsorted(all_windows, part.windows)
+                if reducer == "count":
+                    acc[pos] += part.values
+                else:
+                    np.maximum.at(acc, pos, part.values)
+            return memoize(TimeSeries.from_sorted(all_windows, acc))
+
+        windows, _servers, values = self.gather_columns(
+            pool_id, counter, datacenter_id, start, stop
+        )
+        if windows.size == 0:
+            return memoize(empty)
+        out_windows, out_values = window_aggregate_arrays(windows, values, reducer)
+        return memoize(TimeSeries.from_sorted(out_windows, out_values))
+
+    def per_server_values(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """All window values per server, merged across shards.
+
+        Every server lives on exactly one shard, so the merge is a
+        plain dict union — per-server arrays are the shard's arrays,
+        bit-identical to the unsharded ones.
+        """
+        out: Dict[str, np.ndarray] = {}
+        for shard in self._shards:
+            out.update(
+                shard.per_server_values(
+                    pool_id, counter, datacenter_id, start, stop
+                )
+            )
+        return out
+
+    def server_series(
+        self,
+        pool_id: str,
+        counter: str,
+        server_id: str,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> TimeSeries:
+        """Series of one counter on one server (routed to its shard)."""
+        index = self._interner.index.get(server_id)
+        if index is None:
+            return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
+        return self._shards[index % len(self._shards)].server_series(
+            pool_id, counter, server_id, start, stop
+        )
+
+    def pool_matrix(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Tuple[np.ndarray, Tuple[str, ...], np.ndarray]:
+        """Dense (windows, server_ids, values) cube stacked from shards.
+
+        Each shard contributes the column slice of the servers it owns;
+        rows are aligned on the union of the shards' windows.  Every
+        cell is a single stored value, so stacking is exact.
+        """
+        index_of = self._interner.index
+        parts = []  # (windows, server index array, matrix) per shard
+        for shard in self._shards:
+            windows, names, matrix = shard.pool_matrix(
+                pool_id, counter, datacenter_id, start, stop
+            )
+            if matrix.size == 0:
+                continue
+            indices = np.array([index_of[name] for name in names], dtype=np.int64)
+            parts.append((windows, indices, matrix))
+        if not parts:
+            return (
+                np.array([], dtype=np.int64),
+                (),
+                np.empty((0, 0), dtype=float),
+            )
+        all_windows = parts[0][0]
+        for windows, _indices, _matrix in parts[1:]:
+            all_windows = np.union1d(all_windows, windows)
+        all_servers = np.sort(np.concatenate([p[1] for p in parts]))
+        out = np.full((all_windows.size, all_servers.size), np.nan)
+        for windows, indices, matrix in parts:
+            row_pos = np.searchsorted(all_windows, windows)
+            col_pos = np.searchsorted(all_servers, indices)
+            out[np.ix_(row_pos, col_pos)] = matrix
+        names = tuple(self._interner.name(int(i)) for i in all_servers)
+        return all_windows, names, out
+
+    def all_values(
+        self,
+        counter: str,
+        pool_ids: Optional[Sequence[str]] = None,
+    ) -> np.ndarray:
+        """Every stored value of ``counter`` across shards.
+
+        Values come out shard-major (shard 0's rows first), so the
+        *multiset* matches a single store but the order differs; the
+        fleet-distribution consumers are order-insensitive.
+        """
+        chunks = [shard.all_values(counter, pool_ids) for shard in self._shards]
+        chunks = [c for c in chunks if c.size]
+        if not chunks:
+            return np.array([], dtype=float)
+        return np.concatenate(chunks)

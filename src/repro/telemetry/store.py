@@ -20,6 +20,12 @@ around an end-to-end columnar data flow:
   the frozen columns instead of per-sample Python loops, and the
   common pool aggregates are memoized in a cache that is invalidated
   whenever new samples arrive.
+
+Horizontal scaling lives one layer up:
+:class:`~repro.telemetry.sharding.ShardedMetricStore` hash-partitions
+rows across several ``MetricStore`` shards that share one
+:class:`ServerInterner`, and merges query results shard-wise so callers
+see the exact same answers as a single store.
 """
 
 from __future__ import annotations
@@ -32,6 +38,81 @@ import numpy as np
 
 from repro.telemetry.counters import CounterSample
 from repro.telemetry.series import TimeSeries
+
+
+class ServerInterner:
+    """Bidirectional server id <-> integer index mapping.
+
+    Interning assigns indices in first-seen order, so the hot ingest
+    path never hashes strings per sample.  A single interner may be
+    shared by several :class:`MetricStore` shards (see
+    :class:`~repro.telemetry.sharding.ShardedMetricStore`), which is
+    what keeps interned indices — and therefore query ordering —
+    globally consistent across shards.
+    """
+
+    __slots__ = ("names", "index")
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self.index: Dict[str, int] = {}
+
+    def intern(self, server_id: str) -> int:
+        """Map a server id to its stable integer index."""
+        index = self.index.get(server_id)
+        if index is None:
+            index = len(self.names)
+            self.index[server_id] = index
+            self.names.append(server_id)
+        return index
+
+    def intern_many(self, server_ids: Sequence[str]) -> np.ndarray:
+        """Intern many server ids at once; returns the index array."""
+        return np.fromiter(
+            (self.intern(s) for s in server_ids),
+            dtype=np.int64,
+            count=len(server_ids),
+        )
+
+    def name(self, index: int) -> str:
+        return self.names[index]
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+def window_aggregate_arrays(
+    windows: np.ndarray,
+    values: np.ndarray,
+    reducer: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group ``values`` by window with ``np.bincount``.
+
+    The aggregation kernel behind
+    :meth:`MetricStore.pool_window_aggregate`, shared with the sharded
+    facade so both paths accumulate in exactly the same order (bit-for-
+    bit identical floating-point sums).  Returns ``(out_windows,
+    out_values)`` for the windows that have at least one sample.
+    """
+    base = int(windows.min())
+    shifted = windows - base
+    length = int(shifted.max()) + 1
+    counts = np.bincount(shifted, minlength=length)
+    present = counts > 0
+    out_windows = np.flatnonzero(present) + base
+    if reducer == "count":
+        out_values = counts[present].astype(float)
+    elif reducer == "max":
+        maxima = np.full(length, -np.inf)
+        np.maximum.at(maxima, shifted, values)
+        out_values = maxima[present]
+    else:
+        sums = np.bincount(shifted, weights=values, minlength=length)
+        if reducer == "sum":
+            out_values = sums[present]
+        else:  # mean
+            out_values = sums[present] / counts[present]
+    return out_windows, out_values
 
 
 @dataclass(frozen=True)
@@ -137,31 +218,74 @@ class _Table:
 TableKey = Tuple[str, str, str]
 
 
-class MetricStore:
-    """Columnar store of counter samples with pool/DC-scoped queries."""
+def columnise_samples(
+    samples: Iterable[CounterSample],
+    intern,
+) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
+    """Group loose samples into per-table (windows, indices, values).
 
-    def __init__(self) -> None:
+    The shared grouping behind ``record_many`` on both the single store
+    and the sharded facade; ``intern`` maps a server id to its integer
+    index.  Yields one ``(table key, windows, server indices, values)``
+    tuple per (pool, datacenter, counter), rows in input order.
+    """
+    grouped: Dict[TableKey, Tuple[List[int], List[int], List[float]]] = {}
+    for sample in samples:
+        key = (sample.pool_id, sample.datacenter_id, sample.counter)
+        bucket = grouped.get(key)
+        if bucket is None:
+            bucket = ([], [], [])
+            grouped[key] = bucket
+        bucket[0].append(sample.window_index)
+        bucket[1].append(intern(sample.server_id))
+        bucket[2].append(sample.value)
+    for key, (windows, indices, values) in grouped.items():
+        yield (
+            key,
+            np.asarray(windows, dtype=np.int64),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(values, dtype=float),
+        )
+
+
+class MetricStore:
+    """Columnar store of counter samples with pool/DC-scoped queries.
+
+    The single-node building block of the telemetry layer.  Ingest via
+    :meth:`record_batch` (one window, many servers) or
+    :meth:`record_columns` (pre-columnised rows); query via
+    :meth:`pool_window_aggregate`, :meth:`per_server_values`,
+    :meth:`pool_matrix` and :meth:`server_series`.  All query results
+    are independent of ingest batching: the per-sample shims
+    (:meth:`record` / :meth:`record_fast`) and the batch path store
+    bit-identical tables given the same rows in the same order.
+
+    ``interner`` optionally shares a :class:`ServerInterner` with other
+    stores — the mechanism :class:`~repro.telemetry.sharding.\
+ShardedMetricStore` uses to keep one global id space across shards.
+    """
+
+    def __init__(self, interner: Optional[ServerInterner] = None) -> None:
         self._tables: Dict[TableKey, _Table] = {}
         self._by_pool_counter: Dict[Tuple[str, str], List[TableKey]] = defaultdict(list)
         self._pools: Set[str] = set()
         self._datacenters: Set[str] = set()
         self._servers_by_pool_dc: Dict[Tuple[str, str], Set[int]] = defaultdict(set)
-        self._server_names: List[str] = []
-        self._server_index: Dict[str, int] = {}
+        self._interner = interner if interner is not None else ServerInterner()
         self._max_window: int = -1
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
 
     # ------------------------------------------------------------------
     # Server interning
     # ------------------------------------------------------------------
+    @property
+    def interner(self) -> ServerInterner:
+        """The store's server id <-> index mapping (possibly shared)."""
+        return self._interner
+
     def intern_server(self, server_id: str) -> int:
         """Map a server id to its stable integer index."""
-        index = self._server_index.get(server_id)
-        if index is None:
-            index = len(self._server_names)
-            self._server_index[server_id] = index
-            self._server_names.append(server_id)
-        return index
+        return self._interner.intern(server_id)
 
     def intern_servers(self, server_ids: Sequence[str]) -> np.ndarray:
         """Intern many server ids at once (the batch hot path setup).
@@ -169,14 +293,10 @@ class MetricStore:
         Returns the integer index array to pass to :meth:`record_batch`
         in place of the string ids; callers cache it per pool.
         """
-        return np.fromiter(
-            (self.intern_server(s) for s in server_ids),
-            dtype=np.int64,
-            count=len(server_ids),
-        )
+        return self._interner.intern_many(server_ids)
 
     def server_name(self, index: int) -> str:
-        return self._server_names[index]
+        return self._interner.name(index)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -271,25 +391,10 @@ class MetricStore:
 
     def record_many(self, samples: Iterable[CounterSample]) -> None:
         """Append many samples, columnised per table (the batch path)."""
-        grouped: Dict[TableKey, Tuple[List[int], List[int], List[float]]] = {}
-        for sample in samples:
-            key = (sample.pool_id, sample.datacenter_id, sample.counter)
-            bucket = grouped.get(key)
-            if bucket is None:
-                bucket = ([], [], [])
-                grouped[key] = bucket
-            bucket[0].append(sample.window_index)
-            bucket[1].append(self.intern_server(sample.server_id))
-            bucket[2].append(sample.value)
-        for (pool_id, dc_id, counter), (windows, indices, values) in grouped.items():
-            self.record_columns(
-                pool_id,
-                dc_id,
-                counter,
-                np.asarray(windows, dtype=np.int64),
-                np.asarray(indices, dtype=np.int64),
-                np.asarray(values, dtype=float),
-            )
+        for (pool_id, dc_id, counter), windows, indices, values in columnise_samples(
+            samples, self.intern_server
+        ):
+            self.record_columns(pool_id, dc_id, counter, windows, indices, values)
 
     def record_fast(
         self,
@@ -349,7 +454,7 @@ class MetricStore:
                 continue
             if datacenter_id is None or dc == datacenter_id:
                 indices.update(members)
-        return tuple(sorted(self._server_names[i] for i in indices))
+        return tuple(sorted(self._interner.name(i) for i in indices))
 
     def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
         dcs = {
@@ -418,6 +523,26 @@ class MetricStore:
             return ws[0], ss[0], vs[0]
         return np.concatenate(ws), np.concatenate(ss), np.concatenate(vs)
 
+    def gather_columns(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw window-sliced (windows, server indices, values) columns.
+
+        Rows come out table by table — tables sorted by datacenter, rows
+        in append order within each table — which is the canonical order
+        every aggregate query accumulates in.  The sharded facade reads
+        shards through this method to rebuild that exact order.
+        """
+        lo = start if start is not None else 0
+        hi = stop if stop is not None else self._max_window + 1
+        tables = self._matching_tables(pool_id, counter, datacenter_id)
+        return self._gather(tables, lo, hi)
+
     def server_series(
         self,
         pool_id: str,
@@ -427,7 +552,7 @@ class MetricStore:
         stop: Optional[int] = None,
     ) -> TimeSeries:
         """Series of one counter on one server, optionally window-sliced."""
-        index = self._server_index.get(server_id)
+        index = self._interner.index.get(server_id)
         empty = TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
         if index is None:
             return empty
@@ -494,24 +619,7 @@ class MetricStore:
             return memoize(
                 TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
             )
-        base = int(windows.min())
-        shifted = windows - base
-        length = int(shifted.max()) + 1
-        counts = np.bincount(shifted, minlength=length)
-        present = counts > 0
-        out_windows = np.flatnonzero(present) + base
-        if reducer == "count":
-            out_values = counts[present].astype(float)
-        elif reducer == "max":
-            maxima = np.full(length, -np.inf)
-            np.maximum.at(maxima, shifted, values)
-            out_values = maxima[present]
-        else:
-            sums = np.bincount(shifted, weights=values, minlength=length)
-            if reducer == "sum":
-                out_values = sums[present]
-            else:  # mean
-                out_values = sums[present] / counts[present]
+        out_windows, out_values = window_aggregate_arrays(windows, values, reducer)
         return memoize(TimeSeries.from_sorted(out_windows, out_values))
 
     def per_server_values(
@@ -541,7 +649,7 @@ class MetricStore:
             starts = np.concatenate(([0], boundaries))
             pieces = np.split(sorted_values, boundaries)
             for offset, piece in zip(starts, pieces):
-                out[self._server_names[sorted_servers[offset]]] = piece
+                out[self._interner.name(sorted_servers[offset])] = piece
         return out
 
     def pool_matrix(
@@ -572,7 +680,7 @@ class MetricStore:
         uniq_servers, server_pos = np.unique(servers, return_inverse=True)
         matrix = np.full((uniq_windows.size, uniq_servers.size), np.nan)
         matrix[window_pos, server_pos] = values
-        names = tuple(self._server_names[i] for i in uniq_servers)
+        names = tuple(self._interner.name(i) for i in uniq_servers)
         return uniq_windows, names, matrix
 
     def all_values(

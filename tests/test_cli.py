@@ -1,0 +1,155 @@
+"""CLI argument parsing and the simulate command's store/engine wiring.
+
+Covers the engine/shards/workers/block-windows combinations and the
+archive-optional path of ``python -m repro simulate``.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _load_docs_check():
+    path = Path(__file__).resolve().parent.parent / "tools" / "docs_check.py"
+    spec = importlib.util.spec_from_file_location("docs_check", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSimulateParsing:
+    def setup_method(self):
+        self.parser = build_parser()
+
+    def test_defaults(self):
+        args = self.parser.parse_args(["simulate"])
+        assert args.output is None
+        assert args.engine == "batch"
+        assert args.shards == 1
+        assert args.workers == 1
+        assert args.block_windows == 1
+        assert args.windows is None
+        assert args.days == 2.0
+
+    @pytest.mark.parametrize("engine", ["batch", "per-sample", "legacy"])
+    def test_engine_choices(self, engine):
+        args = self.parser.parse_args(["simulate", "--engine", engine])
+        assert args.engine == engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            self.parser.parse_args(["simulate", "--engine", "warp"])
+
+    def test_shard_flags(self):
+        args = self.parser.parse_args(
+            [
+                "simulate",
+                "out.csv",
+                "--shards", "4",
+                "--workers", "2",
+                "--block-windows", "32",
+                "--windows", "10",
+            ]
+        )
+        assert args.output == "out.csv"
+        assert (args.shards, args.workers, args.block_windows) == (4, 2, 32)
+        assert args.windows == 10
+
+    def test_archive_is_optional(self):
+        args = self.parser.parse_args(["simulate", "--windows", "5"])
+        assert args.output is None
+
+    @pytest.mark.parametrize("flag", ["--shards", "--workers", "--block-windows"])
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_out_of_range_values_rejected_cleanly(self, flag, value):
+        """Invalid shard/worker/block values exit 2 via argparse."""
+        with pytest.raises(SystemExit) as excinfo:
+            self.parser.parse_args(["simulate", flag, value])
+        assert excinfo.value.code == 2
+
+    def test_other_commands_require_archive(self):
+        for command in ("plan", "validate", "availability"):
+            with pytest.raises(SystemExit):
+                self.parser.parse_args([command])
+            args = self.parser.parse_args([command, "some.csv"])
+            assert args.archive == "some.csv"
+
+
+class TestSimulateExecution:
+    """Tiny end-to-end runs through main() for each store configuration."""
+
+    BASE = [
+        "simulate",
+        "--windows", "4",
+        "--servers", "2",
+        "--datacenters", "1",
+        "--pools", "B",
+    ]
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            [],
+            ["--engine", "per-sample"],
+            ["--engine", "legacy"],
+            ["--shards", "2"],
+            ["--shards", "2", "--workers", "2"],
+            ["--block-windows", "2"],
+            ["--shards", "3", "--workers", "2", "--block-windows", "2"],
+        ],
+        ids=lambda extra: " ".join(extra) or "defaults",
+    )
+    def test_simulate_without_archive(self, extra):
+        assert main(self.BASE + extra) == 0
+
+    def test_simulate_writes_archive(self, tmp_path):
+        archive = tmp_path / "telemetry.csv"
+        assert main(self.BASE + ["--shards", "2", str(archive)]) == 0
+        header = archive.read_text().splitlines()[0]
+        assert header == "window,server_id,pool_id,datacenter_id,counter,value"
+
+    def test_blocked_sharded_archive_matches_single(self, tmp_path):
+        """The full CLI path: sharded+blocked export == single-store export."""
+        single = tmp_path / "single.csv"
+        sharded = tmp_path / "sharded.csv"
+        base = self.BASE + ["--windows", "6"]
+        assert main(base + [str(single)]) == 0
+        assert main(
+            base + ["--shards", "2", "--block-windows", "1", str(sharded)]
+        ) == 0
+        assert single.read_text() == sharded.read_text()
+
+    def test_block_windows_with_legacy_engine_fails_cleanly(self):
+        assert main(self.BASE + ["--engine", "legacy", "--block-windows", "4"]) == 2
+
+
+class TestDocsCheck:
+    """The docs-check tool: README and the CLI must agree."""
+
+    def test_repo_readme_passes(self):
+        docs_check = _load_docs_check()
+        assert docs_check.check() == []
+
+    def test_detects_unknown_flag(self, tmp_path):
+        docs_check = _load_docs_check()
+        bad = tmp_path / "README.md"
+        bad.write_text(
+            "```bash\npython -m repro simulate --warp-speed 9\n```\n"
+            + "".join(
+                f"`{flag}` "
+                for flag in sorted(docs_check.cli_options()["simulate"])
+            )
+        )
+        errors = docs_check.check(bad)
+        assert any("--warp-speed" in error for error in errors)
+
+    def test_detects_undocumented_simulate_flag(self, tmp_path):
+        docs_check = _load_docs_check()
+        bare = tmp_path / "README.md"
+        bare.write_text("no flags documented at all\n")
+        errors = docs_check.check(bare)
+        assert any("--shards" in error for error in errors)
+        assert any("--block-windows" in error for error in errors)

@@ -12,6 +12,8 @@ from repro.cluster.faults import (
     RollingMaintenance,
     TrafficSurge,
     policy_for_availability,
+    policy_online_mask,
+    policy_online_mask_block,
 )
 from repro.workload.diurnal import WINDOWS_PER_DAY
 
@@ -121,6 +123,46 @@ class TestRandomFailures:
             if any(failures.is_failed(server, w) for w in range(WINDOWS_PER_DAY)):
                 failed_days += 1
         assert 60 <= failed_days <= 140  # ~100 expected
+
+
+class TestBlockMasks:
+    """Cross-window mask grids match the per-window masks row for row."""
+
+    POLICIES = (
+        AlwaysOnline(),
+        RollingMaintenance(daily_downtime_fraction=0.1),
+        MaintenancePolicy(target_availability=0.97),
+        RepurposingPolicy(borrowed_fraction=0.4),
+    )
+
+    @pytest.mark.parametrize(
+        "policy", POLICIES, ids=lambda p: type(p).__name__
+    )
+    def test_block_rows_equal_per_window_masks(self, policy):
+        windows = np.arange(700, 740)
+        block = policy_online_mask_block(policy, 13, windows)
+        assert block.shape == (windows.size, 13)
+        for row, window in zip(block, windows):
+            np.testing.assert_array_equal(
+                row, policy_online_mask(policy, 13, int(window))
+            )
+
+    def test_rolling_block_wraps_midnight(self):
+        policy = RollingMaintenance(daily_downtime_fraction=0.3)
+        windows = np.arange(WINDOWS_PER_DAY - 5, WINDOWS_PER_DAY + 5)
+        block = policy_online_mask_block(policy, 10, windows)
+        for row, window in zip(block, windows):
+            np.testing.assert_array_equal(
+                row, policy.online_mask(10, int(window))
+            )
+
+    def test_block_fallback_for_custom_policy(self):
+        class OddWindowsOnly:
+            def is_online(self, server_index, n_servers, window):
+                return window % 2 == 1
+
+        block = policy_online_mask_block(OddWindowsOnly(), 4, np.arange(6))
+        np.testing.assert_array_equal(block[:, 0], [False, True] * 3)
 
 
 class TestEvents:

@@ -1,10 +1,17 @@
 """Old-vs-new engine equivalence and determinism of the columnar path.
 
-Three guarantees protect the vectorized rewrite:
+Guarantees protecting the vectorized rewrite and the sharded/blocked
+extensions:
 
 * the batched ingest path stores *bit-identical* telemetry to the
   per-sample compatibility path (same emission, same RNG draws);
 * a fixed seed reproduces bit-identical store contents run over run;
+* a :class:`~repro.telemetry.sharding.ShardedMetricStore` — any shard
+  count, serial or worker-pool ingest — answers every query
+  bit-identically to a single store fed by the same engine;
+* blocked emission with ``block_windows=1`` is bit-identical to
+  per-window batch stepping; larger blocks keep identical availability
+  masks and sample counts and agree statistically on noisy counters;
 * the legacy per-server engine — the seed implementation — agrees
   statistically with the columnar engine (identical availability,
   matching means for the noisy counters).
@@ -17,14 +24,16 @@ from repro.cluster.builders import build_single_pool_fleet
 from repro.cluster.faults import RandomFailures
 from repro.cluster.simulation import SimulationConfig, Simulator
 from repro.telemetry.counters import Counter
+from repro.telemetry.sharding import ShardedMetricStore
 
 
-def _run(engine: str, seed: int = 41, windows: int = 180, **config_kwargs):
+def _run(engine: str, seed: int = 41, windows: int = 180, store=None, **config_kwargs):
     fleet = build_single_pool_fleet(
         "B", n_datacenters=2, servers_per_deployment=6, seed=seed
     )
     sim = Simulator(
         fleet,
+        store=store,
         seed=seed,
         config=SimulationConfig(
             engine=engine,
@@ -84,6 +93,109 @@ class TestBatchedEquivalence:
         assert batch.sample_count() > 0
         assert batch.counters_for_pool("B") == legacy.counters_for_pool("B")
         assert batch.sample_count() == legacy.sample_count()
+
+
+class TestShardedEquivalence:
+    """Sharded batch ingest is bit-identical to the single-store engine."""
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_sharded_matches_single_store(self, n_shards):
+        single = _run("batch")
+        sharded = _run("batch", store=ShardedMetricStore(n_shards=n_shards))
+        _assert_stores_identical(single, sharded)
+
+    def test_worker_pool_matches_serial(self):
+        """Thread fan-out stores the same rows as serial fan-out."""
+        serial = _run("batch", store=ShardedMetricStore(n_shards=4, workers=1))
+        with ShardedMetricStore(n_shards=4, workers=4) as store:
+            threaded = _run("batch", store=store)
+            _assert_stores_identical(serial, threaded)
+
+    def test_sharded_blocked_matches_single_blocked(self):
+        """Sharding composes with cross-window block emission."""
+        single = _run("batch", block_windows=16)
+        sharded = _run(
+            "batch",
+            store=ShardedMetricStore(n_shards=3, workers=2),
+            block_windows=16,
+        )
+        _assert_stores_identical(single, sharded)
+
+    def test_sharded_all_counters(self):
+        single = _run("batch", counters=None, windows=60)
+        sharded = _run(
+            "batch", counters=None, windows=60, store=ShardedMetricStore(3)
+        )
+        _assert_stores_identical(single, sharded)
+
+    def test_sharded_per_sample_shim(self):
+        """Even the per-sample compatibility path shards identically."""
+        single = _run("per-sample", windows=60)
+        sharded = _run("per-sample", windows=60, store=ShardedMetricStore(3))
+        _assert_stores_identical(single, sharded)
+
+
+class TestBlockedEquivalence:
+    """Cross-window block emission vs per-window batch stepping."""
+
+    def test_block_of_one_bit_identical(self):
+        """block_windows=1 consumes the same RNG stream as per-window."""
+        _assert_stores_identical(_run("batch"), _run("batch", block_windows=1))
+
+    def test_blocked_availability_and_counts_identical(self):
+        """Masks are RNG-free, so any block size keeps them identical."""
+        batch = _run("batch")
+        blocked = _run("batch", block_windows=32)
+        assert batch.sample_count() == blocked.sample_count()
+        for dc in batch.datacenters_for_pool("B"):
+            a = batch.pool_window_aggregate(
+                "B", Counter.AVAILABILITY.value, datacenter_id=dc
+            )
+            b = blocked.pool_window_aggregate(
+                "B", Counter.AVAILABILITY.value, datacenter_id=dc
+            )
+            np.testing.assert_array_equal(a.windows, b.windows)
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_blocked_truncates_final_partial_block(self):
+        """n_windows not divisible by block_windows still runs them all."""
+        blocked = _run("batch", block_windows=50, windows=130)
+        assert blocked.max_window == 129
+
+    def test_blocked_deterministic(self):
+        _assert_stores_identical(
+            _run("batch", block_windows=16), _run("batch", block_windows=16)
+        )
+
+    @pytest.mark.parametrize(
+        "counter, tolerance",
+        [
+            (Counter.REQUESTS.value, 0.02),
+            (Counter.PROCESSOR_UTILIZATION.value, 0.02),
+            (Counter.LATENCY_P95.value, 0.02),
+        ],
+    )
+    def test_blocked_statistically_equivalent(self, counter, tolerance):
+        batch = _run("batch", windows=720)
+        blocked = _run("batch", block_windows=48, windows=720)
+        a = batch.pool_window_aggregate("B", counter).values
+        b = blocked.pool_window_aggregate("B", counter).values
+        assert a.mean() == pytest.approx(b.mean(), rel=tolerance)
+        assert a.std() == pytest.approx(b.std(), rel=0.15)
+
+    def test_blocked_request_classes(self):
+        batch = _run("batch", record_request_classes=True, windows=60)
+        blocked = _run(
+            "batch", record_request_classes=True, windows=60, block_windows=8
+        )
+        assert "Requests/sec[query]" in blocked.counters_for_pool("B")
+        assert batch.sample_count() == blocked.sample_count()
+
+    def test_block_requires_batch_engine(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(engine="legacy", block_windows=8)
+        with pytest.raises(ValueError):
+            SimulationConfig(block_windows=0)
 
 
 class TestLegacyEquivalence:

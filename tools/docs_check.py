@@ -1,0 +1,114 @@
+"""Fail when README/docs drift from the actual CLI.
+
+Two-way check between ``README.md`` and ``repro.cli.build_parser()``:
+
+1. every ``--flag`` used in a README fenced code block's
+   ``python -m repro <command>`` invocation must exist on that
+   command's parser (catches docs referencing removed/renamed flags);
+2. every flag the ``simulate`` command defines must be mentioned
+   somewhere in README.md (catches new flags landing undocumented).
+
+Also verifies that relative markdown links in README.md point at files
+that exist (e.g. ``docs/ARCHITECTURE.md``).
+
+Run via ``make docs-check`` or directly:
+``PYTHONPATH=src python tools/docs_check.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+_FENCE = re.compile(r"```(?:bash|sh|console)?\n(.*?)```", re.DOTALL)
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#]+)\)")
+
+
+def cli_options() -> dict:
+    """command name -> set of option strings, from the real parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    commands = {}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                flags = set()
+                for sub_action in subparser._actions:
+                    flags.update(sub_action.option_strings)
+                commands[name] = flags
+    return commands
+
+
+def readme_invocations(text: str):
+    """Yield (command, [flags]) for each ``python -m repro`` call."""
+    for block in _FENCE.findall(text):
+        # Join backslash line continuations into one logical command.
+        logical = block.replace("\\\n", " ")
+        for line in logical.splitlines():
+            line = line.strip()
+            if "-m repro" not in line:
+                continue
+            tail = line.split("-m repro", 1)[1].split()
+            if not tail or tail[0].startswith("-"):
+                continue
+            yield tail[0], _FLAG.findall(line)
+
+
+def check(readme_path: Path = README) -> list:
+    errors = []
+    if not readme_path.exists():
+        return [f"{readme_path} does not exist"]
+    text = readme_path.read_text()
+    commands = cli_options()
+
+    seen_simulate_flags = set()
+    for command, flags in readme_invocations(text):
+        if command not in commands:
+            errors.append(f"README documents unknown command {command!r}")
+            continue
+        for flag in flags:
+            if flag not in commands[command]:
+                errors.append(
+                    f"README uses {flag} with {command!r}, but the CLI "
+                    f"does not define it"
+                )
+            elif command == "simulate":
+                seen_simulate_flags.add(flag)
+
+    for flag in sorted(commands.get("simulate", ())):
+        if flag in ("-h", "--help"):
+            continue
+        if flag not in text:
+            errors.append(
+                f"simulate flag {flag} is not mentioned anywhere in README.md"
+            )
+
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not (readme_path.parent / target).exists():
+            errors.append(f"README links to missing file {target!r}")
+
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    if errors:
+        for error in errors:
+            print(f"docs-check: {error}", file=sys.stderr)
+        print(f"docs-check: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-check: README.md matches the CLI")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
