@@ -4,20 +4,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke docs-check check
+.PHONY: test bench bench-smoke bench-backends docs-check check
 
-test:
+# docs-check runs first so doc drift fails tier-1 locally, before the
+# (slower) pytest pass starts.
+test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 # Fast sanity pass over the throughput benchmark (small fleet, no JSON).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_sim_throughput.py --smoke
 
+# Small serial/threads/processes shard-backend comparison (no JSON).
+bench-backends:
+	$(PYTHON) benchmarks/bench_sim_throughput.py --backends
+
 # Full 1000x1000 benchmark; rewrites BENCH_sim_throughput.json.
 bench:
 	$(PYTHON) benchmarks/bench_sim_throughput.py
 
-# Fails when README code blocks drift from the actual CLI flags.
+# Fails when README/docs drift from the actual CLI flags (both
+# directions: stale flags mentioned, new flags undocumented).
 docs-check:
 	$(PYTHON) tools/docs_check.py
 

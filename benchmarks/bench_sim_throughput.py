@@ -7,10 +7,13 @@ servers x 1000 windows) for:
   and extrapolated — it is ~2 orders of magnitude slower);
 * the PR 1 ``batch`` engine (per-window columnar emission + batched
   ingest) — the baseline every later configuration is judged against;
-* a sweep of (shards, workers, block_windows) configurations combining
-  the sharded store (:class:`~repro.telemetry.sharding.\
+* a sweep of (shards, workers, block_windows, backend) configurations
+  combining the sharded store (:class:`~repro.telemetry.sharding.\
 ShardedMetricStore`) with cross-window block emission
-  (``SimulationConfig.block_windows``).
+  (``SimulationConfig.block_windows``) across all three shard backends
+  (serial / threads / processes — the process backend pays one pickle
+  crossing per row, so on a single CPU it documents the distribution
+  seam's cost, not a speedup).
 
 The best configuration must clear ``TARGET_BLOCK_SPEEDUP`` x the batch
 baseline (and batch itself ``TARGET_SPEEDUP`` x legacy); all results
@@ -18,7 +21,9 @@ land in ``BENCH_sim_throughput.json`` for the perf trajectory.
 
 Run as a pytest benchmark (``pytest benchmarks/bench_sim_throughput.py``)
 or directly (``PYTHONPATH=src python benchmarks/bench_sim_throughput.py``;
-pass ``--smoke`` for a fast, JSON-less sanity run).
+pass ``--smoke`` for a fast, JSON-less sanity run, or ``--backends`` for
+a small serial/threads/processes comparison only — the ``make
+bench-backends`` target).
 """
 
 from __future__ import annotations
@@ -46,15 +51,25 @@ TARGET_SPEEDUP = 5.0
 #: over the plain per-window batch engine.
 TARGET_BLOCK_SPEEDUP = 1.5
 
-#: The (shards, workers, block_windows) sweep.  Thread workers only pay
-#: off with more than one CPU; single-shard + blocks is the expected
-#: winner on small machines, sharded variants document the fan-out cost.
+#: The (shards, workers, block_windows, backend) sweep.  Single-shard +
+#: blocks is the expected winner on small machines; the sharded
+#: variants document the fan-out cost of each backend at the same
+#: (4-shard, block=64) point: serial = partitioning pass only, threads
+#: = GIL-bound pool dispatch, processes = one pickle crossing per row
+#: (the price of the distribution seam, paid off only with real cores
+#: or machines behind it).
 CONFIGS = (
     {"shards": 1, "workers": 1, "block_windows": 16},
     {"shards": 1, "workers": 1, "block_windows": 64},
-    {"shards": 4, "workers": 1, "block_windows": 64},
-    {"shards": 4, "workers": 4, "block_windows": 64},
+    {"shards": 4, "workers": 1, "block_windows": 64, "backend": "serial"},
+    {"shards": 4, "workers": 4, "block_windows": 64, "backend": "threads"},
+    {"shards": 4, "workers": 1, "block_windows": 64, "backend": "processes"},
 )
+
+#: The small serial/threads/processes comparison behind
+#: ``make bench-backends`` (and ``--backends``).
+BACKEND_SWEEP_SERVERS = 200
+BACKEND_SWEEP_WINDOWS = 200
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"
 
@@ -66,13 +81,14 @@ def _measure(
     shards: int = 1,
     workers: int = 1,
     block_windows: int = 1,
+    backend: Optional[str] = None,
 ) -> dict:
     fleet = build_single_pool_fleet(
         "B", n_datacenters=1, servers_per_deployment=servers, seed=29
     )
     store = (
-        ShardedMetricStore(n_shards=shards, workers=workers)
-        if shards > 1
+        ShardedMetricStore(n_shards=shards, workers=workers, backend=backend)
+        if shards > 1 or backend is not None
         else None
     )
     sim = Simulator(
@@ -83,8 +99,11 @@ def _measure(
     )
     started = time.perf_counter()
     sim.run(n_windows)
-    elapsed = time.perf_counter() - started
+    # sample_count() is the read barrier: on the processes backend it
+    # flushes every worker and waits for the answer, so buffered ingest
+    # cannot hide outside the timed region.
     samples = sim.store.sample_count()
+    elapsed = time.perf_counter() - started
     if store is not None:
         store.close()
     return {
@@ -94,6 +113,7 @@ def _measure(
         "shards": shards,
         "workers": workers,
         "block_windows": block_windows,
+        "backend": store.backend if store is not None else "none",
         "elapsed_s": elapsed,
         "samples": samples,
         "windows_per_sec": n_windows / elapsed,
@@ -131,6 +151,40 @@ def run_benchmark(
     return result
 
 
+def run_backend_sweep(
+    windows: int = BACKEND_SWEEP_WINDOWS,
+    servers: int = BACKEND_SWEEP_SERVERS,
+    shards: int = 4,
+    block_windows: int = 64,
+) -> list:
+    """Small serial/threads/processes comparison at one sweep point.
+
+    The fast local answer to "which backend should I use here?" —
+    prints one line per backend, writes no JSON.
+    """
+    results = []
+    for backend, workers in (("serial", 1), ("threads", 4), ("processes", 1)):
+        results.append(
+            _measure(
+                "batch",
+                windows,
+                servers,
+                shards=shards,
+                workers=workers,
+                block_windows=block_windows,
+                backend=backend,
+            )
+        )
+    return results
+
+
+def _config_label(entry: dict) -> str:
+    return (
+        f"shards={entry['shards']} workers={entry['workers']} "
+        f"block={entry['block_windows']} backend={entry['backend']}"
+    )
+
+
 def _print_result(result: dict) -> None:
     batch = result["batch"]
     legacy = result["legacy"]
@@ -145,18 +199,14 @@ def _print_result(result: dict) -> None:
         f"{legacy['windows']} windows (extrapolated)"
     )
     for entry in result["configs"]:
-        label = (
-            f"shards={entry['shards']} workers={entry['workers']} "
-            f"block={entry['block_windows']}"
-        )
         print(
-            f"  {label:30s} {entry['windows_per_sec']:8.1f} windows/s "
+            f"  {_config_label(entry):48s} {entry['windows_per_sec']:8.1f} windows/s "
             f"({entry['samples_per_sec']:,.0f} samples/s)"
         )
     best = result["best"]
     print(
         f"best config: shards={best['shards']} workers={best['workers']} "
-        f"block={best['block_windows']} -> "
+        f"block={best['block_windows']} backend={best['backend']} -> "
         f"{result['best_speedup_vs_batch']:.2f}x batch, "
         f"batch {result['speedup_windows_per_sec']:.1f}x legacy"
     )
@@ -172,13 +222,24 @@ def test_sim_throughput():
 
 
 if __name__ == "__main__":
-    smoke = "--smoke" in sys.argv[1:]
-    if smoke:
+    argv = sys.argv[1:]
+    if "--backends" in argv:
+        sweep = run_backend_sweep()
+        print(
+            f"backend sweep: {BACKEND_SWEEP_SERVERS} servers x "
+            f"{BACKEND_SWEEP_WINDOWS} windows, 4 shards, block=64"
+        )
+        for entry in sweep:
+            print(
+                f"  {entry['backend']:10s} {entry['windows_per_sec']:8.1f} windows/s "
+                f"({entry['samples_per_sec']:,.0f} samples/s)"
+            )
+    elif "--smoke" in argv:
         outcome = run_benchmark(
             windows=60, servers=100, legacy_windows=10, result_path=None
         )
+        _print_result(outcome)
     else:
         outcome = run_benchmark()
-    _print_result(outcome)
-    if not smoke:
+        _print_result(outcome)
         print(f"results written to {RESULT_PATH}")

@@ -11,6 +11,7 @@ Run:
     python examples/quickstart.py
     python examples/quickstart.py --windows 240 --engine batch
     python examples/quickstart.py --shards 4 --workers 2 --block-windows 32
+    python examples/quickstart.py --shards 4 --shard-backend processes
 """
 
 import argparse
@@ -55,7 +56,13 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument(
         "--workers", type=positive_int, default=1,
-        help="ingest worker fan-out for a sharded store",
+        help="thread fan-out for the 'threads' shard backend",
+    )
+    parser.add_argument(
+        "--shard-backend", default=None,
+        choices=("serial", "threads", "processes"),
+        help="where shards live (default: serial, or threads when "
+             "--workers > 1; 'processes' runs one worker per shard)",
     )
     parser.add_argument("--seed", type=int, default=7)
     return parser.parse_args()
@@ -73,16 +80,22 @@ def main() -> None:
         seed=args.seed,
     )
     store = (
-        ShardedMetricStore(n_shards=args.shards, workers=args.workers)
-        if args.shards > 1
+        ShardedMetricStore(
+            n_shards=args.shards,
+            workers=args.workers,
+            backend=args.shard_backend,
+        )
+        if args.shards > 1 or args.shard_backend is not None
         else MetricStore()
     )
+    backend = store.backend if isinstance(store, ShardedMetricStore) else "-"
     print(
         f"simulating {fleet.total_servers()} servers, "
         f"{len(fleet.pool_ids)} micro-services, "
         f"{len(fleet.datacenters)} datacenters "
         f"({args.windows} windows, engine={args.engine!r}, "
-        f"block={args.block_windows}, shards={args.shards}) ..."
+        f"block={args.block_windows}, shards={args.shards}, "
+        f"backend={backend}) ..."
     )
     simulator = Simulator(
         fleet,
@@ -117,6 +130,10 @@ def main() -> None:
     # saw the simulator's ground-truth cost or latency parameters.
     for summary in plan.summaries:
         print(f"  {summary.validation.describe().splitlines()[0]}")
+
+    # Reap worker processes when --shard-backend processes was used.
+    if isinstance(store, ShardedMetricStore):
+        store.close()
 
 
 if __name__ == "__main__":

@@ -55,12 +55,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.windows is not None
         else int(round(args.days * 720))
     )
-    if args.shards > 1:
-        store = ShardedMetricStore(n_shards=args.shards, workers=args.workers)
-        store_desc = f"{args.shards}-shard store ({args.workers} worker(s))"
-    else:
-        store = MetricStore()
-        store_desc = "single store"
+    try:
+        if args.shards > 1 or args.shard_backend is not None:
+            store = ShardedMetricStore(
+                n_shards=args.shards,
+                workers=args.workers,
+                backend=args.shard_backend,
+            )
+            store_desc = (
+                f"{args.shards}-shard store "
+                f"(backend={store.backend!r}, {store.workers} worker(s))"
+            )
+        else:
+            store = MetricStore()
+            store_desc = "single store"
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(
         f"simulating {fleet.total_servers()} servers "
         f"({len(fleet.pool_ids)} pools x {len(datacenters)} DCs) "
@@ -69,28 +80,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     try:
-        config = SimulationConfig(
-            record_request_classes=True,
-            engine=args.engine,
-            block_windows=args.block_windows,
+        try:
+            config = SimulationConfig(
+                record_request_classes=True,
+                engine=args.engine,
+                block_windows=args.block_windows,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        simulator = Simulator(fleet, store=store, seed=args.seed, config=config)
+        started = time.perf_counter()
+        simulator.run(n_windows)
+        elapsed = time.perf_counter() - started
+        samples = simulator.store.sample_count()
+        rate = n_windows / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"simulated {n_windows} windows ({samples} samples) in {elapsed:.2f}s "
+            f"= {rate:.1f} windows/s, {samples / max(elapsed, 1e-9):,.0f} samples/s",
+            file=sys.stderr,
         )
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    simulator = Simulator(fleet, store=store, seed=args.seed, config=config)
-    started = time.perf_counter()
-    simulator.run(n_windows)
-    elapsed = time.perf_counter() - started
-    samples = simulator.store.sample_count()
-    rate = n_windows / elapsed if elapsed > 0 else float("inf")
-    print(
-        f"simulated {n_windows} windows ({samples} samples) in {elapsed:.2f}s "
-        f"= {rate:.1f} windows/s, {samples / max(elapsed, 1e-9):,.0f} samples/s",
-        file=sys.stderr,
-    )
-    if args.output is not None:
-        rows = export_store(simulator.store, args.output)
-        print(f"wrote {rows} samples to {args.output}", file=sys.stderr)
+        if args.output is not None:
+            rows = export_store(simulator.store, args.output)
+            print(f"wrote {rows} samples to {args.output}", file=sys.stderr)
+    finally:
+        # Worker processes (shard-backend=processes) must be reaped even
+        # when the run fails; close() is a no-op for in-process stores.
+        if isinstance(store, ShardedMetricStore):
+            store.close()
     return 0
 
 
@@ -182,9 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--workers", type=_positive_int, default=1, metavar="N",
-        help="ingest fan-out width for a sharded store "
-             "(>1 dispatches shard appends through a worker pool; "
+        help="ingest fan-out width for the 'threads' shard backend "
+             "(>1 dispatches shard appends through a thread pool; "
              "no-op with a single shard)",
+    )
+    simulate.add_argument(
+        "--shard-backend", default=None, choices=("serial", "threads", "processes"),
+        help="where shards live: 'serial' (in-process, caller thread), "
+             "'threads' (in-process, thread-pool fan-out), or 'processes' "
+             "(one worker process per shard, pickled-ndarray ingest + "
+             "query RPC); default infers serial/threads from --workers",
     )
     simulate.add_argument(
         "--block-windows", type=_positive_int, default=1, metavar="W",

@@ -14,10 +14,13 @@ from repro.telemetry.counters import (
     workload_counter,
 )
 from repro.telemetry.series import TimeSeries
-from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.sharding import BACKENDS, ShardedMetricStore
 from repro.telemetry.store import MetricKey, MetricStore, ServerInterner
+from repro.telemetry.workers import ShardWorker
 
 __all__ = [
+    "BACKENDS",
+    "ShardWorker",
     "Counter",
     "CounterSample",
     "WINDOW_SECONDS",

@@ -2,27 +2,39 @@
 
 The paper's production pipeline ingests ~3 GB/s by spreading counter
 rows across many trace-store machines and merging scoped queries over
-the partitions.  :class:`ShardedMetricStore` is the in-process
-equivalent: N :class:`~repro.telemetry.store.MetricStore` shards, rows
-routed by ``interned_server_index % n_shards``, one shared
-:class:`~repro.telemetry.store.ServerInterner` so indices (and thus
-query ordering) stay globally consistent.
+the partitions.  :class:`ShardedMetricStore` is that topology behind
+one facade: N shards, rows routed by
+``interned_server_index % n_shards``, one shared
+:class:`~repro.telemetry.store.ServerInterner` (or a replicated copy
+per worker process) so indices — and thus query ordering — stay
+globally consistent.
 
-**Ingest** fans each batch out shard-wise: the facade partitions the
-(windows, server indices, values) columns by server index and appends
-each partition to its shard — serially by default, or concurrently
-through a ``concurrent.futures`` thread pool when ``workers > 1``.
-Threads (not processes) are used because shards are in-memory Python
-objects: each partition lands on exactly one shard per call, so the
-fan-out needs no locks, and NumPy slicing/append work releases the GIL
-for real overlap.  A ``multiprocessing`` pool would have to serialise
-every batch across process boundaries, which for an in-memory store
-costs more than the appends themselves; the shard boundary introduced
-here is exactly the seam a future PR can move onto separate processes
-or machines (shards only ever see ``record_columns`` calls and answer
-column gathers).
+Three interchangeable **backends** decide where the shards live:
 
-**Queries** merge shard results shard-wise:
+``"serial"``
+    N local :class:`~repro.telemetry.store.MetricStore` objects,
+    appended to one after another on the caller's thread.  Zero
+    dispatch overhead; the baseline every other backend must match
+    bit-for-bit.
+``"threads"``
+    The same local shards, fanned out through a
+    ``concurrent.futures`` thread pool (``workers`` wide).  Each
+    partition lands on exactly one shard per call, so the fan-out
+    needs no locks; NumPy append work releases the GIL, which is
+    where overlap pays on multi-core machines.
+``"processes"``
+    Each shard is a :class:`~repro.telemetry.workers.ShardWorker` —
+    a ``MetricStore`` owned by a ``multiprocessing`` child, fed
+    pickled-ndarray command messages over a pipe (coalesced by a
+    batching/flush protocol) and queried over synchronous RPC.  Every
+    row pays one pickling crossing, so on a single CPU this is
+    strictly slower than serial — its value is moving shard memory
+    and query CPU off the ingesting process, the stepping stone to
+    shards on other machines.  See :mod:`repro.telemetry.workers`
+    for the message protocol.
+
+**Queries** merge shard results shard-wise, identically for every
+backend:
 
 * ``count`` / ``max`` aggregates sum (respectively maximum) per-shard
   bincount partials over the union of windows — exact, because integer
@@ -39,6 +51,7 @@ column gathers).
 The result: every query on a :class:`ShardedMetricStore` fed by the
 batch (or blocked-batch) simulation engine is **bit-identical** to the
 same query on a single :class:`MetricStore` fed by the same engine —
+for all three backends, including byte-identical archive exports —
 proven by ``tests/test_sharded_store.py`` and
 ``tests/test_sim_equivalence.py``.
 """
@@ -46,12 +59,13 @@ proven by ``tests/test_sharded_store.py`` and
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.telemetry.counters import CounterSample
 from repro.telemetry.series import TimeSeries
+from repro.telemetry.workers import DEFAULT_FLUSH_ROWS, ShardWorker
 from repro.telemetry.store import (
     MetricStore,
     ServerInterner,
@@ -62,20 +76,28 @@ from repro.telemetry.store import (
 
 _REDUCERS = ("mean", "sum", "max", "count")
 
+#: Valid values of the ``backend`` constructor knob.
+BACKENDS = ("serial", "threads", "processes")
+
+#: A shard handle: a local store or a process-backed worker proxy.
+#: Both expose the same ingest/query surface, which is what lets the
+#: facade treat "where does this shard live" as a construction detail.
+Shard = Union[MetricStore, ShardWorker]
+
 
 class ShardedMetricStore:
-    """N hash-partitioned :class:`MetricStore` shards behind one facade.
+    """N hash-partitioned metric-store shards behind one facade.
 
     Drop-in replacement for a single :class:`MetricStore`: the public
     surface (interning, ``record*`` ingest, every query, and
     :meth:`iter_tables` for the archive exporter) matches.  Query
-    results are bit-identical to a single store fed the same batches
-    provided each table's rows arrive in canonical (window asc, server
-    asc) order — which every simulation engine guarantees; for
-    arbitrary ingest orders, ``sum``/``mean`` aggregates may differ
-    from the single store in the last ulp (the facade re-accumulates
-    in canonical order, the single store in raw append order), while
-    all other queries remain exact.
+    results are bit-identical to a single store fed the same batches —
+    independent of ``backend`` — provided each table's rows arrive in
+    canonical (window asc, server asc) order, which every simulation
+    engine guarantees; for arbitrary ingest orders, ``sum``/``mean``
+    aggregates may differ from the single store in the last ulp (the
+    facade re-accumulates in canonical order, the single store in raw
+    append order), while all other queries remain exact.
 
     Parameters
     ----------
@@ -84,24 +106,70 @@ class ShardedMetricStore:
         ``server_index % n_shards``, so one server's history always
         lives on one shard.
     workers:
-        Ingest fan-out width.  ``1`` (default) appends partitions
-        serially; ``>1`` dispatches them through a shared
-        ``concurrent.futures.ThreadPoolExecutor`` (capped at
-        ``n_shards`` — more workers than shards cannot help).
+        Ingest fan-out width for the ``"threads"`` backend (capped at
+        ``n_shards`` — more workers than shards cannot help).  The
+        ``"serial"`` and ``"processes"`` backends reject
+        ``workers > 1`` to catch confused call sites: serial has no
+        fan-out at all, and processes always runs exactly one worker
+        process per shard.
+    backend:
+        ``"serial"``, ``"threads"`` or ``"processes"`` (see the module
+        docstring for the trade-offs).  ``None`` (default) keeps the
+        historical behaviour: ``"threads"`` when ``workers > 1``,
+        ``"serial"`` otherwise.
+    flush_rows:
+        Processes backend only: how many buffered rows trigger one
+        coalesced ingest message to a worker (see
+        :meth:`ShardWorker.flush`).  Smaller values lower peak memory;
+        larger values amortise pickling better.
+
+    A process-backed store owns child processes, so treat it like a
+    file: use the context-manager form or call :meth:`close` when
+    done.  ``close`` is idempotent and fork-safe.
     """
 
-    def __init__(self, n_shards: int = 4, workers: int = 1) -> None:
+    def __init__(
+        self,
+        n_shards: int = 4,
+        workers: int = 1,
+        backend: Optional[str] = None,
+        flush_rows: int = DEFAULT_FLUSH_ROWS,
+    ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend is None:
+            backend = "threads" if workers > 1 else "serial"
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend == "serial" and workers > 1:
+            raise ValueError("backend='serial' cannot use workers > 1")
+        if backend == "processes" and workers > 1:
+            raise ValueError(
+                "backend='processes' always runs one worker process per "
+                "shard; workers > 1 is meaningless"
+            )
+        self._backend = backend
         self._interner = ServerInterner()
-        self._shards: List[MetricStore] = [
-            MetricStore(interner=self._interner) for _ in range(n_shards)
-        ]
+        self._shards: List[Shard]
+        if backend == "processes":
+            self._shards = [
+                ShardWorker(shard_id, self._interner, flush_rows=flush_rows)
+                for shard_id in range(n_shards)
+            ]
+        else:
+            self._shards = [
+                MetricStore(interner=self._interner) for _ in range(n_shards)
+            ]
+        if backend == "threads" and workers == 1:
+            workers = n_shards
         self._workers = min(workers, n_shards)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Topology
@@ -111,29 +179,70 @@ class ShardedMetricStore:
         return len(self._shards)
 
     @property
+    def backend(self) -> str:
+        """The shard placement backend: serial, threads or processes."""
+        return self._backend
+
+    @property
     def workers(self) -> int:
+        """Thread fan-out width (``"threads"`` backend; 1 otherwise means
+        the caller's thread does all appends)."""
         return self._workers
 
     @property
-    def shards(self) -> Tuple[MetricStore, ...]:
-        """The underlying shards (read-only view, for tests/diagnostics)."""
+    def shards(self) -> Tuple[Shard, ...]:
+        """The underlying shard handles (read-only view, for tests).
+
+        Local :class:`MetricStore` objects for the serial/threads
+        backends, :class:`ShardWorker` proxies for processes — both
+        answer the same query methods (the proxies over RPC).
+        """
         return tuple(self._shards)
 
     def shard_of(self, server_index: int) -> int:
-        """The shard that owns a server's rows."""
+        """The shard that owns a server's rows (any backend)."""
         return server_index % len(self._shards)
 
     def close(self) -> None:
-        """Shut down the ingest worker pool (no-op when serial)."""
+        """Release backend resources; idempotent and fork-safe.
+
+        Threads backend: shuts the executor down.  Processes backend:
+        stops every worker child (graceful ``stop`` message, then
+        ``terminate()`` after a timeout), after which the store no
+        longer answers queries — archive first.  Calling ``close`` a
+        second time, or from a process that forked after construction,
+        is a safe no-op for the original owner's children: only the
+        creating process ever terminates workers, so a forked child
+        closing its inherited copy cannot yank live shards out from
+        under the parent (regression-tested via
+        ``multiprocessing.active_children()``).
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._backend == "processes":
+            for shard in self._shards:
+                shard.close()
 
     def __enter__(self) -> "ShardedMetricStore":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def flush(self) -> None:
+        """Force buffered worker ingest out (processes backend).
+
+        No-op for serial/threads, where appends are synchronous.  Not
+        normally needed — every query flushes the shard it reads — but
+        useful to bound parent-side buffer memory at a known point.
+        """
+        if self._backend == "processes":
+            for shard in self._shards:
+                shard.flush()
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -148,6 +257,9 @@ class ShardedMetricStore:
     # ------------------------------------------------------------------
     @property
     def interner(self) -> ServerInterner:
+        """The facade's authoritative id space.  Worker processes hold
+        replicas, synced by name-delta messages (see
+        :mod:`repro.telemetry.workers`)."""
         return self._interner
 
     def intern_server(self, server_id: str) -> int:
@@ -169,9 +281,18 @@ class ShardedMetricStore:
 
         Each partition touches exactly one shard, so concurrent
         dispatch needs no locking; the caller thread owns the interner
-        and all bookkeeping that spans shards.
+        and all bookkeeping that spans shards.  Backends differ only
+        here: serial runs parts inline; threads submits them to the
+        pool and waits; processes hands them to the worker proxies,
+        whose buffered ingest returns immediately (the pickling cost is
+        paid at flush time, the ack — if an ingest error occurred — at
+        the next query).
         """
-        if self._workers > 1 and len(parts) > 1:
+        if (
+            self._backend == "threads"
+            and self._workers > 1
+            and len(parts) > 1
+        ):
             executor = self._ensure_executor()
             futures = [
                 executor.submit(getattr(self._shards[shard_id], method), *args)
@@ -197,7 +318,11 @@ class ShardedMetricStore:
         Same contract as :meth:`MetricStore.record_columns`; the
         relative row order within each shard is preserved, which is
         what keeps shard tables in the canonical (window, server)
-        order the merge layer relies on.
+        order the merge layer relies on — for the processes backend
+        too, because each worker applies its command stream FIFO.
+        With processes, the partitioned arrays are buffered and later
+        pickled once each; with serial/threads they are appended to
+        local chunk lists with no copy.
         """
         if values.size == 0:
             return
@@ -243,7 +368,8 @@ class ShardedMetricStore:
 
         Same contract as :meth:`MetricStore.record_batch` (string ids
         or pre-interned index arrays; buffers may be reused by the
-        caller afterwards).
+        caller afterwards — the facade copies before partitioning, so
+        even process-buffered parts never alias caller memory).
         """
         if isinstance(server_ids, np.ndarray) and server_ids.dtype.kind in "iu":
             indices = np.array(server_ids, dtype=np.int64)
@@ -268,7 +394,12 @@ class ShardedMetricStore:
         counter: str,
         value: float,
     ) -> None:
-        """Append one sample (compatibility shim; routes to one shard)."""
+        """Append one sample (compatibility shim; routes to one shard).
+
+        On the processes backend the scalar rides the owner worker's
+        coalescing ingest buffer, so even sample-at-a-time callers pay
+        ~one pipe message per ``flush_rows`` samples, not per sample.
+        """
         index = self._interner.intern(server_id)
         self._shards[index % len(self._shards)].record_fast(
             window, server_id, pool_id, datacenter_id, counter, value
@@ -339,7 +470,11 @@ class ShardedMetricStore:
         return tuple(sorted(names))
 
     def sample_count(self) -> int:
-        """Total number of stored samples across all shards."""
+        """Total number of stored samples across all shards.
+
+        Doubles as the cheapest read-your-writes barrier on the
+        processes backend: it flushes and round-trips every worker.
+        """
         return sum(shard.sample_count() for shard in self._shards)
 
     def iter_tables(
@@ -350,7 +485,9 @@ class ShardedMetricStore:
         A table key may appear once per shard (each shard holds its
         servers' slice of the table); the archive exporter regroups
         rows per server, and every server lives on exactly one shard,
-        so exports come out identical to a single store's.
+        so exports come out **byte-identical** to a single store's —
+        the processes backend ships each shard's tables back as one
+        pickled list, in the same shard order.
         """
         for shard in self._shards:
             yield from shard.iter_tables()
@@ -362,10 +499,7 @@ class ShardedMetricStore:
         """Datacenters holding (pool, counter) rows on any shard, sorted."""
         dcs: Set[str] = set()
         for shard in self._shards:
-            # Same-package access: the shard's table directory is the
-            # authoritative (pool, counter) -> datacenter mapping.
-            for key in shard._by_pool_counter.get((pool_id, counter), []):
-                dcs.add(key[1])
+            dcs.update(shard.datacenters_for_pool_counter(pool_id, counter))
         return sorted(dcs)
 
     def gather_columns(
@@ -384,7 +518,9 @@ class ShardedMetricStore:
         blocked engines append each table in exactly that order, the
         merged columns are bit-identical to what an unsharded store
         would hand its own aggregation kernel — including the float
-        accumulation order of downstream ``np.bincount`` sums.
+        accumulation order of downstream ``np.bincount`` sums.  Shard
+        placement is invisible here: local shards return array views,
+        workers return pickled copies, and the merge is the same.
         """
         dcs = [datacenter_id] if datacenter_id is not None else self._dcs_for(
             pool_id, counter
@@ -430,12 +566,14 @@ class ShardedMetricStore:
         """Per-window aggregate merged across shards.
 
         ``count`` and ``max`` merge per-shard bincount partials over
-        the union of windows (associative, hence exact).  ``sum`` and
-        ``mean`` instead aggregate the canonically re-ordered gather of
-        all shard rows, so their float accumulation order — and
-        therefore every output bit — matches the unsharded store.
-        Results are memoized until the next ingest, like the single
-        store's cache.
+        the union of windows (associative, hence exact — and the
+        cheapest plan for process shards, since only the small partial
+        series crosses the pipe).  ``sum`` and ``mean`` instead
+        aggregate the canonically re-ordered gather of all shard rows,
+        so their float accumulation order — and therefore every output
+        bit — matches the unsharded store, at the cost of moving the
+        raw columns (one pickled copy per process shard).  Results are
+        memoized until the next ingest, like the single store's cache.
         """
         if reducer not in _REDUCERS:
             raise ValueError(f"unknown reducer {reducer!r}")
@@ -493,8 +631,9 @@ class ShardedMetricStore:
         """All window values per server, merged across shards.
 
         Every server lives on exactly one shard, so the merge is a
-        plain dict union — per-server arrays are the shard's arrays,
-        bit-identical to the unsharded ones.
+        plain dict union — per-server arrays are the shard's arrays
+        (or, for process shards, their pickled copies), bit-identical
+        to the unsharded ones.
         """
         out: Dict[str, np.ndarray] = {}
         for shard in self._shards:
@@ -513,7 +652,11 @@ class ShardedMetricStore:
         start: Optional[int] = None,
         stop: Optional[int] = None,
     ) -> TimeSeries:
-        """Series of one counter on one server (routed to its shard)."""
+        """Series of one counter on one server (routed to its shard).
+
+        Exactly one shard — local object or worker RPC — answers; no
+        merging, hence trivially bit-identical on every backend.
+        """
         index = self._interner.index.get(server_id)
         if index is None:
             return TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
@@ -531,9 +674,11 @@ class ShardedMetricStore:
     ) -> Tuple[np.ndarray, Tuple[str, ...], np.ndarray]:
         """Dense (windows, server_ids, values) cube stacked from shards.
 
-        Each shard contributes the column slice of the servers it owns;
-        rows are aligned on the union of the shards' windows.  Every
-        cell is a single stored value, so stacking is exact.
+        Each shard contributes the column slice of the servers it owns
+        (process shards build theirs in the child and ship one dense
+        matrix back); rows are aligned on the union of the shards'
+        windows.  Every cell is a single stored value, so stacking is
+        exact on all backends.
         """
         index_of = self._interner.index
         parts = []  # (windows, server index array, matrix) per shard
@@ -572,7 +717,8 @@ class ShardedMetricStore:
 
         Values come out shard-major (shard 0's rows first), so the
         *multiset* matches a single store but the order differs; the
-        fleet-distribution consumers are order-insensitive.
+        fleet-distribution consumers are order-insensitive.  Same
+        shard-major order on every backend.
         """
         chunks = [shard.all_values(counter, pool_ids) for shard in self._shards]
         chunks = [c for c in chunks if c.size]

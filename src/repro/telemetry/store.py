@@ -23,9 +23,13 @@ around an end-to-end columnar data flow:
 
 Horizontal scaling lives one layer up:
 :class:`~repro.telemetry.sharding.ShardedMetricStore` hash-partitions
-rows across several ``MetricStore`` shards that share one
-:class:`ServerInterner`, and merges query results shard-wise so callers
-see the exact same answers as a single store.
+rows across several ``MetricStore`` shards that share one global
+:class:`ServerInterner` id space, and merges query results shard-wise
+so callers see the exact same answers as a single store.  Shards can
+be held in-process or owned by worker processes
+(:class:`~repro.telemetry.workers.ShardWorker`), in which case each
+worker runs a plain ``MetricStore`` exactly like this one and replays
+interner names from per-message deltas.
 """
 
 from __future__ import annotations
@@ -463,6 +467,18 @@ ShardedMetricStore` uses to keep one global id space across shards.
             if pool == pool_id
         }
         return tuple(sorted(dcs))
+
+    def datacenters_for_pool_counter(
+        self, pool_id: str, counter: str
+    ) -> Tuple[str, ...]:
+        """Datacenters with (pool, counter) rows, sorted.
+
+        The table-directory read the sharded facade uses to plan its
+        per-datacenter merges; public (rather than a peek at
+        ``_by_pool_counter``) so process-backed shards can answer it
+        over RPC.
+        """
+        return tuple(sorted(key[1] for key in self._by_pool_counter.get((pool_id, counter), [])))
 
     def iter_tables(
         self,

@@ -1,0 +1,394 @@
+"""Process-backed shard workers for the sharded metric store.
+
+The paper's pipeline spreads its ~3 GB/s counter stream across many
+trace-store *machines*; :class:`~repro.telemetry.sharding.\
+ShardedMetricStore` reproduces the partitioning in-process, and this
+module moves each partition behind a real process boundary.  A
+:class:`ShardWorker` is the classic actor shape: one
+:class:`~repro.telemetry.store.MetricStore` owned by a
+``multiprocessing`` child, a command channel in front of it, and a
+parent-side proxy object whose surface mirrors the store's query API —
+the facade cannot tell a worker from a local shard.
+
+Message protocol (one duplex ``multiprocessing.Pipe`` per worker, all
+messages pickled tuples, strictly FIFO):
+
+``("ingest", names, commands)``
+    Fire-and-forget bulk append.  ``commands`` is a list of
+    ``(method, args)`` pairs — ``record_columns`` / ``record_fast``
+    calls whose ndarray arguments pickle as raw buffers — applied in
+    order by the child.  Small parts coalesce: the proxy buffers
+    commands until ``flush_rows`` rows are pending (or a query/close
+    forces a flush), so one pipe message amortises pickling and wakeup
+    cost across many appends.
+``("call", names, method, args, kwargs)``
+    Synchronous query RPC.  The child resolves ``method`` on its store
+    (plain attributes answer property reads, generators are
+    materialised into lists so they can cross the pipe) and replies
+    ``("ok", result)`` or ``("err", exception)``.  Any exception a
+    previous *ingest* message raised is delivered here instead — ingest
+    errors are deferred, never lost.
+``("stop",)``
+    Graceful shutdown; the child drains nothing further and exits 0.
+
+``names`` on every message is the **interner delta**: the slice of
+server names the parent interned since the previous message.  The
+child replays the slice into its own
+:class:`~repro.telemetry.store.ServerInterner`, so both sides agree on
+the global id space without sharing memory — ingest ships only
+``int64`` index columns, and name-returning queries
+(``per_server_values``, ``pool_matrix``, ``servers_in_pool``) still
+answer with the right strings.  This is the same replication discipline
+a multi-machine deployment would need, which is the point of the seam.
+
+Cost model: every row crosses the process boundary exactly once as
+part of a pickled ``int64``/``float64`` ndarray (~24 bytes/row of
+pickle payload), and every query result crosses back once.  On a
+single CPU that serialisation is pure overhead — the threads backend
+exists for exactly that reason — but the worker keeps its entire
+store, freeze, and aggregate-cache workload off the simulating
+process, which is what pays once shards outgrow one core or one host.
+
+Equivalence: a worker applies the identical ``record_columns`` calls
+in the identical order a local shard would see, so its tables — and
+therefore every query answer and export — are bit-identical to the
+serial backend's.  ``tests/test_sharded_store.py`` and
+``tests/test_sim_equivalence.py`` enforce this for all three backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.store import MetricStore, ServerInterner, TableKey
+
+#: Default number of pending rows that triggers an ingest flush.
+DEFAULT_FLUSH_ROWS = 65536
+
+#: How long ``close`` waits for a graceful child exit before escalating
+#: to ``terminate()`` (seconds).
+_JOIN_TIMEOUT = 5.0
+
+
+def _worker_main(conn) -> None:
+    """Child-process loop: own one ``MetricStore``, serve the pipe.
+
+    Runs until a ``("stop",)`` message or EOF (parent died).  Ingest
+    exceptions are remembered and surfaced on the next ``call`` so the
+    fire-and-forget fast path never needs an acknowledgement round
+    trip.
+    """
+    store = MetricStore()
+    deferred: Optional[BaseException] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "ingest":
+            _replay_names(store.interner, message[1])
+            try:
+                for method, args in message[2]:
+                    getattr(store, method)(*args)
+            except BaseException as error:  # noqa: BLE001 — re-raised on next call
+                deferred = error
+        elif kind == "call":
+            _replay_names(store.interner, message[1])
+            _method, args, kwargs = message[2], message[3], message[4]
+            if deferred is not None:
+                _reply_error(conn, deferred)
+                deferred = None
+                continue
+            try:
+                attr = getattr(store, _method)
+                result = attr(*args, **kwargs) if callable(attr) else attr
+                if isinstance(result, Iterator):
+                    result = list(result)
+                conn.send(("ok", result))
+            except BaseException as error:  # noqa: BLE001
+                _reply_error(conn, error)
+        elif kind == "stop":
+            break
+    conn.close()
+
+
+def _replay_names(interner: ServerInterner, names: List[str]) -> None:
+    """Append the parent's interner delta, preserving global indices."""
+    for name in names:
+        interner.intern(name)
+
+
+def _reply_error(conn, error: BaseException) -> None:
+    """Send an exception back, degrading to ``RuntimeError`` if it
+    cannot be pickled (exotic exception classes)."""
+    try:
+        conn.send(("err", error))
+    except Exception:  # pragma: no cover - unpicklable exception
+        conn.send(("err", RuntimeError(repr(error))))
+
+
+class ShardWorker:
+    """Parent-side proxy to one ``MetricStore`` in a child process.
+
+    Duck-types the slice of the :class:`MetricStore` surface the
+    sharded facade uses — buffered ``record_columns`` / ``record_fast``
+    ingest plus every query and introspection method — so
+    :class:`~repro.telemetry.sharding.ShardedMetricStore` can hold
+    ``ShardWorker`` handles where it would otherwise hold local
+    stores.  All answers are bit-identical to a local shard fed the
+    same calls (the child applies the same methods in the same order);
+    the difference is purely *where* the rows live and the one
+    pickling round trip each row (ingest) and each result (query)
+    pays.
+
+    Not thread-safe: one owner (the facade) talks to one worker.  The
+    process is started eagerly in ``__init__`` with the default start
+    method and marked ``daemon`` so an abandoned store cannot outlive
+    the interpreter; :meth:`close` is the orderly path and is
+    idempotent and fork-safe (a forked copy of the proxy refuses to
+    touch the parent's child process).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        interner: ServerInterner,
+        flush_rows: int = DEFAULT_FLUSH_ROWS,
+    ) -> None:
+        if flush_rows < 1:
+            raise ValueError("flush_rows must be >= 1")
+        self._shard_id = shard_id
+        self._interner = interner
+        self._flush_rows = flush_rows
+        self._synced_names = 0
+        self._pending: List[Tuple[str, tuple]] = []
+        self._pending_rows = 0
+        self._closed = False
+        self._owner_pid = os.getpid()
+        context = multiprocessing.get_context()
+        self._conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"metric-shard-{shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The child's OS pid (``None`` once closed)."""
+        return None if self._closed else self._process.pid
+
+    def close(self) -> None:
+        """Stop the child process; idempotent and fork-safe.
+
+        The orderly path sends ``("stop",)``, joins for
+        ``_JOIN_TIMEOUT`` seconds, then escalates to ``terminate()`` —
+        so a wedged child can never hang interpreter shutdown.  Called
+        from a *forked* copy of the owner (``os.getpid()`` differs from
+        the pid that created the worker) it only drops the inherited
+        pipe end: the child belongs to the original parent, and
+        terminating it from the fork would yank a live store out from
+        under that parent.  Double-close is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        self._pending_rows = 0
+        if os.getpid() != self._owner_pid:
+            # Forked copy: the worker is the original owner's child.
+            # Drop our duplicated pipe fd and leave the process alone.
+            self._conn.close()
+            return
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(_JOIN_TIMEOUT)
+        if self._process.is_alive():  # pragma: no cover - wedged child
+            self._process.terminate()
+            self._process.join(_JOIN_TIMEOUT)
+        self._conn.close()
+
+    def _names_delta(self) -> List[str]:
+        """Server names interned since the last message to this worker."""
+        names = self._interner.names
+        if self._synced_names == len(names):
+            return []
+        delta = names[self._synced_names:]
+        self._synced_names = len(names)
+        return delta
+
+    def flush(self) -> None:
+        """Ship buffered ingest commands as one coalesced pipe message.
+
+        Called automatically when ``flush_rows`` rows are pending and
+        before every query RPC, so readers always observe their own
+        writes.  Costs one pickling pass over the buffered ndarrays.
+        """
+        if self._closed:
+            raise RuntimeError("ShardWorker is closed")
+        if not self._pending:
+            return
+        self._conn.send(("ingest", self._names_delta(), self._pending))
+        self._pending = []
+        self._pending_rows = 0
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Synchronous RPC: flush pending ingest, run ``store.method``.
+
+        Exceptions raised in the child — including deferred ingest
+        errors — are re-raised here.  The result pays one pickle round
+        trip; everything else about it (values, dtypes, ordering) is
+        exactly what the local shard would have returned.
+        """
+        self.flush()
+        self._conn.send(("call", self._names_delta(), method, args, kwargs))
+        try:
+            kind, payload = self._conn.recv()
+        except (EOFError, OSError) as error:  # pragma: no cover - dead child
+            raise RuntimeError(
+                f"shard worker {self._shard_id} died (pid {self._process.pid})"
+            ) from error
+        if kind == "err":
+            raise payload
+        return payload
+
+    # ------------------------------------------------------------------
+    # Ingest (buffered, fire-and-forget)
+    # ------------------------------------------------------------------
+    def record_columns(
+        self,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        windows: np.ndarray,
+        server_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Buffer one pre-partitioned column append for the child.
+
+        Same contract as :meth:`MetricStore.record_columns` — the
+        worker takes ownership of the arrays (they are held until the
+        next flush, then pickled across the pipe).  Nothing crosses the
+        process boundary until the batching threshold is hit, so
+        per-window parts from a blocked simulation coalesce into few
+        large messages.
+        """
+        if self._closed:
+            raise RuntimeError("ShardWorker is closed")
+        if values.size == 0:
+            return
+        self._pending.append(
+            (
+                "record_columns",
+                (pool_id, datacenter_id, counter, windows, server_indices, values),
+            )
+        )
+        self._pending_rows += int(values.size)
+        if self._pending_rows >= self._flush_rows:
+            self.flush()
+
+    def record_fast(
+        self,
+        window: int,
+        server_id: str,
+        pool_id: str,
+        datacenter_id: str,
+        counter: str,
+        value: float,
+    ) -> None:
+        """Buffer one scalar append (compatibility shim, same batching).
+
+        Rides the same coalescing ingest channel as
+        :meth:`record_columns`; the child executes a real
+        ``record_fast``, so scalar-spill table layout matches a local
+        shard exactly.
+        """
+        if self._closed:
+            raise RuntimeError("ShardWorker is closed")
+        self._pending.append(
+            ("record_fast", (window, server_id, pool_id, datacenter_id, counter, value))
+        )
+        self._pending_rows += 1
+        if self._pending_rows >= self._flush_rows:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Query surface (synchronous RPC, mirrors MetricStore)
+    # ------------------------------------------------------------------
+    @property
+    def pools(self) -> Tuple[str, ...]:
+        return tuple(self.call("pools"))
+
+    @property
+    def datacenters(self) -> Tuple[str, ...]:
+        return tuple(self.call("datacenters"))
+
+    @property
+    def max_window(self) -> int:
+        return self.call("max_window")
+
+    def counters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        return self.call("counters_for_pool", pool_id)
+
+    def servers_in_pool(
+        self, pool_id: str, datacenter_id: Optional[str] = None
+    ) -> Tuple[str, ...]:
+        return self.call("servers_in_pool", pool_id, datacenter_id)
+
+    def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        return self.call("datacenters_for_pool", pool_id)
+
+    def datacenters_for_pool_counter(self, pool_id: str, counter: str) -> Tuple[str, ...]:
+        return self.call("datacenters_for_pool_counter", pool_id, counter)
+
+    def sample_count(self) -> int:
+        return self.call("sample_count")
+
+    def iter_tables(
+        self,
+    ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
+        """Tables materialised in the child and shipped back as a list.
+
+        One pickle of the shard's full columns — the export path's bulk
+        read, paid once per export rather than per row.
+        """
+        return iter(self.call("iter_tables"))
+
+    def gather_columns(self, *args: Any, **kwargs: Any):
+        return self.call("gather_columns", *args, **kwargs)
+
+    def pool_window_aggregate(self, *args: Any, **kwargs: Any):
+        return self.call("pool_window_aggregate", *args, **kwargs)
+
+    def per_server_values(self, *args: Any, **kwargs: Any) -> Dict[str, np.ndarray]:
+        return self.call("per_server_values", *args, **kwargs)
+
+    def server_series(self, *args: Any, **kwargs: Any):
+        return self.call("server_series", *args, **kwargs)
+
+    def pool_matrix(self, *args: Any, **kwargs: Any):
+        return self.call("pool_matrix", *args, **kwargs)
+
+    def all_values(self, *args: Any, **kwargs: Any) -> np.ndarray:
+        return self.call("all_values", *args, **kwargs)

@@ -1,7 +1,8 @@
 """CLI argument parsing and the simulate command's store/engine wiring.
 
-Covers the engine/shards/workers/block-windows combinations and the
-archive-optional path of ``python -m repro simulate``.
+Covers the engine/shards/workers/shard-backend/block-windows
+combinations and the archive-optional path of
+``python -m repro simulate``.
 """
 
 import importlib.util
@@ -31,8 +32,18 @@ class TestSimulateParsing:
         assert args.shards == 1
         assert args.workers == 1
         assert args.block_windows == 1
+        assert args.shard_backend is None
         assert args.windows is None
         assert args.days == 2.0
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_shard_backend_choices(self, backend):
+        args = self.parser.parse_args(["simulate", "--shard-backend", backend])
+        assert args.shard_backend == backend
+
+    def test_unknown_shard_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            self.parser.parse_args(["simulate", "--shard-backend", "rayon"])
 
     @pytest.mark.parametrize("engine", ["batch", "per-sample", "legacy"])
     def test_engine_choices(self, engine):
@@ -99,6 +110,10 @@ class TestSimulateExecution:
             ["--shards", "2", "--workers", "2"],
             ["--block-windows", "2"],
             ["--shards", "3", "--workers", "2", "--block-windows", "2"],
+            ["--shards", "2", "--shard-backend", "serial"],
+            ["--shards", "2", "--shard-backend", "threads"],
+            ["--shards", "2", "--shard-backend", "processes"],
+            ["--shard-backend", "processes"],  # implies a sharded store
         ],
         ids=lambda extra: " ".join(extra) or "defaults",
     )
@@ -124,6 +139,27 @@ class TestSimulateExecution:
 
     def test_block_windows_with_legacy_engine_fails_cleanly(self):
         assert main(self.BASE + ["--engine", "legacy", "--block-windows", "4"]) == 2
+
+    def test_serial_backend_with_workers_fails_cleanly(self):
+        assert main(
+            self.BASE + ["--shards", "2", "--workers", "2",
+                         "--shard-backend", "serial"]
+        ) == 2
+
+    def test_processes_archive_matches_single(self, tmp_path):
+        """CLI process-backed export is byte-identical to unsharded."""
+        import multiprocessing
+
+        single = tmp_path / "single.csv"
+        procs = tmp_path / "procs.csv"
+        assert main(self.BASE + [str(single)]) == 0
+        assert main(
+            self.BASE + ["--shards", "2", "--shard-backend", "processes",
+                         str(procs)]
+        ) == 0
+        assert single.read_bytes() == procs.read_bytes()
+        # The command must have reaped its worker processes.
+        assert multiprocessing.active_children() == []
 
 
 class TestDocsCheck:
@@ -153,3 +189,45 @@ class TestDocsCheck:
         errors = docs_check.check(bare)
         assert any("--shards" in error for error in errors)
         assert any("--block-windows" in error for error in errors)
+        assert any("--shard-backend" in error for error in errors)
+
+    def test_detects_stale_inline_flag_mention(self, tmp_path):
+        """The reverse drift direction: prose naming a removed flag."""
+        docs_check = _load_docs_check()
+        bad = tmp_path / "README.md"
+        bad.write_text(
+            "Pass `--warp-speed` to go faster.\n"
+            + "".join(
+                f"`{flag}` "
+                for flag in sorted(docs_check.cli_options()["simulate"])
+            )
+        )
+        errors = docs_check.check(bad)
+        assert any(
+            "--warp-speed" in error and "mentions" in error for error in errors
+        )
+
+    def test_fenced_code_of_any_language_is_not_flag_checked(self, tmp_path):
+        """Flags inside non-bash fences (e.g. python) are not prose."""
+        docs_check = _load_docs_check()
+        ok = tmp_path / "README.md"
+        ok.write_text(
+            "```python\n# pass ``--not-a-real-flag`` here\nx = 1\n```\n"
+            + "".join(
+                f"`{flag}` "
+                for flag in sorted(docs_check.cli_options()["simulate"])
+            )
+        )
+        assert docs_check.check(ok) == []
+
+    def test_non_cli_tool_flags_are_allowlisted(self, tmp_path):
+        docs_check = _load_docs_check()
+        ok = tmp_path / "README.md"
+        ok.write_text(
+            "Run the benchmark with `--smoke` or `--backends`.\n"
+            + "".join(
+                f"`{flag}` "
+                for flag in sorted(docs_check.cli_options()["simulate"])
+            )
+        )
+        assert docs_check.check(ok) == []

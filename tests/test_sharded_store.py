@@ -3,7 +3,11 @@
 The facade contract: identical answers to a single MetricStore fed the
 same batches — bit-identical for every query whose accumulation order
 is defined (aggregates, matrices, per-server reads, series, exports) —
-with rows physically spread across shards by server index.
+with rows physically spread across shards by server index.  The
+``pair`` fixture parametrizes the whole equivalence suite over all
+three shard backends (serial, threads, processes), so every assertion
+below — including the byte-identical export check — also proves the
+worker-process RPC path.
 """
 
 import numpy as np
@@ -11,10 +15,18 @@ import pytest
 
 from repro.telemetry.counters import CounterSample
 from repro.telemetry.export import export_store, import_store
-from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.sharding import BACKENDS, ShardedMetricStore
 from repro.telemetry.store import MetricStore
 
 REDUCERS = ("mean", "sum", "max", "count")
+
+
+def _sharded(n_shards=3, backend="serial", **kwargs):
+    """A sharded store for one backend, with a sensible worker width."""
+    workers = n_shards if backend == "threads" else 1
+    return ShardedMetricStore(
+        n_shards=n_shards, workers=workers, backend=backend, **kwargs
+    )
 
 
 def _fill(store, n_servers=20, n_windows=30, pools=("A", "B"), dcs=("dc1", "dc2")):
@@ -31,11 +43,12 @@ def _fill(store, n_servers=20, n_windows=30, pools=("A", "B"), dcs=("dc1", "dc2"
     return store
 
 
-@pytest.fixture(scope="module")
-def pair():
+@pytest.fixture(scope="module", params=BACKENDS)
+def pair(request):
     single = _fill(MetricStore())
-    sharded = _fill(ShardedMetricStore(n_shards=3))
-    return single, sharded
+    sharded = _fill(_sharded(backend=request.param))
+    yield single, sharded
+    sharded.close()
 
 
 class TestConstruction:
@@ -158,19 +171,21 @@ class TestQueryEquivalence:
 
 
 class TestIngestPaths:
-    def test_record_fast_routes_to_owner_shard(self):
-        store = ShardedMetricStore(n_shards=2)
-        store.record_fast(0, "s0", "P", "dc", "cpu", 1.0)
-        store.record_fast(0, "s1", "P", "dc", "cpu", 2.0)
-        idx0 = store.interner.index["s0"]
-        idx1 = store.interner.index["s1"]
-        assert store.shards[store.shard_of(idx0)].sample_count() == 1
-        assert store.shards[store.shard_of(idx1)].sample_count() == 1
-        series = store.pool_window_aggregate("P", "cpu", reducer="sum")
-        assert series.values[0] == pytest.approx(3.0)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_record_fast_routes_to_owner_shard(self, backend):
+        with _sharded(n_shards=2, backend=backend) as store:
+            store.record_fast(0, "s0", "P", "dc", "cpu", 1.0)
+            store.record_fast(0, "s1", "P", "dc", "cpu", 2.0)
+            idx0 = store.interner.index["s0"]
+            idx1 = store.interner.index["s1"]
+            assert store.shards[store.shard_of(idx0)].sample_count() == 1
+            assert store.shards[store.shard_of(idx1)].sample_count() == 1
+            series = store.pool_window_aggregate("P", "cpu", reducer="sum")
+            assert series.values[0] == pytest.approx(3.0)
 
-    def test_record_and_record_many(self):
-        single, sharded = MetricStore(), ShardedMetricStore(n_shards=3)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_record_and_record_many(self, backend):
+        single = MetricStore()
         samples = [
             CounterSample(
                 window_index=w,
@@ -183,15 +198,16 @@ class TestIngestPaths:
             for w in range(4)
             for i in range(7)
         ]
-        single.record_many(samples)
-        sharded.record_many(samples)
-        assert single.sample_count() == sharded.sample_count()
-        a = single.pool_window_aggregate("P", "cpu")
-        b = sharded.pool_window_aggregate("P", "cpu")
-        np.testing.assert_array_equal(a.windows, b.windows)
-        np.testing.assert_array_equal(a.values, b.values)
-        sharded.record(samples[0])
-        assert sharded.sample_count() == single.sample_count() + 1
+        with _sharded(backend=backend) as sharded:
+            single.record_many(samples)
+            sharded.record_many(samples)
+            assert single.sample_count() == sharded.sample_count()
+            a = single.pool_window_aggregate("P", "cpu")
+            b = sharded.pool_window_aggregate("P", "cpu")
+            np.testing.assert_array_equal(a.windows, b.windows)
+            np.testing.assert_array_equal(a.values, b.values)
+            sharded.record(samples[0])
+            assert sharded.sample_count() == single.sample_count() + 1
 
     def test_record_batch_validation(self):
         store = ShardedMetricStore(n_shards=2)
@@ -200,17 +216,20 @@ class TestIngestPaths:
         store.record_batch("P", "dc", "cpu", 0, [], np.array([]))
         assert store.sample_count() == 0
 
-    def test_cache_invalidated_on_ingest(self):
-        store = _fill(ShardedMetricStore(n_shards=2), n_servers=4, n_windows=3)
-        before = store.pool_window_aggregate("A", "cpu")
-        assert store.pool_window_aggregate("A", "cpu") is before  # memoized
-        store.record_batch(
-            "A", "dc1", "cpu", 99, store.intern_servers(["dc1.A.s000"]),
-            np.array([1.0]),
-        )
-        after = store.pool_window_aggregate("A", "cpu")
-        assert after is not before
-        assert after.windows[-1] == 99
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cache_invalidated_on_ingest(self, backend):
+        with _fill(
+            _sharded(n_shards=2, backend=backend), n_servers=4, n_windows=3
+        ) as store:
+            before = store.pool_window_aggregate("A", "cpu")
+            assert store.pool_window_aggregate("A", "cpu") is before  # memoized
+            store.record_batch(
+                "A", "dc1", "cpu", 99, store.intern_servers(["dc1.A.s000"]),
+                np.array([1.0]),
+            )
+            after = store.pool_window_aggregate("A", "cpu")
+            assert after is not before
+            assert after.windows[-1] == 99
 
     def test_memoized_series_frozen(self):
         store = _fill(ShardedMetricStore(n_shards=2), n_servers=4, n_windows=3)

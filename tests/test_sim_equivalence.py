@@ -7,8 +7,9 @@ extensions:
   per-sample compatibility path (same emission, same RNG draws);
 * a fixed seed reproduces bit-identical store contents run over run;
 * a :class:`~repro.telemetry.sharding.ShardedMetricStore` — any shard
-  count, serial or worker-pool ingest — answers every query
-  bit-identically to a single store fed by the same engine;
+  count, any backend (serial, thread-pool, or worker-process ingest) —
+  answers every query bit-identically to a single store fed by the
+  same engine;
 * blocked emission with ``block_windows=1`` is bit-identical to
   per-window batch stepping; larger blocks keep identical availability
   masks and sample counts and agree statistically on noisy counters;
@@ -24,7 +25,12 @@ from repro.cluster.builders import build_single_pool_fleet
 from repro.cluster.faults import RandomFailures
 from repro.cluster.simulation import SimulationConfig, Simulator
 from repro.telemetry.counters import Counter
-from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.sharding import BACKENDS, ShardedMetricStore
+
+
+def _sharded(n_shards=3, backend="serial"):
+    workers = n_shards if backend == "threads" else 1
+    return ShardedMetricStore(n_shards=n_shards, workers=workers, backend=backend)
 
 
 def _run(engine: str, seed: int = 41, windows: int = 180, store=None, **config_kwargs):
@@ -96,13 +102,22 @@ class TestBatchedEquivalence:
 
 
 class TestShardedEquivalence:
-    """Sharded batch ingest is bit-identical to the single-store engine."""
+    """Sharded batch ingest is bit-identical to the single-store engine,
+    whichever backend (serial / threads / processes) holds the shards."""
 
     @pytest.mark.parametrize("n_shards", [2, 3, 5])
     def test_sharded_matches_single_store(self, n_shards):
         single = _run("batch")
         sharded = _run("batch", store=ShardedMetricStore(n_shards=n_shards))
         _assert_stores_identical(single, sharded)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_matches_single_store(self, backend):
+        """Every backend stores and answers exactly like one store."""
+        single = _run("batch")
+        with _sharded(n_shards=4, backend=backend) as store:
+            sharded = _run("batch", store=store)
+            _assert_stores_identical(single, sharded)
 
     def test_worker_pool_matches_serial(self):
         """Thread fan-out stores the same rows as serial fan-out."""
@@ -111,15 +126,13 @@ class TestShardedEquivalence:
             threaded = _run("batch", store=store)
             _assert_stores_identical(serial, threaded)
 
-    def test_sharded_blocked_matches_single_blocked(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sharded_blocked_matches_single_blocked(self, backend):
         """Sharding composes with cross-window block emission."""
         single = _run("batch", block_windows=16)
-        sharded = _run(
-            "batch",
-            store=ShardedMetricStore(n_shards=3, workers=2),
-            block_windows=16,
-        )
-        _assert_stores_identical(single, sharded)
+        with _sharded(n_shards=3, backend=backend) as store:
+            sharded = _run("batch", store=store, block_windows=16)
+            _assert_stores_identical(single, sharded)
 
     def test_sharded_all_counters(self):
         single = _run("batch", counters=None, windows=60)
@@ -128,11 +141,28 @@ class TestShardedEquivalence:
         )
         _assert_stores_identical(single, sharded)
 
-    def test_sharded_per_sample_shim(self):
-        """Even the per-sample compatibility path shards identically."""
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sharded_per_sample_shim(self, backend):
+        """Even the per-sample compatibility path shards identically —
+        through the worker ingest buffer too."""
         single = _run("per-sample", windows=60)
-        sharded = _run("per-sample", windows=60, store=ShardedMetricStore(3))
-        _assert_stores_identical(single, sharded)
+        with _sharded(backend=backend) as store:
+            sharded = _run("per-sample", windows=60, store=store)
+            _assert_stores_identical(single, sharded)
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_backend_exports_byte_identical(self, backend, tmp_path):
+        """The archive written through any backend is byte-identical."""
+        from repro.telemetry.export import export_store
+
+        single = _run("batch", windows=60)
+        single_path = tmp_path / "single.csv"
+        export_store(single, single_path)
+        with _sharded(n_shards=4, backend=backend) as store:
+            sharded = _run("batch", windows=60, store=store)
+            sharded_path = tmp_path / f"{backend}.csv"
+            export_store(sharded, sharded_path)
+        assert single_path.read_bytes() == sharded_path.read_bytes()
 
 
 class TestBlockedEquivalence:

@@ -1,17 +1,23 @@
 """Fail when README/docs drift from the actual CLI.
 
-Two-way check between ``README.md`` and ``repro.cli.build_parser()``:
+Checks both drift directions between the markdown surface (README.md
+and every ``docs/*.md`` file) and ``repro.cli.build_parser()``:
 
-1. every ``--flag`` used in a README fenced code block's
+1. every ``--flag`` used in a fenced code block's
    ``python -m repro <command>`` invocation must exist on that
-   command's parser (catches docs referencing removed/renamed flags);
-2. every flag the ``simulate`` command defines must be mentioned
+   command's parser (catches docs invoking removed/renamed flags);
+2. every ``--flag`` *mentioned* in inline code (single-backtick spans)
+   anywhere in README/docs must exist on at least one CLI command —
+   prose references rot just as fast as code blocks.  Flags of
+   non-CLI tools (e.g. the benchmark script's ``--smoke``) go in
+   ``NON_CLI_FLAGS``;
+3. every flag the ``simulate`` command defines must be mentioned
    somewhere in README.md (catches new flags landing undocumented).
 
-Also verifies that relative markdown links in README.md point at files
-that exist (e.g. ``docs/ARCHITECTURE.md``).
+Also verifies that relative markdown links in each checked file point
+at files that exist (e.g. ``docs/ARCHITECTURE.md``).
 
-Run via ``make docs-check`` or directly:
+Run via ``make docs-check`` (part of ``make test``) or directly:
 ``PYTHONPATH=src python tools/docs_check.py``.
 """
 
@@ -21,13 +27,34 @@ import argparse
 import re
 import sys
 from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 README = REPO_ROOT / "README.md"
+DOCS_DIR = REPO_ROOT / "docs"
 
-_FENCE = re.compile(r"```(?:bash|sh|console)?\n(.*?)```", re.DOTALL)
+#: Flags that legitimately appear in the docs but belong to tools other
+#: than the ``python -m repro`` CLI (benchmark script modes, pip, …).
+NON_CLI_FLAGS = {
+    "--smoke",
+    "--backends",
+    "--no-use-pep517",
+    "--no-build-isolation",
+}
+
+_FENCE = re.compile(r"```(?:bash|sh|console|text)?\n(.*?)```", re.DOTALL)
+_ANY_FENCE = re.compile(r"```.*?```", re.DOTALL)
 _FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#]+)\)")
+_INLINE_CODE = re.compile(r"`([^`\n]+)`")
+
+
+def checked_files() -> List[Path]:
+    """README plus every markdown file under docs/."""
+    files = [README]
+    if DOCS_DIR.is_dir():
+        files.extend(sorted(DOCS_DIR.glob("*.md")))
+    return [f for f in files if f.exists()]
 
 
 def cli_options() -> dict:
@@ -46,8 +73,8 @@ def cli_options() -> dict:
     return commands
 
 
-def readme_invocations(text: str):
-    """Yield (command, [flags]) for each ``python -m repro`` call."""
+def invocations(text: str) -> Iterable[Tuple[str, List[str]]]:
+    """Yield (command, [flags]) for each fenced ``python -m repro`` call."""
     for block in _FENCE.findall(text):
         # Join backslash line continuations into one logical command.
         logical = block.replace("\\\n", " ")
@@ -61,40 +88,81 @@ def readme_invocations(text: str):
             yield tail[0], _FLAG.findall(line)
 
 
-def check(readme_path: Path = README) -> list:
-    errors = []
-    if not readme_path.exists():
-        return [f"{readme_path} does not exist"]
-    text = readme_path.read_text()
-    commands = cli_options()
+def mentioned_flags(text: str) -> Iterable[str]:
+    """Every ``--flag`` inside an inline code span, fences stripped.
 
-    seen_simulate_flags = set()
-    for command, flags in readme_invocations(text):
+    *All* fenced blocks are stripped first, whatever their language
+    tag — invocation checking inside fences is :func:`invocations`'
+    job, and e.g. a python fence must not have its contents re-parsed
+    as prose spans.
+    """
+    prose = _ANY_FENCE.sub("", text)
+    for span in _INLINE_CODE.findall(prose):
+        yield from _FLAG.findall(span)
+
+
+def check_file(path: Path, commands: dict, errors: List[str]) -> None:
+    """Append this file's drift problems (directions 1 and 2) to ``errors``."""
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:  # test fixtures live outside the repo
+        rel = path
+    text = path.read_text()
+    all_flags = set().union(*commands.values()) if commands else set()
+
+    for command, flags in invocations(text):
         if command not in commands:
-            errors.append(f"README documents unknown command {command!r}")
+            errors.append(f"{rel} documents unknown command {command!r}")
             continue
         for flag in flags:
             if flag not in commands[command]:
                 errors.append(
-                    f"README uses {flag} with {command!r}, but the CLI "
+                    f"{rel} uses {flag} with {command!r}, but the CLI "
                     f"does not define it"
                 )
-            elif command == "simulate":
-                seen_simulate_flags.add(flag)
 
-    for flag in sorted(commands.get("simulate", ())):
-        if flag in ("-h", "--help"):
+    for flag in sorted(set(mentioned_flags(text))):
+        if flag in NON_CLI_FLAGS:
             continue
-        if flag not in text:
+        if flag not in all_flags:
             errors.append(
-                f"simulate flag {flag} is not mentioned anywhere in README.md"
+                f"{rel} mentions {flag}, but no CLI command defines it "
+                f"(add it to NON_CLI_FLAGS if it belongs to another tool)"
             )
 
     for target in _LINK.findall(text):
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        if not (readme_path.parent / target).exists():
-            errors.append(f"README links to missing file {target!r}")
+        if not (path.parent / target).exists():
+            errors.append(f"{rel} links to missing file {target!r}")
+
+
+def check(readme_path: Path = README, doc_paths: Optional[List[Path]] = None) -> list:
+    """Run every drift check; returns the list of problems found.
+
+    ``readme_path`` / ``doc_paths`` exist for tests; by default the
+    repo README and every ``docs/*.md`` file are checked (passing a
+    non-default README checks only that file).
+    """
+    errors: List[str] = []
+    if not readme_path.exists():
+        return [f"{readme_path} does not exist"]
+    if doc_paths is None:
+        doc_paths = checked_files() if readme_path == README else [readme_path]
+    commands = cli_options()
+
+    for path in doc_paths:
+        check_file(path, commands, errors)
+
+    # Direction 3: undocumented simulate flags (README is the contract).
+    readme_text = readme_path.read_text()
+    for flag in sorted(commands.get("simulate", ())):
+        if flag in ("-h", "--help"):
+            continue
+        if flag not in readme_text:
+            errors.append(
+                f"simulate flag {flag} is not mentioned anywhere in README.md"
+            )
 
     return errors
 
@@ -106,7 +174,8 @@ def main() -> int:
             print(f"docs-check: {error}", file=sys.stderr)
         print(f"docs-check: {len(errors)} problem(s)", file=sys.stderr)
         return 1
-    print("docs-check: README.md matches the CLI")
+    names = ", ".join(str(p.relative_to(REPO_ROOT)) for p in checked_files())
+    print(f"docs-check: {names} match the CLI")
     return 0
 
 
