@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-backends docs-check check
+.PHONY: test bench bench-smoke bench-backends bench-tcp docs-check check
 
 # docs-check runs first so doc drift fails tier-1 locally, before the
 # (slower) pytest pass starts.
@@ -15,9 +15,14 @@ test: docs-check
 bench-smoke:
 	$(PYTHON) benchmarks/bench_sim_throughput.py --smoke
 
-# Small serial/threads/processes shard-backend comparison (no JSON).
+# Small serial/threads/processes/tcp shard-backend comparison (no JSON).
 bench-backends:
 	$(PYTHON) benchmarks/bench_sim_throughput.py --backends
+
+# Loopback-TCP shard sweep against a real `repro shard-server`
+# subprocess: the distribution seam's cost by shard count (no JSON).
+bench-tcp:
+	$(PYTHON) benchmarks/bench_sim_throughput.py --tcp
 
 # Full 1000x1000 benchmark; rewrites BENCH_sim_throughput.json.
 bench:

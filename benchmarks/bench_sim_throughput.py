@@ -10,10 +10,12 @@ servers x 1000 windows) for:
 * a sweep of (shards, workers, block_windows, backend) configurations
   combining the sharded store (:class:`~repro.telemetry.sharding.\
 ShardedMetricStore`) with cross-window block emission
-  (``SimulationConfig.block_windows``) across all three shard backends
-  (serial / threads / processes — the process backend pays one pickle
-  crossing per row, so on a single CPU it documents the distribution
-  seam's cost, not a speedup).
+  (``SimulationConfig.block_windows``) across all four shard backends.
+  The remote backends pay one pickle crossing per row, so on a single
+  CPU they document the distribution seam's cost, not a speedup; the
+  ``tcp`` rows run against a real ``repro shard-server`` subprocess on
+  loopback, so they additionally price the length-prefixed socket
+  framing vs the processes backend's pipe.
 
 The best configuration must clear ``TARGET_BLOCK_SPEEDUP`` x the batch
 baseline (and batch itself ``TARGET_SPEEDUP`` x legacy); all results
@@ -21,16 +23,20 @@ land in ``BENCH_sim_throughput.json`` for the perf trajectory.
 
 Run as a pytest benchmark (``pytest benchmarks/bench_sim_throughput.py``)
 or directly (``PYTHONPATH=src python benchmarks/bench_sim_throughput.py``;
-pass ``--smoke`` for a fast, JSON-less sanity run, or ``--backends`` for
-a small serial/threads/processes comparison only — the ``make
-bench-backends`` target).
+pass ``--smoke`` for a fast, JSON-less sanity run, ``--backends`` for a
+small serial/threads/processes/tcp comparison — the ``make
+bench-backends`` target — or ``--tcp`` for the loopback-TCP-focused
+sweep behind ``make bench-tcp``).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
 
@@ -55,23 +61,67 @@ TARGET_BLOCK_SPEEDUP = 1.5
 #: blocks is the expected winner on small machines; the sharded
 #: variants document the fan-out cost of each backend at the same
 #: (4-shard, block=64) point: serial = partitioning pass only, threads
-#: = GIL-bound pool dispatch, processes = one pickle crossing per row
-#: (the price of the distribution seam, paid off only with real cores
-#: or machines behind it).
+#: = GIL-bound pool dispatch, processes = one pickle crossing per row,
+#: tcp = the same crossing through a loopback socket to a real
+#: shard-server subprocess (the price of the distribution seam, paid
+#: off only with real cores or machines behind it).
 CONFIGS = (
     {"shards": 1, "workers": 1, "block_windows": 16},
     {"shards": 1, "workers": 1, "block_windows": 64},
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "serial"},
     {"shards": 4, "workers": 4, "block_windows": 64, "backend": "threads"},
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "processes"},
+    {"shards": 4, "workers": 1, "block_windows": 64, "backend": "tcp"},
 )
 
-#: The small serial/threads/processes comparison behind
-#: ``make bench-backends`` (and ``--backends``).
+#: The small backend comparison behind ``make bench-backends``
+#: (``--backends``) and the loopback-TCP sweep behind ``make bench-tcp``
+#: (``--tcp``).
 BACKEND_SWEEP_SERVERS = 200
 BACKEND_SWEEP_WINDOWS = 200
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@contextmanager
+def _loopback_shard_server(max_sessions: int):
+    """A real ``repro shard-server`` subprocess on an ephemeral port.
+
+    Yields its ``host:port`` (parsed from the server's first stdout
+    line, the documented scripting interface for ``--listen`` port 0),
+    so tcp rows measure a true process boundary plus socket framing —
+    not a same-process thread pretending to be remote.  Twin of the
+    spawn helper in ``tests/test_cli.py`` — keep the stdout-line
+    contract changes in sync.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "shard-server",
+            "--listen", "127.0.0.1:0",
+            "--max-sessions", str(max_sessions),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        if not line.startswith("shard-server listening on "):
+            raise RuntimeError(
+                f"shard-server failed to start (got {line!r})"
+            )
+        yield line.rsplit(" ", 1)[-1].strip()
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.stdout.close()
 
 
 def _measure(
@@ -82,12 +132,31 @@ def _measure(
     workers: int = 1,
     block_windows: int = 1,
     backend: Optional[str] = None,
+    shard_addrs: Optional[list] = None,
 ) -> dict:
+    if backend == "tcp" and shard_addrs is None:
+        # tcp rows own their server subprocess unless handed addresses.
+        with _loopback_shard_server(max_sessions=shards) as address:
+            return _measure(
+                engine,
+                n_windows,
+                servers,
+                shards=shards,
+                workers=workers,
+                block_windows=block_windows,
+                backend=backend,
+                shard_addrs=[address] * shards,
+            )
     fleet = build_single_pool_fleet(
         "B", n_datacenters=1, servers_per_deployment=servers, seed=29
     )
     store = (
-        ShardedMetricStore(n_shards=shards, workers=workers, backend=backend)
+        ShardedMetricStore(
+            n_shards=shards,
+            workers=workers,
+            backend=backend,
+            shard_addrs=shard_addrs,
+        )
         if shards > 1 or backend is not None
         else None
     )
@@ -157,13 +226,18 @@ def run_backend_sweep(
     shards: int = 4,
     block_windows: int = 64,
 ) -> list:
-    """Small serial/threads/processes comparison at one sweep point.
+    """Small serial/threads/processes/tcp comparison at one sweep point.
 
     The fast local answer to "which backend should I use here?" —
     prints one line per backend, writes no JSON.
     """
     results = []
-    for backend, workers in (("serial", 1), ("threads", 4), ("processes", 1)):
+    for backend, workers in (
+        ("serial", 1),
+        ("threads", 4),
+        ("processes", 1),
+        ("tcp", 1),
+    ):
         results.append(
             _measure(
                 "batch",
@@ -173,6 +247,36 @@ def run_backend_sweep(
                 workers=workers,
                 block_windows=block_windows,
                 backend=backend,
+            )
+        )
+    return results
+
+
+def run_tcp_sweep(
+    windows: int = BACKEND_SWEEP_WINDOWS,
+    servers: int = BACKEND_SWEEP_SERVERS,
+    block_windows: int = 64,
+) -> list:
+    """Loopback-TCP shard sweep: distribution cost vs shard count.
+
+    One ``repro shard-server`` subprocess hosts every session; rows
+    compare the unsharded baseline, the serial reference, and tcp at
+    increasing shard counts — the `make bench-tcp` answer to "what
+    does putting shards behind the network cost on this machine?".
+    """
+    results = [
+        _measure("batch", windows, servers, block_windows=block_windows,
+                 backend="serial", shards=4),
+    ]
+    for shards in (1, 2, 4):
+        results.append(
+            _measure(
+                "batch",
+                windows,
+                servers,
+                shards=shards,
+                block_windows=block_windows,
+                backend="tcp",
             )
         )
     return results
@@ -232,6 +336,19 @@ if __name__ == "__main__":
         for entry in sweep:
             print(
                 f"  {entry['backend']:10s} {entry['windows_per_sec']:8.1f} windows/s "
+                f"({entry['samples_per_sec']:,.0f} samples/s)"
+            )
+    elif "--tcp" in argv:
+        sweep = run_tcp_sweep()
+        print(
+            f"loopback-TCP sweep: {BACKEND_SWEEP_SERVERS} servers x "
+            f"{BACKEND_SWEEP_WINDOWS} windows, block=64, one shard-server "
+            f"subprocess hosting every session"
+        )
+        for entry in sweep:
+            print(
+                f"  {entry['backend']:10s} shards={entry['shards']} "
+                f"{entry['windows_per_sec']:8.1f} windows/s "
                 f"({entry['samples_per_sec']:,.0f} samples/s)"
             )
     elif "--smoke" in argv:

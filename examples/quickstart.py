@@ -12,6 +12,11 @@ Run:
     python examples/quickstart.py --windows 240 --engine batch
     python examples/quickstart.py --shards 4 --workers 2 --block-windows 32
     python examples/quickstart.py --shards 4 --shard-backend processes
+
+    # distributed: `python -m repro shard-server` in another terminal,
+    # then point the shards at it (docs/DISTRIBUTED.md):
+    python examples/quickstart.py --shard-backend tcp \
+        --shard-addrs 127.0.0.1:9400,127.0.0.1:9400
 """
 
 import argparse
@@ -60,12 +65,23 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument(
         "--shard-backend", default=None,
-        choices=("serial", "threads", "processes"),
+        choices=("serial", "threads", "processes", "tcp"),
         help="where shards live (default: serial, or threads when "
-             "--workers > 1; 'processes' runs one worker per shard)",
+             "--workers > 1; 'processes' runs one worker per shard, "
+             "'tcp' one shard-server session per --shard-addrs entry)",
+    )
+    parser.add_argument(
+        "--shard-addrs", default=None, metavar="HOST:PORT,...",
+        help="shard-server addresses for --shard-backend tcp "
+             "(one session = one shard)",
     )
     parser.add_argument("--seed", type=int, default=7)
-    return parser.parse_args()
+    args = parser.parse_args()
+    if args.shard_addrs is not None and args.shard_backend != "tcp":
+        parser.error("--shard-addrs requires --shard-backend tcp")
+    if args.shard_backend == "tcp" and args.shard_addrs is None:
+        parser.error("--shard-backend tcp requires --shard-addrs")
+    return args
 
 
 def main() -> None:
@@ -79,23 +95,30 @@ def main() -> None:
         datacenters=PAPER_DATACENTERS,
         seed=args.seed,
     )
+    shard_addrs = (
+        [addr.strip() for addr in args.shard_addrs.split(",") if addr.strip()]
+        if args.shard_addrs is not None
+        else None
+    )
     store = (
         ShardedMetricStore(
             n_shards=args.shards,
             workers=args.workers,
             backend=args.shard_backend,
+            shard_addrs=shard_addrs,
         )
         if args.shards > 1 or args.shard_backend is not None
         else MetricStore()
     )
-    backend = store.backend if isinstance(store, ShardedMetricStore) else "-"
+    sharded = isinstance(store, ShardedMetricStore)
     print(
         f"simulating {fleet.total_servers()} servers, "
         f"{len(fleet.pool_ids)} micro-services, "
         f"{len(fleet.datacenters)} datacenters "
         f"({args.windows} windows, engine={args.engine!r}, "
-        f"block={args.block_windows}, shards={args.shards}, "
-        f"backend={backend}) ..."
+        f"block={args.block_windows}, "
+        f"shards={store.n_shards if sharded else 1}, "
+        f"backend={store.backend if sharded else '-'}) ..."
     )
     simulator = Simulator(
         fleet,

@@ -5,6 +5,8 @@ Python:
 
 * ``simulate`` — build a canonical fleet, run it for N days, and write
   the telemetry archive;
+* ``shard-server`` — host remote telemetry shards over TCP for
+  ``simulate --shard-backend tcp`` (see ``docs/DISTRIBUTED.md``);
 * ``plan`` — run the capacity planner over an archive and print the
   Table IV savings summary;
 * ``validate`` — run Step-1 metric validation over an archive;
@@ -25,6 +27,7 @@ from repro.cluster.service import service_catalog
 from repro.cluster.simulation import SimulationConfig, Simulator
 from repro.telemetry.sharding import ShardedMetricStore
 from repro.telemetry.store import MetricStore
+from repro.telemetry.workers import ShardServer
 from repro.core.availability import study_fleet_availability
 from repro.core.metric_validation import MetricValidator
 from repro.core.planner import CapacityPlanner
@@ -55,21 +58,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.windows is not None
         else int(round(args.days * 720))
     )
+    shard_addrs = (
+        [addr.strip() for addr in args.shard_addrs.split(",") if addr.strip()]
+        if args.shard_addrs is not None
+        else None
+    )
+    if shard_addrs is not None and args.shard_backend != "tcp":
+        print(
+            "error: --shard-addrs requires --shard-backend tcp",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.shards > 1 or args.shard_backend is not None:
             store = ShardedMetricStore(
                 n_shards=args.shards,
                 workers=args.workers,
                 backend=args.shard_backend,
+                shard_addrs=shard_addrs,
+                connect_timeout=args.connect_timeout,
             )
             store_desc = (
-                f"{args.shards}-shard store "
+                f"{store.n_shards}-shard store "
                 f"(backend={store.backend!r}, {store.workers} worker(s))"
             )
+            if shard_addrs is not None:
+                store_desc += f" at {','.join(shard_addrs)}"
         else:
             store = MetricStore()
             store_desc = "single store"
-    except ValueError as error:
+    except (ValueError, ConnectionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(
@@ -103,11 +121,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.output is not None:
             rows = export_store(simulator.store, args.output)
             print(f"wrote {rows} samples to {args.output}", file=sys.stderr)
+    except RuntimeError as error:
+        # A remote shard died mid-run (e.g. a killed shard-server):
+        # the store raises a RuntimeError naming the shard and address.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     finally:
         # Worker processes (shard-backend=processes) must be reaped even
         # when the run fails; close() is a no-op for in-process stores.
         if isinstance(store, ShardedMetricStore):
             store.close()
+    return 0
+
+
+def _cmd_shard_server(args: argparse.Namespace) -> int:
+    try:
+        server = ShardServer(args.listen, max_sessions=args.max_sessions)
+        server.start()
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # The bound address goes to stdout (flushed) so scripts can listen
+    # on port 0 and parse the ephemeral port the OS picked.
+    print(f"shard-server listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shard-server interrupted; shutting down", file=sys.stderr)
+    finally:
+        server.stop()
     return 0
 
 
@@ -204,11 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
              "no-op with a single shard)",
     )
     simulate.add_argument(
-        "--shard-backend", default=None, choices=("serial", "threads", "processes"),
+        "--shard-backend", default=None,
+        choices=("serial", "threads", "processes", "tcp"),
         help="where shards live: 'serial' (in-process, caller thread), "
-             "'threads' (in-process, thread-pool fan-out), or 'processes' "
+             "'threads' (in-process, thread-pool fan-out), 'processes' "
              "(one worker process per shard, pickled-ndarray ingest + "
-             "query RPC); default infers serial/threads from --workers",
+             "query RPC), or 'tcp' (one shard-server session per address "
+             "in --shard-addrs — same protocol over the network); "
+             "default infers serial/threads from --workers",
+    )
+    simulate.add_argument(
+        "--shard-addrs", default=None, metavar="HOST:PORT,...",
+        help="comma-separated shard-server addresses for "
+             "--shard-backend tcp (one session = one shard; repeating an "
+             "address hosts several shards on that server); overrides "
+             "--shards with the address count",
+    )
+    simulate.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long each tcp shard connection retries a refused dial "
+             "before failing (--shard-backend tcp only)",
     )
     simulate.add_argument(
         "--block-windows", type=_positive_int, default=1, metavar="W",
@@ -216,6 +273,24 @@ def build_parser() -> argparse.ArgumentParser:
              "per-window overhead (batch engine only; 1 = per-window)",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    shard_server = sub.add_parser(
+        "shard-server",
+        help="host remote telemetry shards over TCP (one session = one shard)",
+    )
+    shard_server.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="listen address; port 0 picks an ephemeral port (the bound "
+             "address is printed to stdout).  Bind only to loopback or a "
+             "trusted network — the protocol is pickle-based "
+             "(docs/DISTRIBUTED.md)",
+    )
+    shard_server.add_argument(
+        "--max-sessions", type=_positive_int, default=None, metavar="N",
+        help="exit after N sessions have been accepted and have ended "
+             "(default: serve until interrupted)",
+    )
+    shard_server.set_defaults(func=_cmd_shard_server)
 
     plan = sub.add_parser("plan", help="right-size pools from an archive")
     plan.add_argument("archive")

@@ -9,7 +9,7 @@ one facade: N shards, rows routed by
 per worker process) so indices — and thus query ordering — stay
 globally consistent.
 
-Three interchangeable **backends** decide where the shards live:
+Four interchangeable **backends** decide where the shards live:
 
 ``"serial"``
     N local :class:`~repro.telemetry.store.MetricStore` objects,
@@ -32,6 +32,14 @@ Three interchangeable **backends** decide where the shards live:
     and query CPU off the ingesting process, the stepping stone to
     shards on other machines.  See :mod:`repro.telemetry.workers`
     for the message protocol.
+``"tcp"``
+    Each shard is a :class:`~repro.telemetry.workers.TcpShardClient`
+    session on a ``repro shard-server`` (one ``host:port`` per shard
+    in ``shard_addrs``; the same address may repeat — every
+    connection gets its own fresh store).  Identical protocol and
+    coalescing as the processes backend, over length-prefixed pickle
+    frames instead of a pipe — true multi-machine shards.  See
+    ``docs/DISTRIBUTED.md`` for the wire format and operations.
 
 **Queries** merge shard results shard-wise, identically for every
 backend:
@@ -51,13 +59,14 @@ backend:
 The result: every query on a :class:`ShardedMetricStore` fed by the
 batch (or blocked-batch) simulation engine is **bit-identical** to the
 same query on a single :class:`MetricStore` fed by the same engine —
-for all three backends, including byte-identical archive exports —
+for all four backends, including byte-identical archive exports —
 proven by ``tests/test_sharded_store.py`` and
 ``tests/test_sim_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -65,7 +74,13 @@ import numpy as np
 
 from repro.telemetry.counters import CounterSample
 from repro.telemetry.series import TimeSeries
-from repro.telemetry.workers import DEFAULT_FLUSH_ROWS, ShardWorker
+from repro.telemetry.transport import DEFAULT_CONNECT_TIMEOUT
+from repro.telemetry.workers import (
+    DEFAULT_FLUSH_ROWS,
+    ShardClient,
+    ShardWorker,
+    TcpShardClient,
+)
 from repro.telemetry.store import (
     MetricStore,
     ServerInterner,
@@ -77,12 +92,17 @@ from repro.telemetry.store import (
 _REDUCERS = ("mean", "sum", "max", "count")
 
 #: Valid values of the ``backend`` constructor knob.
-BACKENDS = ("serial", "threads", "processes")
+BACKENDS = ("serial", "threads", "processes", "tcp")
 
-#: A shard handle: a local store or a process-backed worker proxy.
-#: Both expose the same ingest/query surface, which is what lets the
-#: facade treat "where does this shard live" as a construction detail.
-Shard = Union[MetricStore, ShardWorker]
+#: Backends whose shards live behind a connection (buffered ingest,
+#: explicit flush, close() tears the connection down).
+_REMOTE_BACKENDS = ("processes", "tcp")
+
+#: A shard handle: a local store or a remote-shard client proxy
+#: (worker process or TCP session).  Both expose the same ingest/query
+#: surface, which is what lets the facade treat "where does this shard
+#: live" as a construction detail.
+Shard = Union[MetricStore, ShardClient]
 
 
 class ShardedMetricStore:
@@ -108,24 +128,36 @@ class ShardedMetricStore:
     workers:
         Ingest fan-out width for the ``"threads"`` backend (capped at
         ``n_shards`` — more workers than shards cannot help).  The
-        ``"serial"`` and ``"processes"`` backends reject
-        ``workers > 1`` to catch confused call sites: serial has no
-        fan-out at all, and processes always runs exactly one worker
-        process per shard.
+        other backends reject ``workers > 1`` to catch confused call
+        sites: serial has no fan-out at all, and processes/tcp always
+        run exactly one remote shard per partition.
     backend:
-        ``"serial"``, ``"threads"`` or ``"processes"`` (see the module
-        docstring for the trade-offs).  ``None`` (default) keeps the
-        historical behaviour: ``"threads"`` when ``workers > 1``,
-        ``"serial"`` otherwise.
+        ``"serial"``, ``"threads"``, ``"processes"`` or ``"tcp"`` (see
+        the module docstring for the trade-offs).  ``None`` (default)
+        keeps the historical behaviour: ``"threads"`` when
+        ``workers > 1``, ``"serial"`` otherwise.
     flush_rows:
-        Processes backend only: how many buffered rows trigger one
-        coalesced ingest message to a worker (see
-        :meth:`ShardWorker.flush`).  Smaller values lower peak memory;
+        Remote backends (processes/tcp) only: how many buffered rows
+        trigger one coalesced ingest message to a shard (see
+        :meth:`ShardClient.flush`).  Smaller values lower peak memory;
         larger values amortise pickling better.
+    shard_addrs:
+        TCP backend only (and required by it): one ``host:port`` per
+        shard, each dialled as its own ``repro shard-server`` session.
+        Addresses may repeat — every connection gets an independent
+        store on the server — and ``n_shards`` is taken from
+        ``len(shard_addrs)``.
+    connect_timeout:
+        TCP backend only: how long each shard connection retries a
+        refused dial before failing (covers starting client and
+        server concurrently).
 
-    A process-backed store owns child processes, so treat it like a
-    file: use the context-manager form or call :meth:`close` when
-    done.  ``close`` is idempotent and fork-safe.
+    A store with remote shards owns connections (and, for processes,
+    child processes), so treat it like a file: use the
+    context-manager form or call :meth:`close` when done.  ``close``
+    is idempotent, fork-safe, and safe to call while another thread
+    is mid-ingest — the racing ingest either completes or raises a
+    clean ``RuntimeError``, never a torn dispatch.
     """
 
     def __init__(
@@ -134,6 +166,8 @@ class ShardedMetricStore:
         workers: int = 1,
         backend: Optional[str] = None,
         flush_rows: int = DEFAULT_FLUSH_ROWS,
+        shard_addrs: Optional[Sequence[str]] = None,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -147,11 +181,20 @@ class ShardedMetricStore:
             )
         if backend == "serial" and workers > 1:
             raise ValueError("backend='serial' cannot use workers > 1")
-        if backend == "processes" and workers > 1:
+        if backend in _REMOTE_BACKENDS and workers > 1:
             raise ValueError(
-                "backend='processes' always runs one worker process per "
-                "shard; workers > 1 is meaningless"
+                f"backend={backend!r} always runs one remote shard per "
+                "partition; workers > 1 is meaningless"
             )
+        if backend == "tcp":
+            if not shard_addrs:
+                raise ValueError(
+                    "backend='tcp' requires shard_addrs (one host:port "
+                    "per shard)"
+                )
+            n_shards = len(shard_addrs)
+        elif shard_addrs is not None:
+            raise ValueError("shard_addrs is only meaningful with backend='tcp'")
         self._backend = backend
         self._interner = ServerInterner()
         self._shards: List[Shard]
@@ -159,6 +202,17 @@ class ShardedMetricStore:
             self._shards = [
                 ShardWorker(shard_id, self._interner, flush_rows=flush_rows)
                 for shard_id in range(n_shards)
+            ]
+        elif backend == "tcp":
+            self._shards = [
+                TcpShardClient(
+                    shard_id,
+                    self._interner,
+                    address,
+                    flush_rows=flush_rows,
+                    connect_timeout=connect_timeout,
+                )
+                for shard_id, address in enumerate(shard_addrs)
             ]
         else:
             self._shards = [
@@ -169,6 +223,7 @@ class ShardedMetricStore:
         self._workers = min(workers, n_shards)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
+        self._lifecycle_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -180,7 +235,7 @@ class ShardedMetricStore:
 
     @property
     def backend(self) -> str:
-        """The shard placement backend: serial, threads or processes."""
+        """The shard placement backend: serial, threads, processes or tcp."""
         return self._backend
 
     @property
@@ -194,8 +249,9 @@ class ShardedMetricStore:
         """The underlying shard handles (read-only view, for tests).
 
         Local :class:`MetricStore` objects for the serial/threads
-        backends, :class:`ShardWorker` proxies for processes — both
-        answer the same query methods (the proxies over RPC).
+        backends, :class:`ShardWorker` / :class:`TcpShardClient`
+        proxies for the remote backends — all answer the same query
+        methods (the proxies over RPC).
         """
         return tuple(self._shards)
 
@@ -204,26 +260,37 @@ class ShardedMetricStore:
         return server_index % len(self._shards)
 
     def close(self) -> None:
-        """Release backend resources; idempotent and fork-safe.
+        """Release backend resources; idempotent, fork- and race-safe.
 
-        Threads backend: shuts the executor down.  Processes backend:
-        stops every worker child (graceful ``stop`` message, then
-        ``terminate()`` after a timeout), after which the store no
-        longer answers queries — archive first.  Calling ``close`` a
-        second time, or from a process that forked after construction,
-        is a safe no-op for the original owner's children: only the
-        creating process ever terminates workers, so a forked child
-        closing its inherited copy cannot yank live shards out from
-        under the parent (regression-tested via
+        Threads backend: shuts the executor down, letting already
+        submitted shard appends finish.  Remote backends (processes /
+        tcp): stops every remote shard (graceful ``stop`` message;
+        worker children additionally get ``terminate()`` after a
+        timeout), after which the store no longer answers queries —
+        archive first.  Calling ``close`` a second time, or from a
+        process that forked after construction, is a safe no-op for
+        the original owner's shards: only the creating process ever
+        tears remote shards down, so a forked child closing its
+        inherited copy cannot yank live shards out from under the
+        parent (regression-tested via
         ``multiprocessing.active_children()``).
+
+        ``close`` may also race an in-flight ingest on another thread:
+        the lifecycle lock makes the closed flag and the executor
+        handoff atomic, so the racing ``record_*`` call either runs to
+        completion before the executor drains or raises a clean
+        ``RuntimeError("ShardedMetricStore is closed")`` — never the
+        executor's own "cannot schedule new futures" surprise or a
+        send on a torn-down worker connection.
         """
-        if self._closed:
-            return
-        self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        if self._backend == "processes":
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if self._backend in _REMOTE_BACKENDS:
             for shard in self._shards:
                 shard.close()
 
@@ -234,23 +301,36 @@ class ShardedMetricStore:
         self.close()
 
     def flush(self) -> None:
-        """Force buffered worker ingest out (processes backend).
+        """Force buffered remote ingest out (processes/tcp backends).
 
         No-op for serial/threads, where appends are synchronous.  Not
         normally needed — every query flushes the shard it reads — but
         useful to bound parent-side buffer memory at a known point.
         """
-        if self._backend == "processes":
+        if self._backend in _REMOTE_BACKENDS:
             for shard in self._shards:
                 shard.flush()
 
+    def _ensure_open(self) -> None:
+        """Ingest guard: a closed store must fail loudly, not race.
+
+        Raised eagerly on every ``record_*`` entry point so the
+        threads backend cannot submit to a drained executor and the
+        remote backends cannot write to a torn-down connection.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedMetricStore is closed")
+
     def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._workers,
-                thread_name_prefix="metric-shard",
-            )
-        return self._executor
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("ShardedMetricStore is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="metric-shard",
+                )
+            return self._executor
 
     # ------------------------------------------------------------------
     # Server interning (shared across shards)
@@ -294,10 +374,16 @@ class ShardedMetricStore:
             and len(parts) > 1
         ):
             executor = self._ensure_executor()
-            futures = [
-                executor.submit(getattr(self._shards[shard_id], method), *args)
-                for shard_id, args in parts
-            ]
+            try:
+                futures = [
+                    executor.submit(getattr(self._shards[shard_id], method), *args)
+                    for shard_id, args in parts
+                ]
+            except RuntimeError as error:
+                # Lost the race with close(): the executor drained
+                # between _ensure_executor and submit.  Surface the
+                # same clean error a pre-checked caller would see.
+                raise RuntimeError("ShardedMetricStore is closed") from error
             for future in futures:
                 future.result()
         else:
@@ -320,10 +406,11 @@ class ShardedMetricStore:
         what keeps shard tables in the canonical (window, server)
         order the merge layer relies on — for the processes backend
         too, because each worker applies its command stream FIFO.
-        With processes, the partitioned arrays are buffered and later
-        pickled once each; with serial/threads they are appended to
-        local chunk lists with no copy.
+        With remote shards (processes/tcp), the partitioned arrays are
+        buffered and later pickled once each; with serial/threads they
+        are appended to local chunk lists with no copy.
         """
+        self._ensure_open()
         if values.size == 0:
             return
         n = len(self._shards)
@@ -396,10 +483,11 @@ class ShardedMetricStore:
     ) -> None:
         """Append one sample (compatibility shim; routes to one shard).
 
-        On the processes backend the scalar rides the owner worker's
+        On the remote backends the scalar rides the owner shard's
         coalescing ingest buffer, so even sample-at-a-time callers pay
-        ~one pipe message per ``flush_rows`` samples, not per sample.
+        ~one message per ``flush_rows`` samples, not per sample.
         """
+        self._ensure_open()
         index = self._interner.intern(server_id)
         self._shards[index % len(self._shards)].record_fast(
             window, server_id, pool_id, datacenter_id, counter, value

@@ -1,0 +1,213 @@
+"""Shard transports: the byte pipe under the worker message protocol.
+
+:mod:`repro.telemetry.workers` defines a placement-agnostic actor
+protocol (coalesced ``ingest`` messages, synchronous ``call`` RPC,
+interner name-delta replication, ``stop``/EOF shutdown) and was built
+on the explicit assumption that the two sides share **nothing** — not
+memory, not an interner, not a process.  That makes the pipe the only
+process-specific piece, and this module turns the pipe into an
+interface:
+
+:class:`PipeTransport`
+    A ``multiprocessing.Pipe`` connection end.  Framing and pickling
+    are the connection's own; this is the transport the
+    ``"processes"`` backend has always used.
+:class:`TcpTransport`
+    A TCP socket speaking length-prefixed pickle frames (the wire
+    format below).  This is the ``"tcp"`` backend's pipe: the same
+    protocol messages, now able to cross machines.  The full
+    operator-facing spec lives in ``docs/DISTRIBUTED.md``.
+
+Both expose the same three-method surface — ``send(message)``,
+``recv()`` (raising :class:`EOFError` on clean peer close) and
+``close()`` — so the worker serve loop and the client proxies never
+know which one they hold.
+
+Wire format of :class:`TcpTransport` (one *frame* per protocol
+message)::
+
+    +----------------------------+---------------------------+
+    | length: 8 bytes, unsigned  | payload: ``length`` bytes |
+    | big-endian                 | of pickle                 |
+    +----------------------------+---------------------------+
+
+The payload is ``pickle.dumps(message, protocol=HIGHEST_PROTOCOL)``;
+ndarray columns inside ingest messages therefore cross the wire as raw
+buffers, exactly as they cross a ``multiprocessing`` pipe.  Frames are
+strictly sequential per connection (the protocol is FIFO by design),
+and a frame claiming more than ``MAX_FRAME_BYTES`` is treated as
+evidence the peer is not speaking this protocol and kills the
+connection rather than attempting a giant allocation.
+
+**Security**: pickle deserialisation executes arbitrary code by
+design.  A shard server must only ever listen on loopback or an
+otherwise trusted, access-controlled network — the same trust model as
+a ``multiprocessing`` pipe, stretched across machines, and the reason
+the default listen address is ``127.0.0.1``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+from typing import Any, Tuple
+
+#: Frame header: payload length as an 8-byte unsigned big-endian int.
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on a single frame's payload.  Real messages are far
+#: smaller (an ingest message holds at most ``flush_rows`` rows); a
+#: length beyond this means the peer is not speaking the protocol.
+MAX_FRAME_BYTES = 1 << 40
+
+#: How long :meth:`TcpTransport.connect` keeps retrying a refused
+#: connection before giving up (seconds).  Covers the "client raced the
+#: server's bind" window of the two-terminal workflow.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+
+_RETRY_INTERVAL = 0.05
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` string into a ``(host, port)`` pair.
+
+    The CLI's address syntax (``--listen``, ``--shard-addrs``); port 0
+    is valid for listeners and means "pick an ephemeral port".
+    """
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"invalid address {address!r}: expected host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid address {address!r}: port {port_text!r} is not an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid address {address!r}: port out of range")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    """The inverse of :func:`parse_address`."""
+    return f"{host}:{port}"
+
+
+class PipeTransport:
+    """A ``multiprocessing`` connection end behind the transport surface.
+
+    The connection already frames and pickles messages itself, so this
+    is a naming shim — its value is that the serve loop and the client
+    proxies depend on the three-method transport surface instead of a
+    concrete connection type.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, message: Any) -> None:
+        self._conn.send(message)
+
+    def recv(self) -> Any:
+        return self._conn.recv()
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class TcpTransport:
+    """Length-prefixed pickle frames over one TCP connection.
+
+    One transport per shard session; created either by
+    :meth:`connect` (client side) or around an accepted socket (server
+    side).  ``TCP_NODELAY`` is set because the protocol is
+    request/response at query time — Nagle would add a round-trip's
+    latency to every RPC for no batching benefit (ingest messages are
+    already coalesced parent-side).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP test doubles
+            pass
+
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> "TcpTransport":
+        """Dial ``host:port``, retrying refused connections.
+
+        A freshly started server may not have bound yet (the
+        two-terminal workflow has no ordering guarantee), so connection
+        refusals — and only refusals — are retried every
+        ``_RETRY_INTERVAL`` seconds until ``timeout`` elapses.
+        Permanent failures (a DNS typo, an unreachable network) are
+        knowable on the first attempt and fail immediately; every
+        failure is re-raised with the address in the message.
+        """
+        host, port = parse_address(address)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                sock = socket.create_connection((host, port), timeout=timeout)
+                sock.settimeout(None)
+                return cls(sock)
+            except ConnectionRefusedError as error:
+                if time.monotonic() >= deadline:
+                    raise ConnectionError(
+                        f"cannot connect to shard server at {address}: {error}"
+                    ) from error
+                time.sleep(_RETRY_INTERVAL)
+            except OSError as error:
+                raise ConnectionError(
+                    f"cannot connect to shard server at {address}: {error}"
+                ) from error
+
+    def send(self, message: Any) -> None:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self._sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+    def recv(self) -> Any:
+        header = self._recv_exact(_HEADER.size, eof_ok=True)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ConnectionError(
+                f"oversized frame ({length} bytes): peer is not speaking "
+                f"the shard protocol"
+            )
+        return pickle.loads(self._recv_exact(length))
+
+    def _recv_exact(self, n: int, eof_ok: bool = False) -> bytes:
+        """Read exactly ``n`` bytes.
+
+        EOF on a frame boundary (``eof_ok``) is the peer's clean
+        goodbye and raises :class:`EOFError`, mirroring
+        ``multiprocessing`` connections; EOF mid-frame means the peer
+        died and raises :class:`ConnectionError`.
+        """
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                if eof_ok and remaining == n:
+                    raise EOFError("peer closed the connection")
+                raise ConnectionError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

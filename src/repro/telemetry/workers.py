@@ -1,70 +1,95 @@
-"""Process-backed shard workers for the sharded metric store.
+"""Remote shards: worker processes and TCP servers behind one protocol.
 
 The paper's pipeline spreads its ~3 GB/s counter stream across many
 trace-store *machines*; :class:`~repro.telemetry.sharding.\
 ShardedMetricStore` reproduces the partitioning in-process, and this
-module moves each partition behind a real process boundary.  A
-:class:`ShardWorker` is the classic actor shape: one
-:class:`~repro.telemetry.store.MetricStore` owned by a
-``multiprocessing`` child, a command channel in front of it, and a
-parent-side proxy object whose surface mirrors the store's query API —
-the facade cannot tell a worker from a local shard.
+module moves each partition behind a real placement boundary.  The
+shape is the classic actor: one
+:class:`~repro.telemetry.store.MetricStore` owned by a serve loop on
+the far side of a :mod:`~repro.telemetry.transport` connection, a
+command channel in front of it, and a parent-side proxy object whose
+surface mirrors the store's query API — the facade cannot tell a
+remote shard from a local one.
 
-Message protocol (one duplex ``multiprocessing.Pipe`` per worker, all
-messages pickled tuples, strictly FIFO):
+Two placements share everything but the pipe:
+
+:class:`ShardWorker`
+    One ``multiprocessing`` daemon child per shard, reached over a
+    duplex pipe (:class:`~repro.telemetry.transport.PipeTransport`).
+    The ``"processes"`` backend.
+:class:`TcpShardClient` / :class:`ShardServer`
+    One TCP session per shard, reached over length-prefixed pickle
+    frames (:class:`~repro.telemetry.transport.TcpTransport`).  A
+    :class:`ShardServer` — also exposed as the ``repro shard-server``
+    CLI command — accepts any number of sessions and gives each one
+    its own fresh ``MetricStore``, so *one connection is one shard*
+    and a facade pointed at ``host:port,host:port,...`` has true
+    multi-machine shards.  The ``"tcp"`` backend.
+
+Message protocol (one connection per shard, all messages tuples,
+strictly FIFO; the wire encoding is the transport's business):
 
 ``("ingest", names, commands)``
     Fire-and-forget bulk append.  ``commands`` is a list of
     ``(method, args)`` pairs — ``record_columns`` / ``record_fast``
     calls whose ndarray arguments pickle as raw buffers — applied in
-    order by the child.  Small parts coalesce: the proxy buffers
+    order by the serve loop.  Small parts coalesce: the proxy buffers
     commands until ``flush_rows`` rows are pending (or a query/close
-    forces a flush), so one pipe message amortises pickling and wakeup
+    forces a flush), so one message amortises pickling and wakeup
     cost across many appends.
 ``("call", names, method, args, kwargs)``
-    Synchronous query RPC.  The child resolves ``method`` on its store
-    (plain attributes answer property reads, generators are
-    materialised into lists so they can cross the pipe) and replies
-    ``("ok", result)`` or ``("err", exception)``.  Any exception a
-    previous *ingest* message raised is delivered here instead — ingest
-    errors are deferred, never lost.
+    Synchronous query RPC.  The serve loop resolves ``method`` on its
+    store (plain attributes answer property reads, generators are
+    materialised into lists so they can cross the connection) and
+    replies ``("ok", result)`` or ``("err", exception)``.  Any
+    exception a previous *ingest* message raised is delivered here
+    instead — ingest errors are deferred, never lost.
 ``("stop",)``
-    Graceful shutdown; the child drains nothing further and exits 0.
+    Graceful shutdown of this session; so is a clean EOF (the client
+    vanishing ends the session, never the server).
 
 ``names`` on every message is the **interner delta**: the slice of
 server names the parent interned since the previous message.  The
-child replays the slice into its own
+serve loop replays the slice into its own
 :class:`~repro.telemetry.store.ServerInterner`, so both sides agree on
 the global id space without sharing memory — ingest ships only
 ``int64`` index columns, and name-returning queries
 (``per_server_values``, ``pool_matrix``, ``servers_in_pool``) still
-answer with the right strings.  This is the same replication discipline
-a multi-machine deployment would need, which is the point of the seam.
+answer with the right strings.  This replication discipline is what
+lets the identical protocol run over a pipe or a socket unchanged.
 
-Cost model: every row crosses the process boundary exactly once as
+Cost model: every row crosses the placement boundary exactly once as
 part of a pickled ``int64``/``float64`` ndarray (~24 bytes/row of
-pickle payload), and every query result crosses back once.  On a
-single CPU that serialisation is pure overhead — the threads backend
-exists for exactly that reason — but the worker keeps its entire
-store, freeze, and aggregate-cache workload off the simulating
-process, which is what pays once shards outgrow one core or one host.
+payload), and every query result crosses back once.  On a single CPU
+that serialisation is pure overhead — the threads backend exists for
+exactly that reason — but a remote shard keeps its entire store,
+freeze, and aggregate-cache workload off the simulating process, which
+is what pays once shards outgrow one core or one host.
 
-Equivalence: a worker applies the identical ``record_columns`` calls
-in the identical order a local shard would see, so its tables — and
-therefore every query answer and export — are bit-identical to the
+Equivalence: a remote shard applies the identical ``record_columns``
+calls in the identical order a local shard would see, so its tables —
+and therefore every query answer and export — are bit-identical to the
 serial backend's.  ``tests/test_sharded_store.py`` and
-``tests/test_sim_equivalence.py`` enforce this for all three backends.
+``tests/test_sim_equivalence.py`` enforce this for all four backends.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import socket
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.telemetry.store import MetricStore, ServerInterner, TableKey
+from repro.telemetry.transport import (
+    DEFAULT_CONNECT_TIMEOUT,
+    PipeTransport,
+    TcpTransport,
+    format_address,
+)
 
 #: Default number of pending rows that triggers an ingest flush.
 DEFAULT_FLUSH_ROWS = 65536
@@ -74,19 +99,22 @@ DEFAULT_FLUSH_ROWS = 65536
 _JOIN_TIMEOUT = 5.0
 
 
-def _worker_main(conn) -> None:
-    """Child-process loop: own one ``MetricStore``, serve the pipe.
+def serve_shard(transport, store: Optional[MetricStore] = None) -> None:
+    """Serve one shard session: own one ``MetricStore``, drain messages.
 
-    Runs until a ``("stop",)`` message or EOF (parent died).  Ingest
-    exceptions are remembered and surfaced on the next ``call`` so the
-    fire-and-forget fast path never needs an acknowledgement round
-    trip.
+    The placement-agnostic half of the actor — the same loop runs in a
+    ``multiprocessing`` child (pipe transport) and in a
+    :class:`ShardServer` session thread (TCP transport).  Runs until a
+    ``("stop",)`` message, a clean EOF (the client closed), or a
+    transport error (the client died).  Ingest exceptions are
+    remembered and surfaced on the next ``call`` so the fire-and-forget
+    fast path never needs an acknowledgement round trip.
     """
-    store = MetricStore()
+    store = store if store is not None else MetricStore()
     deferred: Optional[BaseException] = None
     while True:
         try:
-            message = conn.recv()
+            message = transport.recv()
         except (EOFError, OSError):
             break
         kind = message[0]
@@ -101,20 +129,28 @@ def _worker_main(conn) -> None:
             _replay_names(store.interner, message[1])
             _method, args, kwargs = message[2], message[3], message[4]
             if deferred is not None:
-                _reply_error(conn, deferred)
-                deferred = None
+                error, deferred = deferred, None
+                if not _send_reply(transport, ("err", error)):
+                    break
                 continue
             try:
                 attr = getattr(store, _method)
                 result = attr(*args, **kwargs) if callable(attr) else attr
                 if isinstance(result, Iterator):
                     result = list(result)
-                conn.send(("ok", result))
+                reply = ("ok", result)
             except BaseException as error:  # noqa: BLE001
-                _reply_error(conn, error)
+                reply = ("err", error)
+            if not _send_reply(transport, reply):
+                break
         elif kind == "stop":
             break
-    conn.close()
+    transport.close()
+
+
+def _worker_main(conn) -> None:
+    """Child-process entry point: one shard session over the pipe."""
+    serve_shard(PipeTransport(conn))
 
 
 def _replay_names(interner: ServerInterner, names: List[str]) -> None:
@@ -123,35 +159,49 @@ def _replay_names(interner: ServerInterner, names: List[str]) -> None:
         interner.intern(name)
 
 
-def _reply_error(conn, error: BaseException) -> None:
-    """Send an exception back, degrading to ``RuntimeError`` if it
-    cannot be pickled (exotic exception classes)."""
+def _send_reply(transport, reply) -> bool:
+    """Send an RPC reply; ``False`` means the client is gone.
+
+    A client that died with a call in flight must end the session
+    (the loop breaks and closes the transport) rather than crash the
+    serving thread; a reply payload that cannot be pickled degrades
+    to an ``err`` naming the problem so the client still gets an
+    answer.
+    """
     try:
-        conn.send(("err", error))
-    except Exception:  # pragma: no cover - unpicklable exception
-        conn.send(("err", RuntimeError(repr(error))))
+        transport.send(reply)
+        return True
+    except (EOFError, OSError):
+        return False
+    except Exception as error:  # unpicklable result/exception
+        try:
+            transport.send(("err", RuntimeError(repr(error))))
+            return True
+        except (EOFError, OSError):  # pragma: no cover - client died too
+            return False
 
 
-class ShardWorker:
-    """Parent-side proxy to one ``MetricStore`` in a child process.
+class ShardClient:
+    """Parent-side proxy to one remote ``MetricStore``, any transport.
 
     Duck-types the slice of the :class:`MetricStore` surface the
     sharded facade uses — buffered ``record_columns`` / ``record_fast``
     ingest plus every query and introspection method — so
     :class:`~repro.telemetry.sharding.ShardedMetricStore` can hold
-    ``ShardWorker`` handles where it would otherwise hold local
-    stores.  All answers are bit-identical to a local shard fed the
-    same calls (the child applies the same methods in the same order);
-    the difference is purely *where* the rows live and the one
-    pickling round trip each row (ingest) and each result (query)
-    pays.
+    remote-shard handles where it would otherwise hold local stores.
+    All answers are bit-identical to a local shard fed the same calls
+    (the serve loop applies the same methods in the same order); the
+    difference is purely *where* the rows live and the one pickling
+    round trip each row (ingest) and each result (query) pays.
 
-    Not thread-safe: one owner (the facade) talks to one worker.  The
-    process is started eagerly in ``__init__`` with the default start
-    method and marked ``daemon`` so an abandoned store cannot outlive
-    the interpreter; :meth:`close` is the orderly path and is
-    idempotent and fork-safe (a forked copy of the proxy refuses to
-    touch the parent's child process).
+    Not thread-safe: one owner (the facade) talks to one shard.
+    Subclasses set ``self._transport`` and implement
+    :meth:`_shutdown` (orderly teardown of whatever is on the far
+    side) and :meth:`_peer` (a human-readable locator for error
+    messages).  :meth:`close` is idempotent and fork-safe: a forked
+    copy of the proxy only drops its inherited connection end — the
+    remote shard belongs to the original owner, and shutting it down
+    from the fork would yank a live store out from under that owner.
     """
 
     def __init__(
@@ -170,16 +220,7 @@ class ShardWorker:
         self._pending_rows = 0
         self._closed = False
         self._owner_pid = os.getpid()
-        context = multiprocessing.get_context()
-        self._conn, child_conn = context.Pipe(duplex=True)
-        self._process = context.Process(
-            target=_worker_main,
-            args=(child_conn,),
-            name=f"metric-shard-{shard_id}",
-            daemon=True,
-        )
-        self._process.start()
-        child_conn.close()
+        self._transport = None  # set by subclasses
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,22 +233,22 @@ class ShardWorker:
     def closed(self) -> bool:
         return self._closed
 
-    @property
-    def pid(self) -> Optional[int]:
-        """The child's OS pid (``None`` once closed)."""
-        return None if self._closed else self._process.pid
+    def _peer(self) -> str:
+        """Where the remote shard lives, for error messages."""
+        raise NotImplementedError
+
+    def _shutdown(self) -> None:
+        """Orderly teardown, called exactly once by the owning process."""
+        raise NotImplementedError
 
     def close(self) -> None:
-        """Stop the child process; idempotent and fork-safe.
+        """Stop the remote shard; idempotent and fork-safe.
 
-        The orderly path sends ``("stop",)``, joins for
-        ``_JOIN_TIMEOUT`` seconds, then escalates to ``terminate()`` —
-        so a wedged child can never hang interpreter shutdown.  Called
-        from a *forked* copy of the owner (``os.getpid()`` differs from
-        the pid that created the worker) it only drops the inherited
-        pipe end: the child belongs to the original parent, and
-        terminating it from the fork would yank a live store out from
-        under that parent.  Double-close is a no-op.
+        Called from a *forked* copy of the owner (``os.getpid()``
+        differs from the pid that created the proxy) it only drops the
+        inherited connection end: the remote shard belongs to the
+        original parent, so the fork neither signals nor terminates
+        it.  Double-close is a no-op.
         """
         if self._closed:
             return
@@ -215,22 +256,19 @@ class ShardWorker:
         self._pending.clear()
         self._pending_rows = 0
         if os.getpid() != self._owner_pid:
-            # Forked copy: the worker is the original owner's child.
-            # Drop our duplicated pipe fd and leave the process alone.
-            self._conn.close()
+            # Forked copy: the shard is the original owner's.  Drop our
+            # duplicated connection end and leave the far side alone.
+            self._transport.close()
             return
-        try:
-            self._conn.send(("stop",))
-        except (BrokenPipeError, OSError):
-            pass
-        self._process.join(_JOIN_TIMEOUT)
-        if self._process.is_alive():  # pragma: no cover - wedged child
-            self._process.terminate()
-            self._process.join(_JOIN_TIMEOUT)
-        self._conn.close()
+        self._shutdown()
+
+    def _connection_lost(self, error: BaseException) -> RuntimeError:
+        return RuntimeError(
+            f"shard {self._shard_id} ({self._peer()}): connection lost"
+        )
 
     def _names_delta(self) -> List[str]:
-        """Server names interned since the last message to this worker."""
+        """Server names interned since the last message to this shard."""
         names = self._interner.names
         if self._synced_names == len(names):
             return []
@@ -239,36 +277,39 @@ class ShardWorker:
         return delta
 
     def flush(self) -> None:
-        """Ship buffered ingest commands as one coalesced pipe message.
+        """Ship buffered ingest commands as one coalesced message.
 
         Called automatically when ``flush_rows`` rows are pending and
         before every query RPC, so readers always observe their own
         writes.  Costs one pickling pass over the buffered ndarrays.
+        A dead peer surfaces here as a ``RuntimeError`` naming the
+        shard and where it lived — never a hang.
         """
         if self._closed:
-            raise RuntimeError("ShardWorker is closed")
+            raise RuntimeError("ShardClient is closed")
         if not self._pending:
             return
-        self._conn.send(("ingest", self._names_delta(), self._pending))
+        try:
+            self._transport.send(("ingest", self._names_delta(), self._pending))
+        except (EOFError, OSError) as error:
+            raise self._connection_lost(error) from error
         self._pending = []
         self._pending_rows = 0
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         """Synchronous RPC: flush pending ingest, run ``store.method``.
 
-        Exceptions raised in the child — including deferred ingest
-        errors — are re-raised here.  The result pays one pickle round
-        trip; everything else about it (values, dtypes, ordering) is
-        exactly what the local shard would have returned.
+        Exceptions raised in the remote shard — including deferred
+        ingest errors — are re-raised here.  The result pays one pickle
+        round trip; everything else about it (values, dtypes, ordering)
+        is exactly what the local shard would have returned.
         """
         self.flush()
-        self._conn.send(("call", self._names_delta(), method, args, kwargs))
         try:
-            kind, payload = self._conn.recv()
-        except (EOFError, OSError) as error:  # pragma: no cover - dead child
-            raise RuntimeError(
-                f"shard worker {self._shard_id} died (pid {self._process.pid})"
-            ) from error
+            self._transport.send(("call", self._names_delta(), method, args, kwargs))
+            kind, payload = self._transport.recv()
+        except (EOFError, OSError) as error:
+            raise self._connection_lost(error) from error
         if kind == "err":
             raise payload
         return payload
@@ -285,17 +326,17 @@ class ShardWorker:
         server_indices: np.ndarray,
         values: np.ndarray,
     ) -> None:
-        """Buffer one pre-partitioned column append for the child.
+        """Buffer one pre-partitioned column append for the remote shard.
 
         Same contract as :meth:`MetricStore.record_columns` — the
-        worker takes ownership of the arrays (they are held until the
-        next flush, then pickled across the pipe).  Nothing crosses the
-        process boundary until the batching threshold is hit, so
-        per-window parts from a blocked simulation coalesce into few
-        large messages.
+        proxy takes ownership of the arrays (they are held until the
+        next flush, then pickled across the connection).  Nothing
+        crosses the placement boundary until the batching threshold is
+        hit, so per-window parts from a blocked simulation coalesce
+        into few large messages.
         """
         if self._closed:
-            raise RuntimeError("ShardWorker is closed")
+            raise RuntimeError("ShardClient is closed")
         if values.size == 0:
             return
         self._pending.append(
@@ -320,12 +361,12 @@ class ShardWorker:
         """Buffer one scalar append (compatibility shim, same batching).
 
         Rides the same coalescing ingest channel as
-        :meth:`record_columns`; the child executes a real
+        :meth:`record_columns`; the serve loop executes a real
         ``record_fast``, so scalar-spill table layout matches a local
         shard exactly.
         """
         if self._closed:
-            raise RuntimeError("ShardWorker is closed")
+            raise RuntimeError("ShardClient is closed")
         self._pending.append(
             ("record_fast", (window, server_id, pool_id, datacenter_id, counter, value))
         )
@@ -368,7 +409,7 @@ class ShardWorker:
     def iter_tables(
         self,
     ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
-        """Tables materialised in the child and shipped back as a list.
+        """Tables materialised remotely and shipped back as a list.
 
         One pickle of the shard's full columns — the export path's bulk
         read, paid once per export rather than per row.
@@ -392,3 +433,261 @@ class ShardWorker:
 
     def all_values(self, *args: Any, **kwargs: Any) -> np.ndarray:
         return self.call("all_values", *args, **kwargs)
+
+
+class ShardWorker(ShardClient):
+    """Proxy to one ``MetricStore`` in a child process (pipe transport).
+
+    The process is started eagerly in ``__init__`` with the default
+    start method and marked ``daemon`` so an abandoned store cannot
+    outlive the interpreter; :meth:`close` is the orderly path — a
+    ``("stop",)`` message, a bounded join, then ``terminate()`` as the
+    escalation — and inherits :class:`ShardClient`'s idempotence and
+    fork-safety.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        interner: ServerInterner,
+        flush_rows: int = DEFAULT_FLUSH_ROWS,
+    ) -> None:
+        super().__init__(shard_id, interner, flush_rows=flush_rows)
+        context = multiprocessing.get_context()
+        conn, child_conn = context.Pipe(duplex=True)
+        self._transport = PipeTransport(conn)
+        self._process = context.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"metric-shard-{shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The child's OS pid (``None`` once closed)."""
+        return None if self._closed else self._process.pid
+
+    def _peer(self) -> str:
+        return f"worker pid {self._process.pid}"
+
+    def _shutdown(self) -> None:
+        """Send ``stop``, join briefly, escalate to ``terminate()`` —
+        so a wedged child can never hang interpreter shutdown."""
+        try:
+            self._transport.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(_JOIN_TIMEOUT)
+        if self._process.is_alive():  # pragma: no cover - wedged child
+            self._process.terminate()
+            self._process.join(_JOIN_TIMEOUT)
+        self._transport.close()
+
+
+class TcpShardClient(ShardClient):
+    """Proxy to one ``MetricStore`` session on a :class:`ShardServer`.
+
+    Dials ``address`` eagerly in ``__init__`` (with the transport's
+    refused-connection retry window, so starting client and server
+    "at the same time" works) and owns exactly one server session —
+    the server made a fresh store when this connection arrived and
+    will drop it when the connection ends.  :meth:`close` says
+    goodbye with a ``("stop",)`` message before closing the socket;
+    a vanished server surfaces as a ``RuntimeError`` naming the
+    address, never a hang.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        interner: ServerInterner,
+        address: str,
+        flush_rows: int = DEFAULT_FLUSH_ROWS,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        super().__init__(shard_id, interner, flush_rows=flush_rows)
+        self._address = address
+        self._transport = TcpTransport.connect(address, timeout=connect_timeout)
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` this shard's session is connected to."""
+        return self._address
+
+    def _peer(self) -> str:
+        return self._address
+
+    def _shutdown(self) -> None:
+        try:
+            self._transport.send(("stop",))
+        except (EOFError, OSError):
+            pass
+        self._transport.close()
+
+
+class ShardServer:
+    """Host remote metric-store shards over TCP: one session, one shard.
+
+    Every accepted connection gets its own session thread running
+    :func:`serve_shard` over a fresh ``MetricStore`` — so a facade
+    that opens N connections (even N connections to the *same*
+    server) gets N independent shards, and spreading the addresses
+    across machines is purely a deployment decision.  This is the
+    library form of the ``repro shard-server`` CLI command; tests and
+    benchmarks embed it, operators run the CLI.
+
+    ``max_sessions`` bounds the server's lifetime for scripted runs:
+    after accepting that many sessions it stops listening and
+    :meth:`serve_forever` returns once they all end (the CLI's
+    ``--max-sessions``).  Bind to port 0 to let the OS pick an
+    ephemeral port; :attr:`address` reports the real one.
+
+    ``stop()`` closes the listener and every live session; it is
+    idempotent.  Sessions end individually on their client's
+    ``("stop",)`` or clean EOF — a client vanishing never takes the
+    server down.  Security note: the protocol is pickle-based, so
+    listen only on loopback or a trusted network (see
+    :mod:`repro.telemetry.transport`).
+    """
+
+    def __init__(
+        self,
+        address: str = "127.0.0.1:0",
+        max_sessions: Optional[int] = None,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        from repro.telemetry.transport import parse_address
+
+        self._requested = parse_address(address)
+        self._max_sessions = max_sessions
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._sessions: List[Tuple[TcpTransport, threading.Thread]] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardServer":
+        """Bind, listen, and start accepting sessions in the background."""
+        if self._started:
+            raise RuntimeError("ShardServer already started")
+        self._started = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._requested)
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="shard-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` (real port, even when asked for 0)."""
+        if self._listener is None:
+            raise RuntimeError("ShardServer is not started")
+        host, port = self._listener.getsockname()[:2]
+        return format_address(host, port)
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` — or, with ``max_sessions``, until
+        every accepted session has ended."""
+        if self._accept_thread is None:
+            raise RuntimeError("ShardServer is not started")
+        self._accept_thread.join()
+        for _transport, thread in list(self._sessions):
+            thread.join()
+
+    def stop(self) -> None:
+        """Close the listener and every live session; idempotent."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        if self._listener is not None:
+            try:
+                # shutdown() (not just close()) wakes a thread blocked
+                # in accept() immediately instead of leaving it to the
+                # join timeout below.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for transport, _thread in list(self._sessions):
+            transport.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(_JOIN_TIMEOUT)
+        for _transport, thread in list(self._sessions):
+            thread.join(_JOIN_TIMEOUT)
+
+    def __enter__(self) -> "ShardServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accepting and serving
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        accepted = 0
+        while not self._stopping:
+            if self._max_sessions is not None and accepted >= self._max_sessions:
+                break
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed by stop()
+                break
+            accepted += 1
+            transport = TcpTransport(conn)
+            thread = threading.Thread(
+                target=self._serve_session,
+                args=(transport,),
+                name=f"shard-session-{accepted}",
+                daemon=True,
+            )
+            with self._lock:
+                if self._stopping:
+                    # Lost the race with stop(): it already snapshotted
+                    # the session list, so this connection would never
+                    # be torn down — refuse it instead.
+                    transport.close()
+                    break
+                self._sessions.append((transport, thread))
+            thread.start()
+        if self._max_sessions is not None and not self._stopping:
+            # Reached the session budget: stop listening, let the live
+            # sessions run to their own stop/EOF.
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _serve_session(self, transport: TcpTransport) -> None:
+        """One session thread: serve, then drop the bookkeeping entry.
+
+        Pruning on exit keeps a long-running server's session list
+        proportional to *live* sessions instead of every connection
+        ever accepted.
+        """
+        try:
+            serve_shard(transport)
+        finally:
+            with self._lock:
+                self._sessions = [
+                    entry for entry in self._sessions if entry[0] is not transport
+                ]

@@ -96,3 +96,19 @@ def fleet_store(fleet_sim):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def shard_server():
+    """One loopback shard server shared by every tcp-backend test.
+
+    One ``ShardServer`` can host any number of shard sessions (each
+    connection gets a fresh store), so the whole suite's tcp stores
+    point their ``shard_addrs`` at this single listener.  Tests that
+    exercise server *failure* start their own throwaway server
+    instead.
+    """
+    from repro.telemetry.workers import ShardServer
+
+    with ShardServer("127.0.0.1:0") as server:
+        yield server

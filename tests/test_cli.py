@@ -1,16 +1,49 @@
 """CLI argument parsing and the simulate command's store/engine wiring.
 
 Covers the engine/shards/workers/shard-backend/block-windows
-combinations and the archive-optional path of
-``python -m repro simulate``.
+combinations, the archive-optional path of ``python -m repro
+simulate``, and the distributed path: ``repro shard-server`` hosting
+remote shards that ``simulate --shard-backend tcp`` writes through.
 """
 
 import importlib.util
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _spawn_shard_server(max_sessions):
+    """``repro shard-server`` as a real subprocess on an ephemeral port.
+
+    Returns ``(process, address)``; the address is parsed from the
+    server's first stdout line, which is the documented scripting
+    interface for ``--listen`` port 0.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "shard-server",
+            "--listen", "127.0.0.1:0",
+            "--max-sessions", str(max_sessions),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    assert line.startswith("shard-server listening on "), line
+    return process, line.rsplit(" ", 1)[-1].strip()
 
 
 def _load_docs_check():
@@ -80,6 +113,29 @@ class TestSimulateParsing:
         with pytest.raises(SystemExit) as excinfo:
             self.parser.parse_args(["simulate", flag, value])
         assert excinfo.value.code == 2
+
+    def test_shard_addrs_flag(self):
+        args = self.parser.parse_args(
+            ["simulate", "--shard-backend", "tcp",
+             "--shard-addrs", "127.0.0.1:9400,127.0.0.1:9401"]
+        )
+        assert args.shard_backend == "tcp"
+        assert args.shard_addrs == "127.0.0.1:9400,127.0.0.1:9401"
+        assert self.parser.parse_args(["simulate"]).shard_addrs is None
+
+    def test_shard_server_defaults(self):
+        args = self.parser.parse_args(["shard-server"])
+        assert args.listen == "127.0.0.1:0"
+        assert args.max_sessions is None
+
+    def test_shard_server_flags(self):
+        args = self.parser.parse_args(
+            ["shard-server", "--listen", "0.0.0.0:9400", "--max-sessions", "4"]
+        )
+        assert args.listen == "0.0.0.0:9400"
+        assert args.max_sessions == 4
+        with pytest.raises(SystemExit):
+            self.parser.parse_args(["shard-server", "--max-sessions", "0"])
 
     def test_other_commands_require_archive(self):
         for command in ("plan", "validate", "availability"):
@@ -161,6 +217,56 @@ class TestSimulateExecution:
         # The command must have reaped its worker processes.
         assert multiprocessing.active_children() == []
 
+    def test_shard_addrs_without_tcp_backend_fails_cleanly(self):
+        assert main(
+            self.BASE + ["--shard-addrs", "127.0.0.1:9400"]
+        ) == 2
+        assert main(
+            self.BASE + ["--shard-backend", "processes",
+                         "--shard-addrs", "127.0.0.1:9400"]
+        ) == 2
+
+    def test_tcp_backend_without_addrs_fails_cleanly(self):
+        assert main(self.BASE + ["--shard-backend", "tcp"]) == 2
+
+    def test_tcp_backend_with_dead_server_fails_cleanly(self):
+        """Nothing listening: exit 2 with a clear error, no traceback."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert main(
+            self.BASE + ["--shard-backend", "tcp",
+                         "--shard-addrs", f"127.0.0.1:{port}",
+                         "--connect-timeout", "0.3"]
+        ) == 2
+
+    def test_tcp_archive_matches_single_via_real_server(self, tmp_path):
+        """The acceptance path: ``--shard-backend tcp`` against a real
+        ``repro shard-server`` subprocess on loopback writes an archive
+        byte-identical to a single store's, and the server exits 0 once
+        its ``--max-sessions`` sessions ended."""
+        server, address = _spawn_shard_server(max_sessions=2)
+        try:
+            single = tmp_path / "single.csv"
+            tcp = tmp_path / "tcp.csv"
+            assert main(self.BASE + [str(single)]) == 0
+            assert main(
+                self.BASE + [
+                    "--shard-backend", "tcp",
+                    "--shard-addrs", f"{address},{address}",
+                    str(tcp),
+                ]
+            ) == 0
+            assert single.read_bytes() == tcp.read_bytes()
+            assert server.wait(timeout=30) == 0
+        finally:
+            if server.poll() is None:  # pragma: no cover - failure path
+                server.kill()
+            server.stdout.close()
+
 
 class TestDocsCheck:
     """The docs-check tool: README and the CLI must agree."""
@@ -231,3 +337,47 @@ class TestDocsCheck:
             )
         )
         assert docs_check.check(ok) == []
+
+    def test_undocumented_command_detected(self):
+        """Direction 4: a CLI command no doc mentions is drift."""
+        docs_check = _load_docs_check()
+        commands = docs_check.cli_options()
+        assert "shard-server" in commands
+        errors = docs_check.undocumented_commands(
+            commands, "only `simulate`, `plan`, `validate`, `availability`"
+        )
+        assert any("shard-server" in error for error in errors)
+        everything = " ".join(commands)
+        assert docs_check.undocumented_commands(commands, everything) == []
+
+    def test_distributed_doc_must_cover_shard_server_surface(self, tmp_path):
+        """Direction 5: DISTRIBUTED.md owns the shard-server docs, so a
+        copy that drops the command or any of its live parser flags
+        (or the distributed simulate flags) fails the check."""
+        docs_check = _load_docs_check()
+        readme = tmp_path / "README.md"
+        readme.write_text(
+            "".join(
+                f"`{flag}` "
+                for flag in sorted(docs_check.cli_options()["simulate"])
+            )
+        )
+        bare = tmp_path / "DISTRIBUTED.md"
+        bare.write_text("all about distributed ingest, naming nothing\n")
+        errors = docs_check.check(readme, doc_paths=[readme, bare])
+        assert any(
+            "shard-server" in error and "command" in error for error in errors
+        )
+        for flag in ("--listen", "--max-sessions", "--shard-addrs"):
+            assert any(flag in error for error in errors), flag
+
+    def test_repo_distributed_doc_covers_all_server_flags(self):
+        """The real docs/DISTRIBUTED.md satisfies its coverage contract
+        against the live parser (so a new shard-server flag cannot land
+        without a docs update)."""
+        docs_check = _load_docs_check()
+        text = (REPO_ROOT / "docs" / "DISTRIBUTED.md").read_text()
+        for flag in sorted(docs_check.cli_options()["shard-server"]):
+            if flag in ("-h", "--help"):
+                continue
+            assert flag in text, f"docs/DISTRIBUTED.md misses {flag}"

@@ -47,6 +47,25 @@ class TestLifecycle:
             ShardedMetricStore(n_shards=2, backend="processes", workers=2)
         with pytest.raises(ValueError):
             ShardedMetricStore(n_shards=2, backend="processes", flush_rows=0)
+        with pytest.raises(ValueError):
+            # tcp cannot guess where its shard servers live ...
+            ShardedMetricStore(n_shards=2, backend="tcp")
+        with pytest.raises(ValueError):
+            # ... runs one session per address ...
+            ShardedMetricStore(
+                backend="tcp", shard_addrs=["127.0.0.1:1"], workers=2
+            )
+        with pytest.raises(ValueError):
+            # ... and owns the shard_addrs knob exclusively.
+            ShardedMetricStore(n_shards=2, backend="serial",
+                               shard_addrs=["127.0.0.1:1"])
+
+    def test_tcp_shard_count_follows_addresses(self, shard_server):
+        addrs = [shard_server.address] * 3
+        with ShardedMetricStore(backend="tcp", shard_addrs=addrs) as store:
+            assert store.backend == "tcp"
+            assert store.n_shards == 3
+            assert [shard.address for shard in store.shards] == addrs
 
     def test_backend_defaults_keep_historic_behaviour(self):
         serial = ShardedMetricStore(n_shards=2)

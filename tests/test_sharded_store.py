@@ -5,10 +5,12 @@ same batches — bit-identical for every query whose accumulation order
 is defined (aggregates, matrices, per-server reads, series, exports) —
 with rows physically spread across shards by server index.  The
 ``pair`` fixture parametrizes the whole equivalence suite over all
-three shard backends (serial, threads, processes), so every assertion
-below — including the byte-identical export check — also proves the
-worker-process RPC path.
+four shard backends (serial, threads, processes, tcp), so every
+assertion below — including the byte-identical export check — also
+proves the worker-process and network RPC paths.
 """
+
+import threading
 
 import numpy as np
 import pytest
@@ -21,9 +23,15 @@ from repro.telemetry.store import MetricStore
 REDUCERS = ("mean", "sum", "max", "count")
 
 
-def _sharded(n_shards=3, backend="serial", **kwargs):
-    """A sharded store for one backend, with a sensible worker width."""
+def _sharded(n_shards=3, backend="serial", server=None, **kwargs):
+    """A sharded store for one backend, with a sensible worker width.
+
+    ``server`` is the loopback ``ShardServer`` the tcp backend dials
+    (``n_shards`` sessions against the one listener).
+    """
     workers = n_shards if backend == "threads" else 1
+    if backend == "tcp":
+        kwargs["shard_addrs"] = [server.address] * n_shards
     return ShardedMetricStore(
         n_shards=n_shards, workers=workers, backend=backend, **kwargs
     )
@@ -44,9 +52,9 @@ def _fill(store, n_servers=20, n_windows=30, pools=("A", "B"), dcs=("dc1", "dc2"
 
 
 @pytest.fixture(scope="module", params=BACKENDS)
-def pair(request):
+def pair(request, shard_server):
     single = _fill(MetricStore())
-    sharded = _fill(_sharded(backend=request.param))
+    sharded = _fill(_sharded(backend=request.param, server=shard_server))
     yield single, sharded
     sharded.close()
 
@@ -172,8 +180,8 @@ class TestQueryEquivalence:
 
 class TestIngestPaths:
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_record_fast_routes_to_owner_shard(self, backend):
-        with _sharded(n_shards=2, backend=backend) as store:
+    def test_record_fast_routes_to_owner_shard(self, backend, shard_server):
+        with _sharded(n_shards=2, backend=backend, server=shard_server) as store:
             store.record_fast(0, "s0", "P", "dc", "cpu", 1.0)
             store.record_fast(0, "s1", "P", "dc", "cpu", 2.0)
             idx0 = store.interner.index["s0"]
@@ -184,7 +192,7 @@ class TestIngestPaths:
             assert series.values[0] == pytest.approx(3.0)
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_record_and_record_many(self, backend):
+    def test_record_and_record_many(self, backend, shard_server):
         single = MetricStore()
         samples = [
             CounterSample(
@@ -198,7 +206,7 @@ class TestIngestPaths:
             for w in range(4)
             for i in range(7)
         ]
-        with _sharded(backend=backend) as sharded:
+        with _sharded(backend=backend, server=shard_server) as sharded:
             single.record_many(samples)
             sharded.record_many(samples)
             assert single.sample_count() == sharded.sample_count()
@@ -217,9 +225,10 @@ class TestIngestPaths:
         assert store.sample_count() == 0
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_cache_invalidated_on_ingest(self, backend):
+    def test_cache_invalidated_on_ingest(self, backend, shard_server):
         with _fill(
-            _sharded(n_shards=2, backend=backend), n_servers=4, n_windows=3
+            _sharded(n_shards=2, backend=backend, server=shard_server),
+            n_servers=4, n_windows=3,
         ) as store:
             before = store.pool_window_aggregate("A", "cpu")
             assert store.pool_window_aggregate("A", "cpu") is before  # memoized
@@ -253,6 +262,74 @@ class TestIngestPaths:
         _fill(store, n_servers=4, n_windows=2)
         store.close()
         store.close()
+
+
+class TestCloseRace:
+    """close() must be safe against in-flight ingest (threads backend).
+
+    The historical race: a ``_dispatch`` that passed the executor
+    check could submit to a pool ``close()`` had just shut down and
+    die with the executor's own ``cannot schedule new futures``
+    RuntimeError — an internals leak, and on remote backends a write
+    to a torn-down connection.  The fix makes ingest-after-close a
+    deterministic, clearly worded ``RuntimeError`` and the racing
+    window atomic under the lifecycle lock.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ingest_after_close_raises_cleanly(self, backend, shard_server):
+        store = _sharded(n_shards=2, backend=backend, server=shard_server)
+        ids = store.intern_servers(["a", "b"])
+        store.record_batch("P", "dc", "cpu", 0, ids, np.ones(2))
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.record_batch("P", "dc", "cpu", 1, ids, np.ones(2))
+        with pytest.raises(RuntimeError, match="closed"):
+            store.record_fast(1, "a", "P", "dc", "cpu", 1.0)
+
+    def test_close_concurrent_with_ingest_threads_backend(self):
+        """Hammer ingest from one thread while close() lands on another.
+
+        The facade's contract is one ingesting caller; the fixed race
+        is that caller being mid-``_dispatch`` when a second thread
+        (a ``finally:`` block, an ``atexit`` hook) calls ``close()``.
+        The racing ``record_batch`` must either complete or raise the
+        clean closed-store error; anything else (the executor's
+        'cannot schedule new futures', a write to a torn-down handle)
+        is the regression.  Several attempts widen the race window.
+        """
+        for _attempt in range(5):
+            store = ShardedMetricStore(n_shards=4, workers=4, backend="threads")
+            ids = store.intern_servers([f"s{i}" for i in range(32)])
+            # Warm the executor so close() has something to drain.
+            store.record_batch("P", "dc", "cpu", 0, ids, np.ones(32))
+            unexpected = []
+            started = threading.Event()
+
+            def ingest():
+                started.set()
+                window = 1
+                while True:
+                    try:
+                        store.record_batch(
+                            "P", "dc", "cpu", window, ids, np.ones(32)
+                        )
+                    except RuntimeError as error:
+                        if "closed" not in str(error):
+                            unexpected.append(error)
+                        return
+                    except BaseException as error:  # noqa: BLE001
+                        unexpected.append(error)
+                        return
+                    window += 1
+
+            thread = threading.Thread(target=ingest)
+            thread.start()
+            started.wait()
+            store.close()
+            thread.join(30)
+            assert not thread.is_alive()
+            assert not unexpected, unexpected
 
 
 class TestExport:

@@ -7,9 +7,9 @@ extensions:
   per-sample compatibility path (same emission, same RNG draws);
 * a fixed seed reproduces bit-identical store contents run over run;
 * a :class:`~repro.telemetry.sharding.ShardedMetricStore` — any shard
-  count, any backend (serial, thread-pool, or worker-process ingest) —
-  answers every query bit-identically to a single store fed by the
-  same engine;
+  count, any backend (serial, thread-pool, worker-process or
+  loopback-TCP ingest) — answers every query bit-identically to a
+  single store fed by the same engine;
 * blocked emission with ``block_windows=1`` is bit-identical to
   per-window batch stepping; larger blocks keep identical availability
   masks and sample counts and agree statistically on noisy counters;
@@ -28,9 +28,14 @@ from repro.telemetry.counters import Counter
 from repro.telemetry.sharding import BACKENDS, ShardedMetricStore
 
 
-def _sharded(n_shards=3, backend="serial"):
+def _sharded(n_shards=3, backend="serial", server=None):
     workers = n_shards if backend == "threads" else 1
-    return ShardedMetricStore(n_shards=n_shards, workers=workers, backend=backend)
+    kwargs = {}
+    if backend == "tcp":
+        kwargs["shard_addrs"] = [server.address] * n_shards
+    return ShardedMetricStore(
+        n_shards=n_shards, workers=workers, backend=backend, **kwargs
+    )
 
 
 def _run(engine: str, seed: int = 41, windows: int = 180, store=None, **config_kwargs):
@@ -103,7 +108,8 @@ class TestBatchedEquivalence:
 
 class TestShardedEquivalence:
     """Sharded batch ingest is bit-identical to the single-store engine,
-    whichever backend (serial / threads / processes) holds the shards."""
+    whichever backend (serial / threads / processes / tcp) holds the
+    shards."""
 
     @pytest.mark.parametrize("n_shards", [2, 3, 5])
     def test_sharded_matches_single_store(self, n_shards):
@@ -112,10 +118,10 @@ class TestShardedEquivalence:
         _assert_stores_identical(single, sharded)
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_backend_matches_single_store(self, backend):
+    def test_backend_matches_single_store(self, backend, shard_server):
         """Every backend stores and answers exactly like one store."""
         single = _run("batch")
-        with _sharded(n_shards=4, backend=backend) as store:
+        with _sharded(n_shards=4, backend=backend, server=shard_server) as store:
             sharded = _run("batch", store=store)
             _assert_stores_identical(single, sharded)
 
@@ -127,10 +133,10 @@ class TestShardedEquivalence:
             _assert_stores_identical(serial, threaded)
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_sharded_blocked_matches_single_blocked(self, backend):
+    def test_sharded_blocked_matches_single_blocked(self, backend, shard_server):
         """Sharding composes with cross-window block emission."""
         single = _run("batch", block_windows=16)
-        with _sharded(n_shards=3, backend=backend) as store:
+        with _sharded(n_shards=3, backend=backend, server=shard_server) as store:
             sharded = _run("batch", store=store, block_windows=16)
             _assert_stores_identical(single, sharded)
 
@@ -142,23 +148,23 @@ class TestShardedEquivalence:
         _assert_stores_identical(single, sharded)
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_sharded_per_sample_shim(self, backend):
+    def test_sharded_per_sample_shim(self, backend, shard_server):
         """Even the per-sample compatibility path shards identically —
-        through the worker ingest buffer too."""
+        through the remote ingest buffer too."""
         single = _run("per-sample", windows=60)
-        with _sharded(backend=backend) as store:
+        with _sharded(backend=backend, server=shard_server) as store:
             sharded = _run("per-sample", windows=60, store=store)
             _assert_stores_identical(single, sharded)
 
-    @pytest.mark.parametrize("backend", ("threads", "processes"))
-    def test_backend_exports_byte_identical(self, backend, tmp_path):
+    @pytest.mark.parametrize("backend", ("threads", "processes", "tcp"))
+    def test_backend_exports_byte_identical(self, backend, tmp_path, shard_server):
         """The archive written through any backend is byte-identical."""
         from repro.telemetry.export import export_store
 
         single = _run("batch", windows=60)
         single_path = tmp_path / "single.csv"
         export_store(single, single_path)
-        with _sharded(n_shards=4, backend=backend) as store:
+        with _sharded(n_shards=4, backend=backend, server=shard_server) as store:
             sharded = _run("batch", windows=60, store=store)
             sharded_path = tmp_path / f"{backend}.csv"
             export_store(sharded, sharded_path)

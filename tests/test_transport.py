@@ -1,0 +1,279 @@
+"""The TCP shard transport: framing, server lifecycle, failure modes.
+
+Equivalence of the ``tcp`` backend (bit-identical queries,
+byte-identical exports) is proven by the backend-parametrized suites
+in ``test_sharded_store.py`` / ``test_sim_equivalence.py``; this file
+covers what is specific to the transport itself: the length-prefixed
+frame codec, ``host:port`` parsing, the connect-retry window, the
+one-connection-one-shard server (``ShardServer``), both shutdown
+paths (``stop`` message vs clean EOF), and — the operational headline
+— that a server dying mid-run surfaces as a clear error on the
+client, never a hang.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.store import ServerInterner
+from repro.telemetry.transport import (
+    MAX_FRAME_BYTES,
+    TcpTransport,
+    format_address,
+    parse_address,
+)
+from repro.telemetry.workers import ShardServer, TcpShardClient
+
+
+def _loopback_pair():
+    """A connected (client transport, server transport) pair."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client_sock = socket.create_connection(listener.getsockname())
+    server_sock, _ = listener.accept()
+    listener.close()
+    return TcpTransport(client_sock), TcpTransport(server_sock)
+
+
+class TestAddressSyntax:
+    def test_roundtrip(self):
+        assert parse_address("127.0.0.1:9400") == ("127.0.0.1", 9400)
+        assert format_address("127.0.0.1", 9400) == "127.0.0.1:9400"
+        assert parse_address("host:0") == ("host", 0)
+
+    @pytest.mark.parametrize(
+        "bad", ["no-port", ":9400", "host:", "host:notaport", "host:70000"]
+    )
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestFraming:
+    def test_message_roundtrip_including_ndarrays(self):
+        client, server = _loopback_pair()
+        try:
+            payload = (
+                "ingest",
+                ["srv-0", "srv-1"],
+                [("record_columns", (np.arange(1000), np.ones(1000)))],
+            )
+            client.send(payload)
+            kind, names, commands = server.recv()
+            assert kind == "ingest" and names == ["srv-0", "srv-1"]
+            np.testing.assert_array_equal(commands[0][1][0], np.arange(1000))
+            # And the other direction, several frames back to back.
+            for i in range(5):
+                server.send(("ok", i))
+            assert [client.recv() for _ in range(5)] == [
+                ("ok", i) for i in range(5)
+            ]
+        finally:
+            client.close()
+            server.close()
+
+    def test_clean_eof_raises_eoferror(self):
+        client, server = _loopback_pair()
+        client.close()
+        with pytest.raises(EOFError):
+            server.recv()
+        server.close()
+
+    def test_mid_frame_eof_raises_connection_error(self):
+        client, server = _loopback_pair()
+        # A header promising 100 bytes, then nothing: the peer died
+        # mid-frame, which must not look like a clean goodbye.
+        client._sock.sendall((100).to_bytes(8, "big") + b"partial")
+        client.close()
+        with pytest.raises(ConnectionError):
+            server.recv()
+        server.close()
+
+    def test_oversized_frame_rejected(self):
+        client, server = _loopback_pair()
+        client._sock.sendall((MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+        with pytest.raises(ConnectionError, match="oversized"):
+            server.recv()
+        client.close()
+        server.close()
+
+    def test_connect_refused_names_the_address(self):
+        # Grab a port and close it so nothing listens there.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ConnectionError, match=f"127.0.0.1:{port}"):
+            TcpTransport.connect(f"127.0.0.1:{port}", timeout=0.3)
+
+    def test_connect_retries_until_server_binds(self):
+        """The two-terminal race: client dials before the server binds."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        server = ShardServer(f"127.0.0.1:{port}")
+
+        def start_late():
+            server.start()
+
+        timer = threading.Timer(0.2, start_late)
+        timer.start()
+        try:
+            transport = TcpTransport.connect(f"127.0.0.1:{port}", timeout=5.0)
+            transport.close()
+        finally:
+            timer.join()
+            server.stop()
+
+
+class TestShardServer:
+    def test_ephemeral_port_reported(self):
+        with ShardServer("127.0.0.1:0") as server:
+            host, port = parse_address(server.address)
+            assert host == "127.0.0.1" and port > 0
+
+    def test_each_session_is_an_independent_shard(self):
+        """Two sessions to one server = two stores, not one."""
+        interner = ServerInterner()
+        with ShardServer() as server:
+            a = TcpShardClient(0, interner, server.address)
+            b = TcpShardClient(1, interner, server.address)
+            idx = interner.intern("s0")
+            a.record_columns(
+                "P", "dc", "cpu",
+                np.array([0]), np.array([idx], dtype=np.int64), np.ones(1),
+            )
+            assert a.sample_count() == 1
+            assert b.sample_count() == 0  # b's store never saw the row
+            a.close()
+            b.close()
+
+    def test_client_eof_does_not_kill_server(self):
+        """A vanishing client ends its session, never the server."""
+        interner = ServerInterner()
+        with ShardServer() as server:
+            first = TcpShardClient(0, interner, server.address)
+            first._transport.close()  # vanish without a stop message
+            second = TcpShardClient(1, interner, server.address)
+            assert second.sample_count() == 0  # server still answering
+            second.close()
+
+    def test_max_sessions_ends_serve_forever(self):
+        server = ShardServer("127.0.0.1:0", max_sessions=1)
+        server.start()
+        interner = ServerInterner()
+        client = TcpShardClient(0, interner, server.address)
+        done = threading.Event()
+
+        def wait():
+            server.serve_forever()
+            done.set()
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        assert client.sample_count() == 0
+        client.close()
+        assert done.wait(10), "serve_forever did not return after last session"
+        waiter.join()
+        server.stop()
+
+    def test_client_death_with_reply_in_flight_keeps_server(self):
+        """A client that vanishes before reading its RPC reply must
+        end only its own session — the reply send's broken pipe must
+        not crash the serving thread or the server."""
+        interner = ServerInterner()
+        with ShardServer() as server:
+            rude = TcpTransport.connect(server.address)
+            rude.send(("call", [], "sample_count", (), {}))
+            rude.close()  # gone before the reply lands
+            survivor = TcpShardClient(0, interner, server.address)
+            assert survivor.sample_count() == 0
+            survivor.close()
+
+    def test_ended_sessions_are_pruned(self):
+        """The session list tracks live sessions, not history —
+        a long-running server must not accumulate dead entries."""
+        interner = ServerInterner()
+        with ShardServer() as server:
+            for shard_id in range(5):
+                client = TcpShardClient(shard_id, interner, server.address)
+                assert client.sample_count() == 0
+                client.close()
+            deadline = threading.Event()
+            for _ in range(100):  # session teardown is asynchronous
+                if not server._sessions:
+                    break
+                deadline.wait(0.05)
+            assert server._sessions == []
+
+    def test_stop_is_idempotent(self):
+        server = ShardServer().start()
+        server.stop()
+        server.stop()
+
+    def test_double_start_rejected(self):
+        with ShardServer() as server:
+            with pytest.raises(RuntimeError):
+                server.start()
+
+
+class TestServerFailure:
+    """Killing the server mid-run must fail loudly, never hang."""
+
+    def _filled_store(self, server, n_shards=2):
+        store = ShardedMetricStore(
+            backend="tcp", shard_addrs=[server.address] * n_shards
+        )
+        ids = store.intern_servers([f"s{i}" for i in range(8)])
+        for window in range(4):
+            store.record_batch("P", "dc", "cpu", window, ids, np.ones(8))
+        assert store.sample_count() == 32
+        return store, ids
+
+    def test_query_after_server_death_raises_clearly(self):
+        server = ShardServer().start()
+        store, ids = self._filled_store(server)
+        address = server.address
+        server.stop()  # the "kill -9 the server box" stand-in
+        # Buffer fresh rows parent-side, then force them over the dead
+        # wire: either the flush's send or the query's recv must raise
+        # a RuntimeError naming the shard's address — within seconds,
+        # not by hanging on a half-open socket.
+        store.record_batch("P", "dc", "cpu", 99, ids, np.ones(8))
+        with pytest.raises(RuntimeError, match=address.split(":")[0]):
+            store.sample_count()
+        store.close()  # still clean: close after failure is a no-op path
+
+    def test_ingest_flush_after_server_death_raises(self):
+        server = ShardServer().start()
+        interner = ServerInterner()
+        client = TcpShardClient(0, interner, server.address, flush_rows=4)
+        server.stop()
+        idx = np.array([interner.intern("s0")], dtype=np.int64)
+        with pytest.raises(RuntimeError, match="connection lost"):
+            # Repeated sends must eventually trip the threshold flush
+            # and surface the dead peer (first sends may land in OS
+            # buffers before the reset is observed).
+            for window in range(1024):
+                client.record_columns(
+                    "P", "dc", "cpu",
+                    np.array([window]), idx, np.ones(1),
+                )
+        client.close()
+
+    def test_connect_to_never_started_server_fails_fast(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ConnectionError):
+            ShardedMetricStore(
+                backend="tcp",
+                shard_addrs=[f"127.0.0.1:{port}"],
+                connect_timeout=0.3,
+            )

@@ -12,7 +12,15 @@ and every ``docs/*.md`` file) and ``repro.cli.build_parser()``:
    non-CLI tools (e.g. the benchmark script's ``--smoke``) go in
    ``NON_CLI_FLAGS``;
 3. every flag the ``simulate`` command defines must be mentioned
-   somewhere in README.md (catches new flags landing undocumented).
+   somewhere in README.md (catches new flags landing undocumented);
+4. every CLI subcommand must be mentioned somewhere across the
+   checked files (a new subcommand cannot land undocumented);
+5. per-file coverage contracts (``REQUIRED_COVERAGE``): a file that
+   owns a feature's documentation must mention that feature's
+   commands and flags — ``docs/DISTRIBUTED.md`` must cover the
+   ``shard-server`` command, *every* flag it defines (derived from
+   the live parser, so adding a server flag without documenting it
+   fails), and the distributed ``simulate`` flags.
 
 Also verifies that relative markdown links in each checked file point
 at files that exist (e.g. ``docs/ARCHITECTURE.md``).
@@ -38,8 +46,20 @@ DOCS_DIR = REPO_ROOT / "docs"
 NON_CLI_FLAGS = {
     "--smoke",
     "--backends",
+    "--tcp",
     "--no-use-pep517",
     "--no-build-isolation",
+}
+
+#: Per-file documentation contracts (direction 5): file name ->
+#: (commands whose surface the file owns, extra simulate flags it must
+#: mention).  Flags of an owned command are derived from the live
+#: parser so the contract tracks the CLI automatically.
+REQUIRED_COVERAGE = {
+    "DISTRIBUTED.md": {
+        "commands": ("shard-server",),
+        "flags": ("--shard-backend", "--shard-addrs", "--connect-timeout"),
+    },
 }
 
 _FENCE = re.compile(r"```(?:bash|sh|console|text)?\n(.*?)```", re.DOTALL)
@@ -136,6 +156,25 @@ def check_file(path: Path, commands: dict, errors: List[str]) -> None:
         if not (path.parent / target).exists():
             errors.append(f"{rel} links to missing file {target!r}")
 
+    coverage = REQUIRED_COVERAGE.get(path.name)
+    if coverage is not None:
+        required_flags = set(coverage["flags"])
+        for command in coverage["commands"]:
+            if command not in text:
+                errors.append(
+                    f"{rel} owns the {command!r} documentation but never "
+                    f"mentions the command"
+                )
+            required_flags.update(commands.get(command, ()))
+        for flag in sorted(required_flags):
+            if flag in ("-h", "--help"):
+                continue
+            if flag not in text:
+                errors.append(
+                    f"{rel} owns this feature's documentation but does "
+                    f"not mention {flag}"
+                )
+
 
 def check(readme_path: Path = README, doc_paths: Optional[List[Path]] = None) -> list:
     """Run every drift check; returns the list of problems found.
@@ -164,7 +203,24 @@ def check(readme_path: Path = README, doc_paths: Optional[List[Path]] = None) ->
                 f"simulate flag {flag} is not mentioned anywhere in README.md"
             )
 
+    # Direction 4: undocumented subcommands.  Only meaningful over the
+    # real documentation surface — a test fixture README legitimately
+    # covers a single feature, the repo's docs must cover every command.
+    if readme_path == README:
+        all_text = "".join(path.read_text() for path in doc_paths)
+        errors.extend(undocumented_commands(commands, all_text))
+
     return errors
+
+
+def undocumented_commands(commands: dict, all_text: str) -> List[str]:
+    """Direction 4: CLI commands the documentation never mentions."""
+    return [
+        f"CLI command {command!r} is not mentioned in README.md "
+        f"or any docs/*.md file"
+        for command in sorted(commands)
+        if not re.search(rf"\b{re.escape(command)}\b", all_text)
+    ]
 
 
 def main() -> int:
