@@ -43,6 +43,7 @@ from typing import Optional
 from repro.cluster.builders import build_single_pool_fleet
 from repro.cluster.simulation import SimulationConfig, Simulator
 from repro.telemetry.sharding import ShardedMetricStore
+from repro.telemetry.workers import DEFAULT_PIPELINE_DEPTH
 
 #: Headline configuration (the ISSUE's 1000-server x 1000-window run).
 SERVERS = 1000
@@ -64,13 +65,19 @@ TARGET_BLOCK_SPEEDUP = 1.5
 #: = GIL-bound pool dispatch, processes = one pickle crossing per row,
 #: tcp = the same crossing through a loopback socket to a real
 #: shard-server subprocess (the price of the distribution seam, paid
-#: off only with real cores or machines behind it).
+#: off only with real cores or machines behind it).  The tcp point
+#: appears twice: once restricted to the PR 4 wire behaviour (pickle
+#: frames, synchronous per-shard sendall) and once with the current
+#: default (negotiated binary column frames + pipelined writers), so
+#: the JSON records the transport optimisation's before/after.
 CONFIGS = (
     {"shards": 1, "workers": 1, "block_windows": 16},
     {"shards": 1, "workers": 1, "block_windows": 64},
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "serial"},
     {"shards": 4, "workers": 4, "block_windows": 64, "backend": "threads"},
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "processes"},
+    {"shards": 4, "workers": 1, "block_windows": 64, "backend": "tcp",
+     "pipeline_depth": 0, "binary_frames": False},  # the PR 4 wire
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "tcp"},
 )
 
@@ -133,6 +140,8 @@ def _measure(
     block_windows: int = 1,
     backend: Optional[str] = None,
     shard_addrs: Optional[list] = None,
+    pipeline_depth: Optional[int] = None,
+    binary_frames: bool = True,
 ) -> dict:
     if backend == "tcp" and shard_addrs is None:
         # tcp rows own their server subprocess unless handed addresses.
@@ -146,16 +155,23 @@ def _measure(
                 block_windows=block_windows,
                 backend=backend,
                 shard_addrs=[address] * shards,
+                pipeline_depth=pipeline_depth,
+                binary_frames=binary_frames,
             )
     fleet = build_single_pool_fleet(
         "B", n_datacenters=1, servers_per_deployment=servers, seed=29
     )
+    store_kwargs = {}
+    if pipeline_depth is not None:
+        store_kwargs["pipeline_depth"] = pipeline_depth
     store = (
         ShardedMetricStore(
             n_shards=shards,
             workers=workers,
             backend=backend,
             shard_addrs=shard_addrs,
+            binary_frames=binary_frames,
+            **store_kwargs,
         )
         if shards > 1 or backend is not None
         else None
@@ -175,6 +191,7 @@ def _measure(
     elapsed = time.perf_counter() - started
     if store is not None:
         store.close()
+    remote = store is not None and store.backend in ("processes", "tcp")
     return {
         "engine": engine,
         "servers": servers,
@@ -183,6 +200,16 @@ def _measure(
         "workers": workers,
         "block_windows": block_windows,
         "backend": store.backend if store is not None else "none",
+        "pipeline_depth": (
+            (pipeline_depth if pipeline_depth is not None
+             else DEFAULT_PIPELINE_DEPTH)
+            if remote else 0
+        ),
+        "wire": (
+            ("binary" if binary_frames else "pickle")
+            if store is not None and store.backend == "tcp"
+            else "n/a"
+        ),
         "elapsed_s": elapsed,
         "samples": samples,
         "windows_per_sec": n_windows / elapsed,
@@ -261,32 +288,45 @@ def run_tcp_sweep(
 
     One ``repro shard-server`` subprocess hosts every session; rows
     compare the unsharded baseline, the serial reference, and tcp at
-    increasing shard counts — the `make bench-tcp` answer to "what
-    does putting shards behind the network cost on this machine?".
+    increasing shard counts — each shard count measured twice, once
+    over the PR 4 wire (pickle frames, synchronous sends) and once
+    with the current default (binary column frames + pipelined
+    writers) — the `make bench-tcp` answer to "what does putting
+    shards behind the network cost on this machine, and what does the
+    transport optimisation buy back?".
     """
     results = [
         _measure("batch", windows, servers, block_windows=block_windows,
                  backend="serial", shards=4),
     ]
     for shards in (1, 2, 4):
-        results.append(
-            _measure(
-                "batch",
-                windows,
-                servers,
-                shards=shards,
-                block_windows=block_windows,
-                backend="tcp",
+        for pipeline_depth, binary_frames in ((0, False), (None, True)):
+            results.append(
+                _measure(
+                    "batch",
+                    windows,
+                    servers,
+                    shards=shards,
+                    block_windows=block_windows,
+                    backend="tcp",
+                    pipeline_depth=pipeline_depth,
+                    binary_frames=binary_frames,
+                )
             )
-        )
     return results
 
 
 def _config_label(entry: dict) -> str:
-    return (
+    label = (
         f"shards={entry['shards']} workers={entry['workers']} "
         f"block={entry['block_windows']} backend={entry['backend']}"
     )
+    if entry.get("backend") == "tcp":
+        label += (
+            f" wire={entry.get('wire', 'pickle')}"
+            f" pipeline={entry.get('pipeline_depth', 0)}"
+        )
+    return label
 
 
 def _print_result(result: dict) -> None:
@@ -346,8 +386,13 @@ if __name__ == "__main__":
             f"subprocess hosting every session"
         )
         for entry in sweep:
+            wire = (
+                f" wire={entry['wire']:6s} pipeline={entry['pipeline_depth']}"
+                if entry["backend"] == "tcp"
+                else ""
+            )
             print(
-                f"  {entry['backend']:10s} shards={entry['shards']} "
+                f"  {entry['backend']:10s} shards={entry['shards']}{wire} "
                 f"{entry['windows_per_sec']:8.1f} windows/s "
                 f"({entry['samples_per_sec']:,.0f} samples/s)"
             )

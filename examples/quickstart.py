@@ -41,6 +41,13 @@ def positive_int(text: str) -> int:
     return value
 
 
+def nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def parse_args() -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -75,6 +82,11 @@ def parse_args() -> argparse.Namespace:
         help="shard-server addresses for --shard-backend tcp "
              "(one session = one shard)",
     )
+    parser.add_argument(
+        "--pipeline-depth", type=nonnegative_int, default=4, metavar="N",
+        help="ingest frames queued/in flight per remote shard "
+             "(0 = synchronous sends)",
+    )
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
     if args.shard_addrs is not None and args.shard_backend != "tcp":
@@ -106,6 +118,7 @@ def main() -> None:
             workers=args.workers,
             backend=args.shard_backend,
             shard_addrs=shard_addrs,
+            pipeline_depth=args.pipeline_depth,
         )
         if args.shards > 1 or args.shard_backend is not None
         else MetricStore()

@@ -43,9 +43,50 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type for flags that must be >= 0 (clean error, exit 2)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _check_distributed_flags(args: argparse.Namespace):
+    """Validate the tcp/addrs flag combination before any work starts.
+
+    Returns the parsed address list (``None`` when not distributed) or
+    raises ``ValueError`` with a usage-style message — the flag
+    mistakes below must fail in argument validation, not as a late
+    crash deep in fleet build or store construction.
+    """
+    shard_addrs = (
+        [addr.strip() for addr in args.shard_addrs.split(",") if addr.strip()]
+        if args.shard_addrs is not None
+        else None
+    )
+    if shard_addrs is not None and args.shard_backend != "tcp":
+        raise ValueError("--shard-addrs requires --shard-backend tcp")
+    if args.shard_backend == "tcp":
+        if not shard_addrs:
+            raise ValueError(
+                "--shard-backend tcp requires --shard-addrs "
+                "(comma-separated host:port list, one per shard)"
+            )
+        from repro.telemetry.transport import parse_address
+
+        for address in shard_addrs:
+            parse_address(address)  # ValueError names the bad input
+    return shard_addrs
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import time
 
+    try:
+        shard_addrs = _check_distributed_flags(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     datacenters = PAPER_DATACENTERS[: args.datacenters]
     fleet = build_paper_fleet(
         servers_per_deployment=args.servers,
@@ -58,17 +99,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.windows is not None
         else int(round(args.days * 720))
     )
-    shard_addrs = (
-        [addr.strip() for addr in args.shard_addrs.split(",") if addr.strip()]
-        if args.shard_addrs is not None
-        else None
-    )
-    if shard_addrs is not None and args.shard_backend != "tcp":
-        print(
-            "error: --shard-addrs requires --shard-backend tcp",
-            file=sys.stderr,
-        )
-        return 2
     try:
         if args.shards > 1 or args.shard_backend is not None:
             store = ShardedMetricStore(
@@ -77,6 +107,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 backend=args.shard_backend,
                 shard_addrs=shard_addrs,
                 connect_timeout=args.connect_timeout,
+                pipeline_depth=args.pipeline_depth,
+                io_timeout=args.io_timeout,
             )
             store_desc = (
                 f"{store.n_shards}-shard store "
@@ -266,6 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
         help="how long each tcp shard connection retries a refused dial "
              "before failing (--shard-backend tcp only)",
+    )
+    simulate.add_argument(
+        "--pipeline-depth", type=_nonnegative_int, default=4, metavar="N",
+        help="remote shard backends (processes/tcp): how many coalesced "
+             "ingest frames may be queued or in flight per shard before "
+             "the next flush blocks (0 = synchronous sends, no "
+             "pipelining); queries still observe all prior ingest",
+    )
+    simulate.add_argument(
+        "--io-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-operation socket timeout for tcp shards: a send or "
+             "recv stuck this long fails with a clear per-shard error "
+             "instead of hanging on a hung-but-alive server (0 = no "
+             "timeout; --shard-backend tcp only)",
     )
     simulate.add_argument(
         "--block-windows", type=_positive_int, default=1, metavar="W",

@@ -74,9 +74,14 @@ import numpy as np
 
 from repro.telemetry.counters import CounterSample
 from repro.telemetry.series import TimeSeries
-from repro.telemetry.transport import DEFAULT_CONNECT_TIMEOUT
+from repro.telemetry.transport import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_IO_TIMEOUT,
+    parse_address,
+)
 from repro.telemetry.workers import (
     DEFAULT_FLUSH_ROWS,
+    DEFAULT_PIPELINE_DEPTH,
     ShardClient,
     ShardWorker,
     TcpShardClient,
@@ -151,6 +156,25 @@ class ShardedMetricStore:
         TCP backend only: how long each shard connection retries a
         refused dial before failing (covers starting client and
         server concurrently).
+    pipeline_depth:
+        Remote backends only: how many coalesced ingest frames may be
+        queued or in flight per shard before the next flush blocks
+        (each shard gets one writer thread, so partitioning the next
+        block overlaps with the wire).  0 sends synchronously on the
+        caller's thread — the pre-pipelining behaviour.  Ordering is
+        unaffected either way: queries drain the queue first, so
+        reads always observe all previously buffered ingest.
+    io_timeout:
+        TCP backend only: per-operation socket bound (seconds).  A
+        send or recv that makes no progress for this long raises a
+        per-shard ``RuntimeError`` naming the shard and address
+        instead of hanging on a hung-but-alive peer; ``None`` (or
+        ``<= 0``) disables the bound.
+    binary_frames:
+        TCP backend only: offer the pickle-free binary column frame
+        to each shard server (used when the peer advertises it; a PR 4
+        server transparently keeps receiving pickle frames).  False
+        forces pickle framing for benchmarking or debugging.
 
     A store with remote shards owns connections (and, for processes,
     child processes), so treat it like a file: use the
@@ -168,11 +192,16 @@ class ShardedMetricStore:
         flush_rows: int = DEFAULT_FLUSH_ROWS,
         shard_addrs: Optional[Sequence[str]] = None,
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+        io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+        binary_frames: bool = True,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be >= 0")
         if backend is None:
             backend = "threads" if workers > 1 else "serial"
         if backend not in BACKENDS:
@@ -192,6 +221,11 @@ class ShardedMetricStore:
                     "backend='tcp' requires shard_addrs (one host:port "
                     "per shard)"
                 )
+            # Validate the whole address list before dialling anything:
+            # a typo in address 3 must not leave sessions 0-2 connected
+            # to servers that will never get a stop message.
+            for address in shard_addrs:
+                parse_address(address)
             n_shards = len(shard_addrs)
         elif shard_addrs is not None:
             raise ValueError("shard_addrs is only meaningful with backend='tcp'")
@@ -200,20 +234,37 @@ class ShardedMetricStore:
         self._shards: List[Shard]
         if backend == "processes":
             self._shards = [
-                ShardWorker(shard_id, self._interner, flush_rows=flush_rows)
+                ShardWorker(
+                    shard_id, self._interner, flush_rows=flush_rows,
+                    pipeline_depth=pipeline_depth,
+                )
                 for shard_id in range(n_shards)
             ]
         elif backend == "tcp":
-            self._shards = [
-                TcpShardClient(
-                    shard_id,
-                    self._interner,
-                    address,
-                    flush_rows=flush_rows,
-                    connect_timeout=connect_timeout,
-                )
-                for shard_id, address in enumerate(shard_addrs)
-            ]
+            self._shards = []
+            try:
+                for shard_id, address in enumerate(shard_addrs):
+                    self._shards.append(
+                        TcpShardClient(
+                            shard_id,
+                            self._interner,
+                            address,
+                            flush_rows=flush_rows,
+                            connect_timeout=connect_timeout,
+                            io_timeout=io_timeout,
+                            binary_frames=binary_frames,
+                            pipeline_depth=pipeline_depth,
+                        )
+                    )
+            except BaseException:
+                # A later dial failed: say goodbye to the sessions
+                # already opened instead of leaking them server-side.
+                for shard in self._shards:
+                    try:
+                        shard.close()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                raise
         else:
             self._shards = [
                 MetricStore(interner=self._interner) for _ in range(n_shards)
@@ -225,6 +276,13 @@ class ShardedMetricStore:
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
         self._lifecycle_lock = threading.Lock()
         self._closed = False
+        # One-entry partition memo: the blocked engine hands the same
+        # (windows, server_indices) array pair to record_columns once
+        # per counter, so the shard routing of a block is computed once
+        # and reused ~a-dozen times.  Holding strong references to the
+        # keyed arrays keeps the identity check sound (their ids cannot
+        # be recycled while cached).
+        self._partition_cache: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -306,6 +364,9 @@ class ShardedMetricStore:
         No-op for serial/threads, where appends are synchronous.  Not
         normally needed — every query flushes the shard it reads — but
         useful to bound parent-side buffer memory at a known point.
+        With pipelining the flushed frames may still be queued or in
+        flight afterwards (bounded by ``pipeline_depth``); any query
+        acts as the full drain barrier.
         """
         if self._backend in _REMOTE_BACKENDS:
             for shard in self._shards:
@@ -419,25 +480,45 @@ class ShardedMetricStore:
                 pool_id, datacenter_id, counter, windows, server_indices, values
             )
         else:
-            shard_ids = server_indices % n
-            parts: List[Tuple[int, tuple]] = []
-            for shard_id in range(n):
-                mask = shard_ids == shard_id
-                if not mask.any():
-                    continue
-                parts.append(
-                    (
-                        shard_id,
-                        (
-                            pool_id,
-                            datacenter_id,
-                            counter,
-                            windows[mask],
-                            server_indices[mask],
-                            values[mask],
-                        ),
+            cached = self._partition_cache
+            if (
+                cached is None
+                or cached[0] is not windows
+                or cached[1] is not server_indices
+            ):
+                # Route rows to shards once per distinct column pair.
+                # Row positions (flatnonzero) rather than boolean masks:
+                # the per-counter value gather then only touches the
+                # selected rows.  The gathered windows/index arrays are
+                # shared by every counter of the block, which is safe
+                # for the same reason the unsharded store may receive
+                # one windows array for all counters: stores never
+                # mutate ingested columns.
+                shard_ids = server_indices % n
+                routing = []
+                for shard_id in range(n):
+                    rows = np.flatnonzero(shard_ids == shard_id)
+                    if rows.size == 0:
+                        continue
+                    routing.append(
+                        (shard_id, rows, windows[rows], server_indices[rows])
                     )
+                cached = (windows, server_indices, routing)
+                self._partition_cache = cached
+            parts: List[Tuple[int, tuple]] = [
+                (
+                    shard_id,
+                    (
+                        pool_id,
+                        datacenter_id,
+                        counter,
+                        shard_windows,
+                        shard_indices,
+                        values[rows],
+                    ),
                 )
+                for shard_id, rows, shard_windows, shard_indices in cached[2]
+            ]
             self._dispatch(parts, "record_columns")
         if self._agg_cache:
             self._agg_cache.clear()

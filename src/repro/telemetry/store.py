@@ -252,6 +252,44 @@ def columnise_samples(
         )
 
 
+class _ServerMembership:
+    """Which interned server indices appeared for one (pool, DC).
+
+    Ingest-hot bookkeeping: the per-batch update is a vectorized
+    boolean scatter (``seen[indices] = True``) instead of the previous
+    ``set.update(np.unique(...).tolist())`` — on coalesced ingest
+    frames the unique/set path cost roughly as much CPU as the column
+    appends themselves.  Reads (:meth:`indices`) materialise the
+    sorted index array; they only happen on the cold query path.
+    """
+
+    __slots__ = ("_seen",)
+
+    def __init__(self) -> None:
+        self._seen = np.zeros(0, dtype=bool)
+
+    def _ensure(self, top: int) -> None:
+        if top >= self._seen.size:
+            grown = np.zeros(max(64, 2 * (top + 1)), dtype=bool)
+            grown[: self._seen.size] = self._seen
+            self._seen = grown
+
+    def update_from(self, indices: np.ndarray) -> None:
+        """Mark every index in ``indices`` (duplicates are free)."""
+        if indices.size == 0:
+            return
+        self._ensure(int(indices.max()))
+        self._seen[indices] = True
+
+    def add(self, index: int) -> None:
+        self._ensure(index)
+        self._seen[index] = True
+
+    def indices(self) -> np.ndarray:
+        """All marked indices, ascending (``int64``)."""
+        return np.flatnonzero(self._seen)
+
+
 class MetricStore:
     """Columnar store of counter samples with pool/DC-scoped queries.
 
@@ -274,7 +312,9 @@ ShardedMetricStore` uses to keep one global id space across shards.
         self._by_pool_counter: Dict[Tuple[str, str], List[TableKey]] = defaultdict(list)
         self._pools: Set[str] = set()
         self._datacenters: Set[str] = set()
-        self._servers_by_pool_dc: Dict[Tuple[str, str], Set[int]] = defaultdict(set)
+        self._servers_by_pool_dc: Dict[Tuple[str, str], _ServerMembership] = (
+            defaultdict(_ServerMembership)
+        )
         self._interner = interner if interner is not None else ServerInterner()
         self._max_window: int = -1
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
@@ -345,7 +385,7 @@ ShardedMetricStore` uses to keep one global id space across shards.
         table = self._table(pool_id, datacenter_id, counter)
         windows = np.full(indices.size, window, dtype=np.int64)
         table.append_batch(windows, indices, values)
-        self._servers_by_pool_dc[(pool_id, datacenter_id)].update(indices.tolist())
+        self._servers_by_pool_dc[(pool_id, datacenter_id)].update_from(indices)
         if window > self._max_window:
             self._max_window = window
         if self._agg_cache:
@@ -373,8 +413,8 @@ ShardedMetricStore` uses to keep one global id space across shards.
             return
         table = self._table(pool_id, datacenter_id, counter)
         table.append_batch(windows, server_indices, values)
-        self._servers_by_pool_dc[(pool_id, datacenter_id)].update(
-            np.unique(server_indices).tolist()
+        self._servers_by_pool_dc[(pool_id, datacenter_id)].update_from(
+            server_indices
         )
         max_w = int(windows.max())
         if max_w > self._max_window:
@@ -457,7 +497,7 @@ ShardedMetricStore` uses to keep one global id space across shards.
             if pool != pool_id:
                 continue
             if datacenter_id is None or dc == datacenter_id:
-                indices.update(members)
+                indices.update(members.indices().tolist())
         return tuple(sorted(self._interner.name(i) for i in indices))
 
     def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:

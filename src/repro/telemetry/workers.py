@@ -43,10 +43,32 @@ strictly FIFO; the wire encoding is the transport's business):
     materialised into lists so they can cross the connection) and
     replies ``("ok", result)`` or ``("err", exception)``.  Any
     exception a previous *ingest* message raised is delivered here
-    instead — ingest errors are deferred, never lost.
+    instead — ingest errors are deferred, never lost.  One method
+    name is reserved: ``protocol_capabilities`` is answered by the
+    serve loop itself (:data:`SESSION_CAPABILITIES`) without touching
+    the store — the capability probe a client sends once per session
+    to learn whether the peer decodes binary ingest frames.  A PR 4
+    serve loop answers it with an ``AttributeError``, which a probing
+    client reads as "pickle frames only" — so old and new peers
+    interoperate in both directions.
 ``("stop",)``
     Graceful shutdown of this session; so is a clean EOF (the client
     vanishing ends the session, never the server).
+
+**Pipelined ingest**: with ``pipeline_depth > 0`` (the default), a
+proxy's ``flush`` hands the coalesced frame to a per-shard writer
+thread and returns — the facade partitions its next block while prior
+frames are still crossing the wire.  The queue is bounded at
+``pipeline_depth`` frames (a full queue blocks the next flush:
+backpressure, not unbounded memory), the writer preserves FIFO order,
+and every query RPC first drains the queue — so reads still observe
+all previously buffered ingest, and the protocol on the wire is
+byte-for-byte what a synchronous client would have sent.  A send
+error in the writer (dead or timed-out peer) is raised from the next
+``flush`` or query as the usual per-shard ``RuntimeError``;
+``close()`` — which must stay safe inside ``finally:`` blocks —
+discards a pending error together with the unsent frames, the same
+archive-before-close contract buffered rows have always had.
 
 ``names`` on every message is the **interner delta**: the slice of
 server names the parent interned since the previous message.  The
@@ -79,6 +101,7 @@ import multiprocessing
 import os
 import socket
 import threading
+from collections import deque
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -86,6 +109,7 @@ import numpy as np
 from repro.telemetry.store import MetricStore, ServerInterner, TableKey
 from repro.telemetry.transport import (
     DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_IO_TIMEOUT,
     PipeTransport,
     TcpTransport,
     format_address,
@@ -94,9 +118,28 @@ from repro.telemetry.transport import (
 #: Default number of pending rows that triggers an ingest flush.
 DEFAULT_FLUSH_ROWS = 65536
 
+#: Default bound on a shard's pipelined send queue: how many coalesced
+#: ingest frames may be queued or in flight before the next ``flush``
+#: blocks (backpressure).  0 disables pipelining — every flush sends
+#: synchronously on the caller's thread, the PR 4 behaviour.
+DEFAULT_PIPELINE_DEPTH = 4
+
+#: What this serve loop can do beyond the PR 4 protocol, answered to
+#: the ``protocol_capabilities`` probe RPC.  A PR 4 server has no
+#: probe handler and answers the probe with an ``AttributeError``,
+#: which clients treat as "no capabilities" — that asymmetry is the
+#: whole negotiation.
+SESSION_CAPABILITIES = {"binary_ingest": True}
+
 #: How long ``close`` waits for a graceful child exit before escalating
 #: to ``terminate()`` (seconds).
 _JOIN_TIMEOUT = 5.0
+
+#: How long ``close`` lets an in-flight pipelined frame finish before
+#: aborting it by closing the transport (seconds).  Deliberately short:
+#: close() already drops buffered rows by contract, so finishing the
+#: frame is a courtesy, not a guarantee worth waiting long for.
+_ABORT_JOIN_TIMEOUT = 1.0
 
 
 def serve_shard(transport, store: Optional[MetricStore] = None) -> None:
@@ -128,6 +171,16 @@ def serve_shard(transport, store: Optional[MetricStore] = None) -> None:
         elif kind == "call":
             _replay_names(store.interner, message[1])
             _method, args, kwargs = message[2], message[3], message[4]
+            if _method == "protocol_capabilities":
+                # Session-level probe, answered here: capabilities
+                # describe the serve loop, not the store — and old
+                # loops without this branch answer AttributeError,
+                # which probing clients read as "no capabilities".
+                if not _send_reply(
+                    transport, ("ok", dict(SESSION_CAPABILITIES))
+                ):
+                    break
+                continue
             if deferred is not None:
                 error, deferred = deferred, None
                 if not _send_reply(transport, ("err", error)):
@@ -209,9 +262,12 @@ class ShardClient:
         shard_id: int,
         interner: ServerInterner,
         flush_rows: int = DEFAULT_FLUSH_ROWS,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     ) -> None:
         if flush_rows < 1:
             raise ValueError("flush_rows must be >= 1")
+        if pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be >= 0")
         self._shard_id = shard_id
         self._interner = interner
         self._flush_rows = flush_rows
@@ -221,6 +277,18 @@ class ShardClient:
         self._closed = False
         self._owner_pid = os.getpid()
         self._transport = None  # set by subclasses
+        self._io_timeout: Optional[float] = None  # set by tcp subclass
+        # Pipelined send state: a bounded FIFO of coalesced ingest
+        # frames drained by one writer thread (started on first use).
+        # _unsent counts queued plus in-flight frames; the condition
+        # guards every field below.
+        self._pipeline_depth = pipeline_depth
+        self._send_cond = threading.Condition()
+        self._send_queue: deque = deque()
+        self._send_error: Optional[BaseException] = None
+        self._unsent = 0
+        self._writer: Optional[threading.Thread] = None
+        self._writer_stop = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -257,15 +325,133 @@ class ShardClient:
         self._pending_rows = 0
         if os.getpid() != self._owner_pid:
             # Forked copy: the shard is the original owner's.  Drop our
-            # duplicated connection end and leave the far side alone.
+            # duplicated connection end and leave the far side alone
+            # (the writer thread, if any, did not survive the fork).
             self._transport.close()
             return
+        self._abort_pipeline()
         self._shutdown()
 
     def _connection_lost(self, error: BaseException) -> RuntimeError:
+        if isinstance(error, TimeoutError):
+            bound = (
+                f" after {self._io_timeout:g}s"
+                if self._io_timeout is not None
+                else ""
+            )
+            return RuntimeError(
+                f"shard {self._shard_id} ({self._peer()}): I/O timed "
+                f"out{bound} — peer is alive but not making progress"
+            )
         return RuntimeError(
             f"shard {self._shard_id} ({self._peer()}): connection lost"
         )
+
+    # ------------------------------------------------------------------
+    # Pipelined sending (one writer thread per shard, bounded queue)
+    # ------------------------------------------------------------------
+    def _writer_loop(self) -> None:
+        """Drain the send queue in FIFO order, one frame at a time.
+
+        The first send failure is remembered (and every later frame
+        skipped); it surfaces on the owner thread at the next
+        ``flush`` or query (``close()`` deliberately discards it — it
+        runs in ``finally:`` blocks where raising would mask the
+        primary error).  ``_unsent`` is decremented in a ``finally``
+        so a waiter can never be left hanging.
+        """
+        while True:
+            with self._send_cond:
+                while not self._send_queue and not self._writer_stop:
+                    self._send_cond.wait()
+                if not self._send_queue:  # stop requested, queue drained
+                    return
+                names, commands = self._send_queue.popleft()
+            try:
+                if self._send_error is None:
+                    self._transport.send_ingest(names, commands)
+            except BaseException as error:  # noqa: BLE001 — re-raised on owner thread
+                with self._send_cond:
+                    if self._send_error is None:
+                        self._send_error = error
+            finally:
+                with self._send_cond:
+                    self._unsent -= 1
+                    self._send_cond.notify_all()
+
+    def _enqueue_ingest(self, names: List[str], commands: List[tuple]) -> None:
+        """Queue one coalesced frame; blocks while the queue is full.
+
+        The block is the backpressure contract: at most
+        ``pipeline_depth`` frames are ever buffered beyond the pending
+        list, so a slow peer stalls the producer instead of growing an
+        unbounded queue.
+        """
+        with self._send_cond:
+            if self._writer is None:
+                self._writer = threading.Thread(
+                    target=self._writer_loop,
+                    name=f"shard-{self._shard_id}-writer",
+                    daemon=True,
+                )
+                self._writer.start()
+            while (
+                self._unsent >= self._pipeline_depth
+                and self._send_error is None
+                and not self._writer_stop
+            ):
+                self._send_cond.wait()
+            if self._writer_stop:
+                raise RuntimeError("ShardClient is closed")
+            error = self._send_error
+            if error is not None:
+                raise self._connection_lost(error) from error
+            self._send_queue.append((names, commands))
+            self._unsent += 1
+            self._send_cond.notify_all()
+
+    def _drain_pipeline(self) -> None:
+        """Wait until every queued/in-flight frame hit the wire.
+
+        Called before each RPC so the call frame is strictly ordered
+        after all ingest — the read-your-writes guarantee — and before
+        inspecting ``_send_error`` so a writer failure is never
+        observed late.
+        """
+        if self._writer is not None:
+            with self._send_cond:
+                while self._unsent and self._send_error is None:
+                    self._send_cond.wait()
+        error = self._send_error
+        if error is not None:
+            raise self._connection_lost(error) from error
+
+    def _abort_pipeline(self) -> None:
+        """Stop the writer for close(): drop queued frames, let the
+        in-flight one finish (bounded), abort it if wedged.
+
+        Queued-but-unsent frames are dropped deliberately — close()
+        has always discarded buffered rows no query needed (archive
+        before closing).  A writer stuck mid-send past the join
+        timeout has its transport closed out from under it, which
+        fails the send and frees the thread: never a deadlock.
+        """
+        writer = self._writer
+        if writer is None:
+            return
+        with self._send_cond:
+            self._writer_stop = True
+            self._unsent -= len(self._send_queue)
+            self._send_queue.clear()
+            self._send_cond.notify_all()
+        writer.join(_ABORT_JOIN_TIMEOUT)
+        if writer.is_alive():
+            # Wedged mid-send: close the transport out from under it —
+            # the sendall fails and the thread exits.  The peer sees a
+            # mid-frame EOF, i.e. "client died", which close() is.
+            self._transport.close()
+            writer.join(_JOIN_TIMEOUT)
+        self._writer = None
 
     def _names_delta(self) -> List[str]:
         """Server names interned since the last message to this shard."""
@@ -281,30 +467,43 @@ class ShardClient:
 
         Called automatically when ``flush_rows`` rows are pending and
         before every query RPC, so readers always observe their own
-        writes.  Costs one pickling pass over the buffered ndarrays.
-        A dead peer surfaces here as a ``RuntimeError`` naming the
-        shard and where it lived — never a hang.
+        writes.  With ``pipeline_depth > 0`` the frame is handed to the
+        shard's writer thread (blocking only when ``pipeline_depth``
+        frames are already outstanding — backpressure); with depth 0 it
+        is sent synchronously.  A dead or timed-out peer surfaces here
+        as a ``RuntimeError`` naming the shard and where it lived —
+        never a hang.
         """
         if self._closed:
             raise RuntimeError("ShardClient is closed")
         if not self._pending:
+            error = self._send_error
+            if error is not None:
+                raise self._connection_lost(error) from error
+            return
+        names = self._names_delta()
+        pending, self._pending = self._pending, []
+        self._pending_rows = 0
+        if self._pipeline_depth:
+            self._enqueue_ingest(names, pending)
             return
         try:
-            self._transport.send(("ingest", self._names_delta(), self._pending))
+            self._transport.send_ingest(names, pending)
         except (EOFError, OSError) as error:
             raise self._connection_lost(error) from error
-        self._pending = []
-        self._pending_rows = 0
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         """Synchronous RPC: flush pending ingest, run ``store.method``.
 
+        Drains the pipelined send queue first, so the call frame — and
+        therefore the answer — is ordered after every buffered ingest.
         Exceptions raised in the remote shard — including deferred
         ingest errors — are re-raised here.  The result pays one pickle
         round trip; everything else about it (values, dtypes, ordering)
         is exactly what the local shard would have returned.
         """
         self.flush()
+        self._drain_pipeline()
         try:
             self._transport.send(("call", self._names_delta(), method, args, kwargs))
             kind, payload = self._transport.recv()
@@ -451,8 +650,12 @@ class ShardWorker(ShardClient):
         shard_id: int,
         interner: ServerInterner,
         flush_rows: int = DEFAULT_FLUSH_ROWS,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     ) -> None:
-        super().__init__(shard_id, interner, flush_rows=flush_rows)
+        super().__init__(
+            shard_id, interner, flush_rows=flush_rows,
+            pipeline_depth=pipeline_depth,
+        )
         context = multiprocessing.get_context()
         conn, child_conn = context.Pipe(duplex=True)
         self._transport = PipeTransport(conn)
@@ -494,10 +697,17 @@ class TcpShardClient(ShardClient):
     refused-connection retry window, so starting client and server
     "at the same time" works) and owns exactly one server session —
     the server made a fresh store when this connection arrived and
-    will drop it when the connection ends.  :meth:`close` says
-    goodbye with a ``("stop",)`` message before closing the socket;
-    a vanished server surfaces as a ``RuntimeError`` naming the
-    address, never a hang.
+    will drop it when the connection ends.  Construction then probes
+    the session's capabilities (one ``protocol_capabilities`` RPC):
+    a peer that advertises ``binary_ingest`` receives pickle-free
+    binary column frames for the rest of the session, a PR 4 peer
+    answers the probe with ``AttributeError`` and keeps receiving
+    pickle frames (set ``binary_frames=False`` to skip the probe and
+    force pickle).  :meth:`close` says goodbye with a ``("stop",)``
+    message before closing the socket; a vanished server surfaces as
+    a ``RuntimeError`` naming the address, and ``io_timeout`` bounds
+    every socket operation so even a hung-but-alive server is an
+    error naming the shard and address — never a hang.
     """
 
     def __init__(
@@ -507,10 +717,39 @@ class TcpShardClient(ShardClient):
         address: str,
         flush_rows: int = DEFAULT_FLUSH_ROWS,
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+        binary_frames: bool = True,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     ) -> None:
-        super().__init__(shard_id, interner, flush_rows=flush_rows)
+        super().__init__(
+            shard_id, interner, flush_rows=flush_rows,
+            pipeline_depth=pipeline_depth,
+        )
+        if io_timeout is not None and io_timeout <= 0:
+            io_timeout = None  # 0 / negative = "no bound", like the CLI
         self._address = address
-        self._transport = TcpTransport.connect(address, timeout=connect_timeout)
+        self._io_timeout = io_timeout
+        self._transport = TcpTransport.connect(
+            address, timeout=connect_timeout, io_timeout=io_timeout
+        )
+        if binary_frames:
+            try:
+                try:
+                    capabilities = self.call("protocol_capabilities")
+                except AttributeError:
+                    # A PR 4 peer: no probe handler, so its serve loop
+                    # answered the reserved method with AttributeError.
+                    # Speak pickle frames for the whole session.
+                    capabilities = {}
+            except BaseException:
+                # Probe failed hard (peer hung or died): the dial
+                # already succeeded, so close the session instead of
+                # leaking the socket and its server-side thread.
+                self._transport.close()
+                raise
+            self._transport.binary_frames = bool(
+                capabilities.get("binary_ingest", False)
+            )
 
     @property
     def address(self) -> str:
@@ -575,13 +814,28 @@ class ShardServer:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ShardServer":
-        """Bind, listen, and start accepting sessions in the background."""
+        """Bind, listen, and start accepting sessions in the background.
+
+        The socket family follows the listen host: ``127.0.0.1`` binds
+        IPv4, a bracketed ``[::1]`` (parsed to ``::1``) binds IPv6 —
+        ``getaddrinfo`` decides, so names resolve too.
+        """
         if self._started:
             raise RuntimeError("ShardServer already started")
         self._started = True
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        host, port = self._requested
+        try:
+            family, _type, _proto, _cname, sockaddr = socket.getaddrinfo(
+                host, port, type=socket.SOCK_STREAM
+            )[0]
+        except socket.gaierror as error:
+            raise OSError(
+                f"cannot resolve listen address {format_address(host, port)}: "
+                f"{error}"
+            ) from error
+        listener = socket.socket(family, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind(self._requested)
+        listener.bind(sockaddr)
         listener.listen()
         self._listener = listener
         self._accept_thread = threading.Thread(

@@ -123,6 +123,23 @@ class TestSimulateParsing:
         assert args.shard_addrs == "127.0.0.1:9400,127.0.0.1:9401"
         assert self.parser.parse_args(["simulate"]).shard_addrs is None
 
+    def test_pipeline_and_timeout_defaults(self):
+        args = self.parser.parse_args(["simulate"])
+        assert args.pipeline_depth == 4
+        assert args.io_timeout == 60.0
+
+    def test_pipeline_and_timeout_flags(self):
+        args = self.parser.parse_args(
+            ["simulate", "--pipeline-depth", "0", "--io-timeout", "2.5"]
+        )
+        assert args.pipeline_depth == 0
+        assert args.io_timeout == 2.5
+
+    def test_negative_pipeline_depth_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            self.parser.parse_args(["simulate", "--pipeline-depth", "-1"])
+        assert excinfo.value.code == 2
+
     def test_shard_server_defaults(self):
         args = self.parser.parse_args(["shard-server"])
         assert args.listen == "127.0.0.1:0"
@@ -229,6 +246,27 @@ class TestSimulateExecution:
     def test_tcp_backend_without_addrs_fails_cleanly(self):
         assert main(self.BASE + ["--shard-backend", "tcp"]) == 2
 
+    @pytest.mark.parametrize(
+        "bad_addrs",
+        [
+            "127.0.0.1:notaport",
+            "127.0.0.1:99999",
+            "no-port-at-all",
+            "[::1:9400",          # unbalanced IPv6 brackets
+            "::1:9400",           # bare-colon IPv6 (brackets required)
+            "127.0.0.1:9400,:9401",  # one good, one empty host
+        ],
+    )
+    def test_malformed_shard_addrs_exit_2(self, bad_addrs, capsys):
+        """Bad addresses are a usage error (exit 2, message on stderr,
+        naming the bad input) — never a traceback or a late crash."""
+        assert main(
+            self.BASE + ["--shard-backend", "tcp", "--shard-addrs", bad_addrs]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "invalid address" in captured.err or "requires" in captured.err
+
     def test_tcp_backend_with_dead_server_fails_cleanly(self):
         """Nothing listening: exit 2 with a clear error, no traceback."""
         import socket
@@ -261,6 +299,32 @@ class TestSimulateExecution:
                 ]
             ) == 0
             assert single.read_bytes() == tcp.read_bytes()
+            assert server.wait(timeout=30) == 0
+        finally:
+            if server.poll() is None:  # pragma: no cover - failure path
+                server.kill()
+            server.stdout.close()
+
+    def test_tcp_pipeline_flags_through_cli(self, tmp_path):
+        """--pipeline-depth / --io-timeout reach the store: a pipelined
+        run and a synchronous (depth 0) run both write archives
+        byte-identical to the unsharded baseline."""
+        server, address = _spawn_shard_server(max_sessions=4)
+        try:
+            single = tmp_path / "single.csv"
+            assert main(self.BASE + [str(single)]) == 0
+            for depth, name in (("2", "pipelined.csv"), ("0", "sync.csv")):
+                archive = tmp_path / name
+                assert main(
+                    self.BASE + [
+                        "--shard-backend", "tcp",
+                        "--shard-addrs", f"{address},{address}",
+                        "--pipeline-depth", depth,
+                        "--io-timeout", "30",
+                        str(archive),
+                    ]
+                ) == 0
+                assert single.read_bytes() == archive.read_bytes()
             assert server.wait(timeout=30) == 0
         finally:
             if server.poll() is None:  # pragma: no cover - failure path

@@ -58,7 +58,13 @@ NON_CLI_FLAGS = {
 REQUIRED_COVERAGE = {
     "DISTRIBUTED.md": {
         "commands": ("shard-server",),
-        "flags": ("--shard-backend", "--shard-addrs", "--connect-timeout"),
+        "flags": (
+            "--shard-backend",
+            "--shard-addrs",
+            "--connect-timeout",
+            "--pipeline-depth",
+            "--io-timeout",
+        ),
     },
 }
 
