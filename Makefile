@@ -4,11 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-backends bench-tcp docs-check check
+.PHONY: test bench bench-smoke bench-backends bench-tcp bench-check docs-check check
 
-# docs-check runs first so doc drift fails tier-1 locally, before the
-# (slower) pytest pass starts.
-test: docs-check
+# docs-check and bench-check run first so doc drift and a stale
+# benchmark JSON fail tier-1 locally, before the (slower) pytest pass
+# starts.  The legacy-engine equivalence baselines are opt-in
+# (`pytest -m legacy`); see pytest.ini.
+test: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
 
 # Fast sanity pass over the throughput benchmark (small fleet, no JSON).
@@ -32,5 +34,10 @@ bench:
 # directions: stale flags mentioned, new flags undocumented).
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+# Fails when BENCH_sim_throughput.json misses a row for any
+# CLI-exposed engine or shard backend (lists imported from the code).
+bench-check:
+	$(PYTHON) tools/bench_check.py
 
 check: docs-check test

@@ -5,6 +5,10 @@ servers x 1000 windows) for:
 
 * the seed ``legacy`` per-sample path (measured over a window subset
   and extrapolated — it is ~2 orders of magnitude slower);
+* the ``per-sample`` compatibility shim (vectorized emission, one
+  store call per sample — also measured over a subset), so every
+  CLI-exposed engine has a priced row (``tools/bench_check.py``
+  enforces this from ``make test``);
 * the PR 1 ``batch`` engine (per-window columnar emission + batched
   ingest) — the baseline every later configuration is judged against;
 * a sweep of (shards, workers, block_windows, backend) configurations
@@ -51,6 +55,9 @@ WINDOWS = 1000
 #: Windows actually executed on the slow legacy engine before
 #: extrapolating its per-window rate.
 LEGACY_WINDOWS = 60
+#: Windows for the per-sample compatibility shim (same emission as
+#: batch, one store call per sample — slow enough to subset too).
+PER_SAMPLE_WINDOWS = 120
 
 #: Required speedup of the columnar engine over the seed path.
 TARGET_SPEEDUP = 5.0
@@ -214,6 +221,9 @@ def _measure(
         "samples": samples,
         "windows_per_sec": n_windows / elapsed,
         "samples_per_sec": samples / elapsed,
+        # Per-stage wall-clock of the blocked engine (demand tensor /
+        # counter emission / store ingest); zeros on per-window runs.
+        "stages": {k: round(v, 6) for k, v in sim.stage_seconds.items()},
     }
 
 
@@ -221,10 +231,12 @@ def run_benchmark(
     windows: int = WINDOWS,
     servers: int = SERVERS,
     legacy_windows: int = LEGACY_WINDOWS,
+    per_sample_windows: int = PER_SAMPLE_WINDOWS,
     result_path: Optional[Path] = RESULT_PATH,
 ) -> dict:
     batch = _measure("batch", windows, servers)
     legacy = _measure("legacy", legacy_windows, servers)
+    per_sample = _measure("per-sample", per_sample_windows, servers)
     configs = [
         _measure("batch", windows, servers, **config) for config in CONFIGS
     ]
@@ -235,6 +247,7 @@ def run_benchmark(
         "fleet": {"pool": "B", "servers": servers, "windows": windows},
         "batch": batch,
         "legacy": legacy,
+        "per_sample": per_sample,
         "configs": configs,
         "best": best,
         "best_speedup_vs_batch": best["windows_per_sec"] / batch["windows_per_sec"],
@@ -342,12 +355,26 @@ def _print_result(result: dict) -> None:
         f"({legacy['samples_per_sec']:,.0f} samples/s) over "
         f"{legacy['windows']} windows (extrapolated)"
     )
+    per_sample = result["per_sample"]
+    print(
+        f"per-sample shim: {per_sample['windows_per_sec']:8.1f} windows/s "
+        f"({per_sample['samples_per_sec']:,.0f} samples/s) over "
+        f"{per_sample['windows']} windows (extrapolated)"
+    )
     for entry in result["configs"]:
         print(
             f"  {_config_label(entry):48s} {entry['windows_per_sec']:8.1f} windows/s "
             f"({entry['samples_per_sec']:,.0f} samples/s)"
         )
     best = result["best"]
+    stages = best.get("stages", {})
+    if any(stages.values()):
+        total = sum(stages.values())
+        breakdown = ", ".join(
+            f"{name} {seconds:.3f}s ({seconds / total:.0%})"
+            for name, seconds in stages.items()
+        )
+        print(f"best config stages: {breakdown}")
     print(
         f"best config: shards={best['shards']} workers={best['workers']} "
         f"block={best['block_windows']} backend={best['backend']} -> "
@@ -398,7 +425,11 @@ if __name__ == "__main__":
             )
     elif "--smoke" in argv:
         outcome = run_benchmark(
-            windows=60, servers=100, legacy_windows=10, result_path=None
+            windows=60,
+            servers=100,
+            legacy_windows=10,
+            per_sample_windows=20,
+            result_path=None,
         )
         _print_result(outcome)
     else:

@@ -260,6 +260,41 @@ class RepurposingPolicy:
         position = (np.arange(n_servers) - offset) % n_servers
         return mask & (position >= n_borrowed)
 
+    def online_mask_block(self, n_servers: int, windows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`online_mask` over a whole window block.
+
+        Rows equal the per-window masks exactly: the night-window test,
+        the daily rotation offset and the borrowed-position test are all
+        evaluated on the window vector with the same expressions the
+        scalar path uses per window.
+        """
+        windows = np.asarray(windows, dtype=np.int64)
+        if n_servers < 1:
+            return np.ones((windows.size, 0), dtype=bool)
+        maintenance = RollingMaintenance(daily_downtime_fraction=self.base_maintenance)
+        mask = maintenance.online_mask_block(n_servers, windows)
+        n_borrowed = int(math.floor(self.borrowed_fraction * n_servers))
+        if self.borrowed_fraction == 0.0 or n_borrowed == 0:
+            return mask
+        hour = (windows % WINDOWS_PER_DAY) / WINDOWS_PER_DAY * 24.0
+        end = self.night_start_hour + self.night_hours
+        if end <= 24.0:
+            night = (self.night_start_hour <= hour) & (hour < end)
+        else:
+            night = (hour >= self.night_start_hour) | (hour < end - 24.0)
+        if not night.any():
+            return mask
+        # The borrowed subset rotates *daily*: one membership vector per
+        # distinct day in the block, applied to that day's night rows.
+        day = windows // WINDOWS_PER_DAY
+        indices = np.arange(n_servers)
+        for d in np.unique(day[night]):
+            offset = (int(d) * n_borrowed) % n_servers
+            borrowed = ((indices - offset) % n_servers) < n_borrowed
+            rows = night & (day == d)
+            mask[rows] &= ~borrowed
+        return mask
+
 
 def policy_for_availability(target: float) -> AvailabilityPolicy:
     """Pick the policy class that matches a target mean availability.
@@ -314,6 +349,31 @@ class RandomFailures:
             & (starts <= offset)
             & (offset < starts + self.duration_windows)
         )
+
+    def failed_mask_block(self, n_servers: int, windows: np.ndarray) -> np.ndarray:
+        """(n_windows, n_servers) grid of :meth:`failed_mask` rows.
+
+        One cached per-day draw lookup per distinct day in the block
+        (instead of one per window), with the day's rows filled by a
+        single broadcast comparison.
+        """
+        windows = np.asarray(windows, dtype=np.int64)
+        if self.daily_probability <= 0.0 or n_servers < 1:
+            return np.zeros((windows.size, max(n_servers, 0)), dtype=bool)
+        out = np.empty((windows.size, n_servers), dtype=bool)
+        days = windows // WINDOWS_PER_DAY
+        offsets = windows % WINDOWS_PER_DAY
+        for day in np.unique(days):
+            rows = np.flatnonzero(days == day)
+            draws, starts = _failure_draws_for_day(self.seed, n_servers, int(day))
+            failed_day = draws < self.daily_probability
+            day_offsets = offsets[rows][:, None]
+            out[rows] = (
+                failed_day[None, :]
+                & (starts[None, :] <= day_offsets)
+                & (day_offsets < starts[None, :] + self.duration_windows)
+            )
+        return out
 
 
 @lru_cache(maxsize=65536)

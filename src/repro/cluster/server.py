@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -220,6 +220,10 @@ class ServerArrays:
     server_ids: Tuple[str, ...]
     cpu_scale: np.ndarray
     version_cpu_multiplier: np.ndarray
+    #: Elementwise ``cpu_scale * version_cpu_multiplier`` — the only
+    #: form the counter math consumes, prebuilt so the hot path gathers
+    #: one column instead of two.
+    cpu_scale_mult: np.ndarray
     latency_base_delta_ms: np.ndarray
     latency_queue_multiplier: np.ndarray
     memory_leak_mb_per_window: np.ndarray
@@ -233,6 +237,9 @@ class ServerArrays:
             cpu_scale=np.array([s.hardware.cpu_scale for s in servers]),
             version_cpu_multiplier=np.array(
                 [s.version.cpu_multiplier for s in servers]
+            ),
+            cpu_scale_mult=np.array(
+                [s.hardware.cpu_scale * s.version.cpu_multiplier for s in servers]
             ),
             latency_base_delta_ms=np.array(
                 [s.version.latency_base_delta_ms for s in servers]
@@ -253,6 +260,47 @@ class ServerArrays:
             server.working_set_mb = float(ws)
 
 
+class _Gates:
+    """Which counter groups a pool emission must compute.
+
+    Derived once per call from the caller's wanted-counter set (``None``
+    = emit everything).  Counters share intermediates, so the gates are
+    dependency-aware: CPU must be computed whenever latency or errors
+    need the utilization, disk reads whenever memory paging couples to
+    them, and so on.  Skipping a group skips both its math *and* its
+    RNG draws — callers on different engines must therefore pass the
+    same set for their streams to coincide, which the simulator
+    guarantees by deriving the set once from its config.
+    """
+
+    __slots__ = (
+        "requests", "cpu", "cpu_value", "p95", "p95_value", "p50",
+        "bytes", "bytes_value", "packets", "disk", "disk_value",
+        "pages", "queue", "working_set", "errors", "availability",
+    )
+
+    def __init__(self, counters: Optional[FrozenSet[str]]) -> None:
+        def want(counter: Counter) -> bool:
+            return counters is None or counter.value in counters
+
+        self.requests = want(Counter.REQUESTS)
+        self.availability = want(Counter.AVAILABILITY)
+        self.cpu_value = want(Counter.PROCESSOR_UTILIZATION)
+        self.p95_value = want(Counter.LATENCY_P95)
+        self.p50 = want(Counter.LATENCY_P50)
+        self.errors = want(Counter.ERRORS)
+        self.p95 = self.p95_value or self.p50
+        self.cpu = self.cpu_value or self.p95 or self.errors
+        self.bytes_value = want(Counter.NETWORK_BYTES_TOTAL)
+        self.packets = want(Counter.NETWORK_PACKETS)
+        self.bytes = self.bytes_value or self.packets
+        self.disk_value = want(Counter.DISK_READ_BYTES)
+        self.pages = want(Counter.MEMORY_PAGES)
+        self.disk = self.disk_value or self.pages
+        self.queue = want(Counter.DISK_QUEUE_LENGTH)
+        self.working_set = want(Counter.MEMORY_WORKING_SET)
+
+
 def observe_pool(
     profile: MicroServiceProfile,
     arrays: ServerArrays,
@@ -260,6 +308,7 @@ def observe_pool(
     window: int,
     class_rps: Dict[str, float],
     rng: np.random.Generator,
+    counters: Optional[FrozenSet[str]] = None,
 ) -> Dict[str, np.ndarray]:
     """One window of counter values for a pool's *online* servers.
 
@@ -271,91 +320,115 @@ def observe_pool(
     caller derives from the mask; this function also advances the leak
     accounting for online servers.
 
+    ``counters`` restricts emission to the named counters (plus the
+    intermediates they depend on); ``None`` emits everything.  Skipped
+    counters skip their RNG draws too, so the stream depends on the
+    set — but not on anything else, and the emitted draws always come
+    in the same relative order.  Leak accounting advances regardless.
+
     The math is the vectorized transcription of :meth:`Server.observe`;
     each draw that was per-server scalar becomes one array draw.
     """
     m = int(online.size)
     noise = profile.noise
+    gates = _Gates(counters)
     total_rps = float(sum(class_rps.values()))
+    observations: Dict[str, np.ndarray] = {}
 
-    cpu_scale = arrays.cpu_scale[online]
-    cpu_mult = arrays.version_cpu_multiplier[online]
-    phase = arrays.noise_phase[online]
+    if gates.availability:
+        observations[Counter.AVAILABILITY.value] = np.ones(m)
+    if gates.requests:
+        observations[Counter.REQUESTS.value] = np.full(m, total_rps)
 
-    # --- CPU ----------------------------------------------------------
-    work = profile.mix.cpu_for(class_rps)
-    cpu = noise.idle_cpu_pct + work * cpu_scale * cpu_mult
-    cpu = cpu + rng.normal(0.0, noise.idle_cpu_noise_pct, size=m)
-    if noise.log_upload_period_windows > 0:
+    if noise.log_upload_period_windows > 0 and (gates.cpu or gates.disk):
+        phase = arrays.noise_phase[online]
         upload_active = (
             (window + phase) % noise.log_upload_period_windows
         ) < noise.log_upload_duration_windows
     else:
         upload_active = np.zeros(m, dtype=bool)
-    cpu = cpu + noise.log_upload_cpu_pct * upload_active
-    cpu = cpu * rng.normal(1.0, profile.cpu_observation_noise, size=m)
-    cpu = np.clip(cpu, 0.0, 100.0)
+
+    # --- CPU ----------------------------------------------------------
+    if gates.cpu:
+        work = profile.mix.cpu_for(class_rps)
+        cpu = noise.idle_cpu_pct + work * arrays.cpu_scale_mult[online]
+        cpu = cpu + rng.normal(0.0, noise.idle_cpu_noise_pct, size=m)
+        cpu = cpu + noise.log_upload_cpu_pct * upload_active
+        cpu = cpu * rng.normal(1.0, profile.cpu_observation_noise, size=m)
+        cpu = np.clip(cpu, 0.0, 100.0)
+        utilization = cpu / 100.0
+        if gates.cpu_value:
+            observations[Counter.PROCESSOR_UTILIZATION.value] = cpu
 
     # --- Latency ------------------------------------------------------
-    model = profile.latency
-    utilization = cpu / 100.0
-    util_clamped = np.minimum(utilization, model.utilization_cap - 1e-6)
-    cold = model.cold_ms * np.exp(-total_rps / model.warmup_rps)
-    queue = model.queue_coeff_ms * util_clamped**2 / (1.0 - util_clamped)
-    p95 = (
-        model.base_ms
-        + arrays.latency_base_delta_ms[online]
-        + cold
-        + queue * arrays.latency_queue_multiplier[online]
-    )
-    p95 = p95 * rng.normal(1.0, profile.latency_observation_noise, size=m)
-    p95 = np.maximum(p95, 0.1)
-    p50 = model.median_fraction * p95
+    if gates.p95:
+        model = profile.latency
+        util_clamped = np.minimum(utilization, model.utilization_cap - 1e-6)
+        cold = model.cold_ms * np.exp(-total_rps / model.warmup_rps)
+        queue = model.queue_coeff_ms * util_clamped**2 / (1.0 - util_clamped)
+        p95 = (
+            model.base_ms
+            + arrays.latency_base_delta_ms[online]
+            + cold
+            + queue * arrays.latency_queue_multiplier[online]
+        )
+        p95 = p95 * rng.normal(1.0, profile.latency_observation_noise, size=m)
+        p95 = np.maximum(p95, 0.1)
+        if gates.p95_value:
+            observations[Counter.LATENCY_P95.value] = p95
+        if gates.p50:
+            observations[Counter.LATENCY_P50.value] = model.median_fraction * p95
 
     # --- Network ------------------------------------------------------
-    by_name = {c.name: c for c in profile.mix.classes}
-    bytes_total = sum(
-        by_name[name].bytes_per_request * rps
-        for name, rps in class_rps.items()
-        if name in by_name
-    )
-    bytes_total = bytes_total * rng.normal(1.0, 0.15, size=m)
-    bytes_total = np.maximum(bytes_total, 0.0)
-    packets = bytes_total / _PACKET_BYTES
+    if gates.bytes:
+        by_name = {c.name: c for c in profile.mix.classes}
+        bytes_total = sum(
+            by_name[name].bytes_per_request * rps
+            for name, rps in class_rps.items()
+            if name in by_name
+        )
+        bytes_total = bytes_total * rng.normal(1.0, 0.15, size=m)
+        bytes_total = np.maximum(bytes_total, 0.0)
+        if gates.bytes_value:
+            observations[Counter.NETWORK_BYTES_TOTAL.value] = bytes_total
+        if gates.packets:
+            observations[Counter.NETWORK_PACKETS.value] = bytes_total / _PACKET_BYTES
 
     # --- Disk and memory (background-dominated; Fig 2's bands) --------
-    disk_read = np.abs(rng.normal(0.0, noise.disk_noise_bytes, size=m))
-    disk_read = disk_read + noise.log_upload_disk_bytes * upload_active
-    memory_pages = np.abs(rng.normal(0.0, noise.memory_pages_noise, size=m))
-    memory_pages = memory_pages + disk_read / 8e3 * rng.uniform(0.5, 1.5, size=m)
-    disk_queue = np.maximum(rng.normal(noise.disk_queue_mean, 1.0, size=m), 0.0)
+    if gates.disk:
+        disk_read = np.abs(rng.normal(0.0, noise.disk_noise_bytes, size=m))
+        disk_read = disk_read + noise.log_upload_disk_bytes * upload_active
+        if gates.disk_value:
+            observations[Counter.DISK_READ_BYTES.value] = disk_read
+    if gates.pages:
+        memory_pages = np.abs(rng.normal(0.0, noise.memory_pages_noise, size=m))
+        memory_pages = memory_pages + disk_read / 8e3 * rng.uniform(0.5, 1.5, size=m)
+        observations[Counter.MEMORY_PAGES.value] = memory_pages
+    if gates.queue:
+        observations[Counter.DISK_QUEUE_LENGTH.value] = np.maximum(
+            rng.normal(noise.disk_queue_mean, 1.0, size=m), 0.0
+        )
 
-    # --- Memory working set (leak accounting) -------------------------
+    # --- Memory working set (leak accounting; always advanced) --------
     arrays.working_set_mb[online] += arrays.memory_leak_mb_per_window[online]
-    working_set = arrays.working_set_mb[online] * 1e6
+    if gates.working_set:
+        observations[Counter.MEMORY_WORKING_SET.value] = (
+            arrays.working_set_mb[online] * 1e6
+        )
 
     # --- Errors -------------------------------------------------------
-    error_rate = np.where(
-        utilization > 0.9, (utilization - 0.9) * total_rps * 0.5, 0.0
-    )
-    errors = np.maximum(rng.normal(error_rate, 0.01), 0.0)
+    if gates.errors:
+        error_rate = np.where(
+            utilization > 0.9, (utilization - 0.9) * total_rps * 0.5, 0.0
+        )
+        observations[Counter.ERRORS.value] = np.maximum(
+            rng.normal(error_rate, 0.01), 0.0
+        )
 
-    observations: Dict[str, np.ndarray] = {
-        Counter.AVAILABILITY.value: np.ones(m),
-        Counter.REQUESTS.value: np.full(m, total_rps),
-        Counter.PROCESSOR_UTILIZATION.value: cpu,
-        Counter.LATENCY_P95.value: p95,
-        Counter.LATENCY_P50.value: p50,
-        Counter.NETWORK_BYTES_TOTAL.value: bytes_total,
-        Counter.NETWORK_PACKETS.value: packets,
-        Counter.DISK_READ_BYTES.value: disk_read,
-        Counter.DISK_QUEUE_LENGTH.value: disk_queue,
-        Counter.MEMORY_PAGES.value: memory_pages,
-        Counter.MEMORY_WORKING_SET.value: working_set,
-        Counter.ERRORS.value: errors,
-    }
     for name, rps in class_rps.items():
-        observations[workload_counter(name)] = np.full(m, rps)
+        name = workload_counter(name)
+        if counters is None or name in counters:
+            observations[name] = np.full(m, rps)
     return observations
 
 
@@ -364,8 +437,10 @@ def observe_pool_block(
     arrays: ServerArrays,
     online_mask: np.ndarray,
     windows: np.ndarray,
-    class_rps_per_window: Sequence[Dict[str, float]],
+    class_names: Sequence[str],
+    class_rps: np.ndarray,
     rng: np.random.Generator,
+    counters: Optional[FrozenSet[str]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
     """A whole block of windows of counter values in one vectorized pass.
 
@@ -376,14 +451,23 @@ def observe_pool_block(
     Python and RNG-call overhead that dominates per-window stepping.
 
     ``online_mask`` is the boolean (n_windows, n_servers) online grid;
-    ``class_rps_per_window`` gives, per window, the per-server RPS of
-    each request class (the even load-balancer split for that window).
+    ``class_rps`` is the ``(n_windows, n_classes)`` per-*server* RPS
+    matrix (the even load-balancer split of each window's volume),
+    with columns in ``class_names`` order — the columnar replacement
+    of the former per-window dict list.  Per-window totals and cost
+    reductions accumulate column by column in class order, matching
+    the scalar dict iteration term for term.
+
     Returns ``(flat_windows, flat_positions, observations)`` where the
     flat arrays enumerate the online (window, server) cells in
     window-major order — exactly the row order the per-window batch
     engine appends — and ``observations`` maps counter name to the
     aligned value array.  Availability is *not* included: the caller
     derives it from ``online_mask`` for all servers, offline included.
+
+    ``counters`` gates emission exactly as in :func:`observe_pool`
+    (same dependency rules, same draw-skipping), so per-window and
+    blocked runs given the same set stay stream-compatible.
 
     RNG draws happen in the same counter order as :func:`observe_pool`
     but sized for the whole block, so a block of W windows consumes
@@ -395,8 +479,11 @@ def observe_pool_block(
     cumulative online windows up to and including its own.
     """
     n_windows, n_servers = online_mask.shape
-    if len(windows) != n_windows or len(class_rps_per_window) != n_windows:
-        raise ValueError("windows and class_rps_per_window must match the mask")
+    class_rps = np.asarray(class_rps, dtype=float)
+    if len(windows) != n_windows or class_rps.shape[0] != n_windows:
+        raise ValueError("windows and class_rps must match the mask")
+    if class_rps.shape[1] != len(class_names):
+        raise ValueError("class_rps columns must match class_names")
     windows = np.asarray(windows, dtype=np.int64)
     # Window-major enumeration of online cells: np.nonzero on a 2-D
     # array walks rows first, matching per-window append order.
@@ -404,108 +491,131 @@ def observe_pool_block(
     flat_windows = windows[window_pos]
     flat_count = int(window_pos.size)
     noise = profile.noise
-    by_name = {c.name: c for c in profile.mix.classes}
+    gates = _Gates(counters)
+    mix = profile.mix
 
-    # Per-window scalars of the counter math (cheap Python, O(W)).
-    class_names = list(class_rps_per_window[0].keys()) if n_windows else []
-    total_rps_w = np.empty(n_windows)
-    work_w = np.empty(n_windows)
-    bytes_w = np.empty(n_windows)
-    class_rps_w = {name: np.empty(n_windows) for name in class_names}
-    for i, class_rps in enumerate(class_rps_per_window):
-        total_rps_w[i] = float(sum(class_rps.values()))
-        work_w[i] = profile.mix.cpu_for(class_rps)
-        bytes_w[i] = sum(
-            by_name[name].bytes_per_request * rps
-            for name, rps in class_rps.items()
-            if name in by_name
-        )
-        for name in class_names:
-            class_rps_w[name][i] = class_rps[name]
-
+    # Per-window reductions over the class axis, accumulated column by
+    # column so the summation order (and hence every bit) matches the
+    # scalar engines' Python sums over the class dicts.
+    total_rps_w = np.zeros(n_windows)
+    for k in range(class_rps.shape[1]):
+        total_rps_w += class_rps[:, k]
     total_rps = total_rps_w[window_pos]
-    cpu_scale = arrays.cpu_scale[flat_positions]
-    cpu_mult = arrays.version_cpu_multiplier[flat_positions]
-    phase = arrays.noise_phase[flat_positions]
+    observations: Dict[str, np.ndarray] = {}
 
-    # --- CPU ----------------------------------------------------------
-    cpu = noise.idle_cpu_pct + work_w[window_pos] * cpu_scale * cpu_mult
-    cpu = cpu + rng.normal(0.0, noise.idle_cpu_noise_pct, size=flat_count)
-    if noise.log_upload_period_windows > 0:
+    if gates.requests:
+        observations[Counter.REQUESTS.value] = total_rps
+
+    if noise.log_upload_period_windows > 0 and (gates.cpu or gates.disk):
+        phase = arrays.noise_phase[flat_positions]
         upload_active = (
             (flat_windows + phase) % noise.log_upload_period_windows
         ) < noise.log_upload_duration_windows
     else:
         upload_active = np.zeros(flat_count, dtype=bool)
-    cpu = cpu + noise.log_upload_cpu_pct * upload_active
-    cpu = cpu * rng.normal(1.0, profile.cpu_observation_noise, size=flat_count)
-    cpu = np.clip(cpu, 0.0, 100.0)
+
+    # --- CPU ----------------------------------------------------------
+    if gates.cpu:
+        cpu_costs = mix.cpu_costs
+        work_w = np.zeros(n_windows)
+        for k in range(class_rps.shape[1]):
+            work_w += cpu_costs[k] * class_rps[:, k]
+        cpu = (
+            noise.idle_cpu_pct
+            + work_w[window_pos] * arrays.cpu_scale_mult[flat_positions]
+        )
+        cpu = cpu + rng.normal(0.0, noise.idle_cpu_noise_pct, size=flat_count)
+        cpu = cpu + noise.log_upload_cpu_pct * upload_active
+        cpu = cpu * rng.normal(1.0, profile.cpu_observation_noise, size=flat_count)
+        cpu = np.clip(cpu, 0.0, 100.0)
+        utilization = cpu / 100.0
+        if gates.cpu_value:
+            observations[Counter.PROCESSOR_UTILIZATION.value] = cpu
 
     # --- Latency ------------------------------------------------------
-    model = profile.latency
-    utilization = cpu / 100.0
-    util_clamped = np.minimum(utilization, model.utilization_cap - 1e-6)
-    cold = model.cold_ms * np.exp(-total_rps / model.warmup_rps)
-    queue = model.queue_coeff_ms * util_clamped**2 / (1.0 - util_clamped)
-    p95 = (
-        model.base_ms
-        + arrays.latency_base_delta_ms[flat_positions]
-        + cold
-        + queue * arrays.latency_queue_multiplier[flat_positions]
-    )
-    p95 = p95 * rng.normal(1.0, profile.latency_observation_noise, size=flat_count)
-    p95 = np.maximum(p95, 0.1)
-    p50 = model.median_fraction * p95
+    if gates.p95:
+        model = profile.latency
+        util_clamped = np.minimum(utilization, model.utilization_cap - 1e-6)
+        # The cold-start term depends only on the window's total RPS:
+        # evaluate the exp per window and gather, not per online cell.
+        cold_w = model.cold_ms * np.exp(-total_rps_w / model.warmup_rps)
+        queue = model.queue_coeff_ms * util_clamped**2 / (1.0 - util_clamped)
+        p95 = (
+            model.base_ms
+            + arrays.latency_base_delta_ms[flat_positions]
+            + cold_w[window_pos]
+            + queue * arrays.latency_queue_multiplier[flat_positions]
+        )
+        p95 = p95 * rng.normal(
+            1.0, profile.latency_observation_noise, size=flat_count
+        )
+        p95 = np.maximum(p95, 0.1)
+        if gates.p95_value:
+            observations[Counter.LATENCY_P95.value] = p95
+        if gates.p50:
+            observations[Counter.LATENCY_P50.value] = model.median_fraction * p95
 
     # --- Network ------------------------------------------------------
-    bytes_total = bytes_w[window_pos] * rng.normal(1.0, 0.15, size=flat_count)
-    bytes_total = np.maximum(bytes_total, 0.0)
-    packets = bytes_total / _PACKET_BYTES
+    if gates.bytes:
+        bytes_coeffs = mix.bytes_per_request
+        bytes_w = np.zeros(n_windows)
+        for k in range(class_rps.shape[1]):
+            bytes_w += bytes_coeffs[k] * class_rps[:, k]
+        bytes_total = bytes_w[window_pos] * rng.normal(1.0, 0.15, size=flat_count)
+        bytes_total = np.maximum(bytes_total, 0.0)
+        if gates.bytes_value:
+            observations[Counter.NETWORK_BYTES_TOTAL.value] = bytes_total
+        if gates.packets:
+            observations[Counter.NETWORK_PACKETS.value] = bytes_total / _PACKET_BYTES
 
     # --- Disk and memory (background-dominated; Fig 2's bands) --------
-    disk_read = np.abs(rng.normal(0.0, noise.disk_noise_bytes, size=flat_count))
-    disk_read = disk_read + noise.log_upload_disk_bytes * upload_active
-    memory_pages = np.abs(
-        rng.normal(0.0, noise.memory_pages_noise, size=flat_count)
-    )
-    memory_pages = memory_pages + disk_read / 8e3 * rng.uniform(
-        0.5, 1.5, size=flat_count
-    )
-    disk_queue = np.maximum(
-        rng.normal(noise.disk_queue_mean, 1.0, size=flat_count), 0.0
-    )
+    if gates.disk:
+        disk_read = np.abs(
+            rng.normal(0.0, noise.disk_noise_bytes, size=flat_count)
+        )
+        disk_read = disk_read + noise.log_upload_disk_bytes * upload_active
+        if gates.disk_value:
+            observations[Counter.DISK_READ_BYTES.value] = disk_read
+    if gates.pages:
+        memory_pages = np.abs(
+            rng.normal(0.0, noise.memory_pages_noise, size=flat_count)
+        )
+        memory_pages = memory_pages + disk_read / 8e3 * rng.uniform(
+            0.5, 1.5, size=flat_count
+        )
+        observations[Counter.MEMORY_PAGES.value] = memory_pages
+    if gates.queue:
+        observations[Counter.DISK_QUEUE_LENGTH.value] = np.maximum(
+            rng.normal(noise.disk_queue_mean, 1.0, size=flat_count), 0.0
+        )
 
-    # --- Memory working set (leak accounting) -------------------------
-    # cumulative[w, s] = online windows of s in the block up to w incl.
-    cumulative = np.cumsum(online_mask, axis=0, dtype=np.int64)
+    # --- Memory working set (leak accounting; always advanced) --------
     leak = arrays.memory_leak_mb_per_window
-    emitted_ws = (
-        arrays.working_set_mb[flat_positions]
-        + leak[flat_positions] * cumulative[window_pos, flat_positions]
-    )
-    working_set = emitted_ws * 1e6
-    if n_windows:
-        arrays.working_set_mb += leak * cumulative[-1]
+    if gates.working_set:
+        # cumulative[w, s] = online windows of s in the block up to w
+        # inclusive; each emitted value reflects its own window.
+        cumulative = np.cumsum(online_mask, axis=0, dtype=np.int64)
+        emitted_ws = (
+            arrays.working_set_mb[flat_positions]
+            + leak[flat_positions] * cumulative[window_pos, flat_positions]
+        )
+        observations[Counter.MEMORY_WORKING_SET.value] = emitted_ws * 1e6
+        if n_windows:
+            arrays.working_set_mb += leak * cumulative[-1]
+    elif n_windows:
+        arrays.working_set_mb += leak * online_mask.sum(axis=0)
 
     # --- Errors -------------------------------------------------------
-    error_rate = np.where(
-        utilization > 0.9, (utilization - 0.9) * total_rps * 0.5, 0.0
-    )
-    errors = np.maximum(rng.normal(error_rate, 0.01), 0.0)
+    if gates.errors:
+        error_rate = np.where(
+            utilization > 0.9, (utilization - 0.9) * total_rps * 0.5, 0.0
+        )
+        observations[Counter.ERRORS.value] = np.maximum(
+            rng.normal(error_rate, 0.01), 0.0
+        )
 
-    observations: Dict[str, np.ndarray] = {
-        Counter.REQUESTS.value: total_rps,
-        Counter.PROCESSOR_UTILIZATION.value: cpu,
-        Counter.LATENCY_P95.value: p95,
-        Counter.LATENCY_P50.value: p50,
-        Counter.NETWORK_BYTES_TOTAL.value: bytes_total,
-        Counter.NETWORK_PACKETS.value: packets,
-        Counter.DISK_READ_BYTES.value: disk_read,
-        Counter.DISK_QUEUE_LENGTH.value: disk_queue,
-        Counter.MEMORY_PAGES.value: memory_pages,
-        Counter.MEMORY_WORKING_SET.value: working_set,
-        Counter.ERRORS.value: errors,
-    }
-    for name in class_names:
-        observations[workload_counter(name)] = class_rps_w[name][window_pos]
+    for k, name in enumerate(class_names):
+        name = workload_counter(name)
+        if counters is None or name in counters:
+            observations[name] = class_rps[window_pos, k]
     return flat_windows, flat_positions, observations

@@ -48,7 +48,8 @@ outages and surges — are the experimental controls of §II-B and §II-D.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from time import perf_counter
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -65,9 +66,10 @@ from repro.cluster.faults import (
     policy_online_mask_block,
 )
 from repro.cluster.server import ServerState, observe_pool, observe_pool_block
-from repro.telemetry.counters import Counter
+from repro.telemetry.counters import Counter, workload_counter
 from repro.telemetry.sharding import ShardedMetricStore
 from repro.telemetry.store import MetricStore
+from repro.workload.demand_engine import DemandEngine
 
 #: Anything the simulator can ingest into: a single store or a shard set.
 StoreLike = Union[MetricStore, ShardedMetricStore]
@@ -163,6 +165,18 @@ class Simulator:
             Tuple[str, str], Tuple[Tuple[str, ...], np.ndarray]
         ] = {}
         self._wanted_set: frozenset = frozenset()
+        #: Columnar demand engine: holds references to the (growing)
+        #: outage/surge lists, so events added mid-run are picked up.
+        self._demand_engine = DemandEngine(fleet, self._outages, self._surges)
+        #: Per-deployment cache of the emission counter set passed to
+        #: the observe functions (None = emit everything).
+        self._emit_cache: Dict[Tuple[str, str], Tuple[tuple, FrozenSet[str]]] = {}
+        #: Cumulative seconds per stage of the blocked engine
+        #: (demand tensor build / counter emission / store ingest);
+        #: per-window engines leave these at zero.
+        self.stage_seconds: Dict[str, float] = {
+            "demand": 0.0, "observe": 0.0, "ingest": 0.0,
+        }
         if self.config.apply_availability_policies:
             for deployment in fleet.deployments():
                 policy = policy_for_availability(
@@ -234,59 +248,25 @@ class Simulator:
     # Demand
     # ------------------------------------------------------------------
     def _outage_active(self, datacenter_id: str, window: int) -> bool:
-        return any(
-            o.datacenter_id == datacenter_id and o.active_at(window)
-            for o in self._outages
-        )
+        return self._demand_engine.outage_active(datacenter_id, window)
 
     def _surge_factor(self, pool_id: str, datacenter_id: str, window: int) -> float:
-        factor = 1.0
-        for surge in self._surges:
-            if surge.applies_to(pool_id, datacenter_id, window):
-                factor *= surge.factor
-        return factor
+        return self._demand_engine.surge_factor(pool_id, datacenter_id, window)
 
     def offered_demand(self, window: int) -> Dict[Tuple[str, str], float]:
         """Noise-free demand per (pool, datacenter) after failover.
 
         Base diurnal demand, scaled by surges, with failed datacenters'
         demand redistributed proportionally over survivors of the same
-        pool.
+        pool.  Literally the one-window slice of the columnar
+        :meth:`~repro.workload.demand_engine.DemandEngine.compute_demand_block`,
+        so the per-window and blocked engines share one demand code path
+        and can never drift apart.
         """
-        base: Dict[Tuple[str, str], float] = {}
-        for deployment in self.fleet.deployments():
-            demand = deployment.pattern.demand_at(window)
-            demand *= self._surge_factor(
-                deployment.pool_id, deployment.datacenter_id, window
-            )
-            base[(deployment.pool_id, deployment.datacenter_id)] = demand
-
-        for pool_id in self.fleet.pool_ids:
-            failed = [
-                dc
-                for (pid, dc) in base
-                if pid == pool_id and self._outage_active(dc, window)
-            ]
-            if not failed:
-                continue
-            survivors = [
-                dc
-                for (pid, dc) in base
-                if pid == pool_id and dc not in failed
-            ]
-            displaced = sum(base[(pool_id, dc)] for dc in failed)
-            for dc in failed:
-                base[(pool_id, dc)] = 0.0
-            if not survivors or displaced == 0.0:
-                continue
-            survivor_total = sum(base[(pool_id, dc)] for dc in survivors)
-            for dc in survivors:
-                if survivor_total > 0:
-                    share = base[(pool_id, dc)] / survivor_total
-                else:
-                    share = 1.0 / len(survivors)
-                base[(pool_id, dc)] += displaced * share
-        return base
+        block = self._demand_engine.compute_demand_block(
+            np.array([window], dtype=np.int64)
+        )
+        return block.row_dict(0)
 
     # ------------------------------------------------------------------
     # Server state
@@ -349,6 +329,31 @@ class Simulator:
             _WORKLOAD_PREFIX
         )
 
+    def _emit_counters(self, deployment: PoolDeployment) -> Optional[FrozenSet[str]]:
+        """The counter set the observe functions should emit (None = all).
+
+        The config's wanted counters plus, when request classes are
+        recorded, the deployment's per-class workload counters.  Cached
+        per deployment and revalidated against the config so mid-run
+        config edits take effect.
+        """
+        config = self.config
+        if not config.counters:
+            return None
+        key = (deployment.pool_id, deployment.datacenter_id)
+        marker = (config.counters, config.record_request_classes)
+        entry = self._emit_cache.get(key)
+        if entry is not None and entry[0] == marker:
+            return entry[1]
+        wanted = set(config.counters)
+        if config.record_request_classes:
+            wanted.update(
+                workload_counter(name) for name in deployment.mix.class_names
+            )
+        result = frozenset(wanted)
+        self._emit_cache[key] = (marker, result)
+        return result
+
     def _store_indices(
         self, deployment: PoolDeployment, server_ids: Tuple[str, ...]
     ) -> np.ndarray:
@@ -384,7 +389,8 @@ class Simulator:
                 name: volume / m for name, volume in class_volumes.items()
             }
             observations = observe_pool(
-                pool.profile, arrays, online, window, per_server_rps, self._rng
+                pool.profile, arrays, online, window, per_server_rps, self._rng,
+                self._emit_counters(deployment),
             )
             observations.pop(Counter.AVAILABILITY.value, None)
 
@@ -426,7 +432,14 @@ class Simulator:
     def _online_mask_block(
         self, deployment: PoolDeployment, windows: np.ndarray
     ) -> np.ndarray:
-        """(n_windows, n_servers) online grid; rows == :meth:`_online_mask`."""
+        """(n_windows, n_servers) online grid; rows == :meth:`_online_mask`.
+
+        Fully vectorized: policy grid, random-failure grid (one cached
+        day-draw lookup per distinct day) and per-window outage rows.
+        Failures are applied before outage rows are zeroed, which
+        commutes with the per-window order (an outage row is all-False
+        either way).
+        """
         n = deployment.pool.size
         policy = self._policies.get((deployment.pool_id, deployment.datacenter_id))
         if policy is not None:
@@ -434,12 +447,13 @@ class Simulator:
         else:
             mask = np.ones((windows.size, n), dtype=bool)
         failures = self.config.random_failures
-        for i, window in enumerate(windows):
-            window = int(window)
-            if self._outage_active(deployment.datacenter_id, window):
-                mask[i] = False
-            elif failures is not None:
-                mask[i] &= ~failures.failed_mask(n, window)
+        if failures is not None:
+            mask &= ~failures.failed_mask_block(n, windows)
+        out = self._demand_engine.outage_mask_block(
+            deployment.datacenter_id, windows
+        )
+        if out.any():
+            mask[out] = False
         return mask
 
     def _step_deployment_block(
@@ -448,11 +462,22 @@ class Simulator:
         windows: np.ndarray,
         base_demand: np.ndarray,
     ) -> None:
-        """Advance one deployment a whole block of windows at once."""
+        """Advance one deployment a whole block of windows at once.
+
+        Consumes one column of the block demand tensor: noisy totals,
+        then the ``(n_windows, n_classes)`` share matrix from
+        :meth:`~repro.workload.request_mix.RequestMix.shares_block` —
+        one jitter draw for the whole block, consuming the RNG stream
+        in the same order as the former per-window ``split_volume``
+        loop — divided by the online counts into the per-server RPS
+        matrix :func:`~repro.cluster.server.observe_pool_block` takes.
+        """
         pool = deployment.pool
         pool_id = deployment.pool_id
         dc_id = deployment.datacenter_id
         n_windows = int(windows.size)
+        stage = self.stage_seconds
+        t_start = perf_counter()
 
         # Noisy demand per window.  Draws are skipped for windows with
         # zero demand (or zero noise), matching the per-window engine's
@@ -468,24 +493,25 @@ class Simulator:
                 totals[active] *= self._rng.lognormal(
                     -0.5 * sigma**2, sigma, size=n_active
                 )
-        class_volumes = [
-            deployment.mix.split_volume(float(total), int(window), self._rng)
-            for window, total in zip(windows, totals)
-        ]
+        mix = deployment.mix
+        volumes = totals[:, None] * mix.shares_block(windows, self._rng)
+        t_demand = perf_counter()
 
         mask_block = self._online_mask_block(deployment, windows)
         counts = mask_block.sum(axis=1)
-        per_server_rps = [
-            {name: volume / m for name, volume in volumes.items()}
-            if m
-            else {name: 0.0 for name in volumes}
-            for volumes, m in zip(class_volumes, (int(c) for c in counts))
-        ]
+        per_server_rps = np.zeros_like(volumes)
+        np.divide(
+            volumes, counts[:, None], out=per_server_rps,
+            where=counts[:, None] > 0,
+        )
 
         arrays = pool.server_arrays()
         flat_windows, flat_positions, observations = observe_pool_block(
-            pool.profile, arrays, mask_block, windows, per_server_rps, self._rng
+            pool.profile, arrays, mask_block, windows,
+            mix.class_names, per_server_rps, self._rng,
+            self._emit_counters(deployment),
         )
+        t_observe = perf_counter()
 
         store = self.store
         indices = self._store_indices(deployment, arrays.server_ids)
@@ -506,17 +532,25 @@ class Simulator:
                     store.record_columns(
                         pool_id, dc_id, counter, flat_windows, flat_indices, values
                     )
+        t_ingest = perf_counter()
+        stage["demand"] += t_demand - t_start
+        stage["observe"] += t_observe - t_demand
+        stage["ingest"] += t_ingest - t_observe
 
     def _step_block(self, n_windows: int) -> None:
         """Simulate ``n_windows`` consecutive windows as one block."""
         windows = np.arange(
             self._window, self._window + n_windows, dtype=np.int64
         )
-        demands = [self.offered_demand(int(w)) for w in windows]
+        t_start = perf_counter()
+        block = self._demand_engine.compute_demand_block(windows)
+        self.stage_seconds["demand"] += perf_counter() - t_start
         for deployment in self.fleet.deployments():
-            key = (deployment.pool_id, deployment.datacenter_id)
-            base = np.array([demand[key] for demand in demands])
-            self._step_deployment_block(deployment, windows, base)
+            self._step_deployment_block(
+                deployment,
+                windows,
+                block.column(deployment.pool_id, deployment.datacenter_id),
+            )
         self._window += n_windows
 
     def _step_legacy(self, window: int, demand: Dict[Tuple[str, str], float]) -> None:

@@ -1,0 +1,279 @@
+"""Columnar demand engine: blocks of offered demand as one tensor pass.
+
+PRs 1-5 made telemetry *emission* columnar; demand generation stayed
+per-window Python — every window re-scanned all surge/outage events and
+rebuilt per-deployment dicts.  This module computes the offered demand
+of a whole block of windows as dense arrays:
+
+* the diurnal curves are evaluated on the window vector
+  (:meth:`~repro.workload.diurnal.DiurnalPattern.demand_block`);
+* surge factors come from per-``(pool, datacenter)`` interval lists
+  precomputed once per event-set, multiplied in event order;
+* outage failover is a masked, row-normalised redistribution per pool
+  over the ``(n_windows, n_deployments)`` base matrix.
+
+The same precomputed intervals back the *scalar* ``surge_factor`` /
+``outage_active`` lookups, so the per-window engines stop scanning the
+full event list each window too.
+
+Every array expression mirrors the original per-window scalar code term
+for term, and reductions are per-row (window-count independent), so a
+one-window block equals the old per-window computation float-for-float
+— the simulator's ``offered_demand`` is now literally the one-window
+slice of :meth:`DemandEngine.compute_demand_block`, which makes the
+per-window and blocked demand paths identical by construction.
+
+Pure workload-layer module: the fleet, outage and surge objects are
+duck-typed (``deployments()``, ``pattern``, ``datacenter_id``,
+``start_window`` …) to keep the dependency direction cluster -> workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: One deployment's identity: (pool_id, datacenter_id).
+DeploymentKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class DemandBlock:
+    """Noise-free offered demand for a block of windows.
+
+    ``base[i, j]`` is the post-surge, post-failover demand of deployment
+    ``keys[j]`` at ``windows[i]`` — the blocked equivalent of one
+    ``Simulator.offered_demand`` dict per window.
+    """
+
+    windows: np.ndarray
+    keys: Tuple[DeploymentKey, ...]
+    base: np.ndarray
+    _columns: Dict[DeploymentKey, int]
+
+    def column(self, pool_id: str, datacenter_id: str) -> np.ndarray:
+        """The per-window demand vector of one deployment."""
+        return self.base[:, self._columns[(pool_id, datacenter_id)]]
+
+    def row_dict(self, i: int = 0) -> Dict[DeploymentKey, float]:
+        """Row ``i`` in the legacy dict form (per-window engines)."""
+        row = self.base[i]
+        return {key: float(row[j]) for j, key in enumerate(self.keys)}
+
+
+class DemandEngine:
+    """Computes offered demand in blocks for one fleet + event set.
+
+    Owns lazily-rebuilt interval caches over the simulator's (growing)
+    outage and surge lists: per datacenter the ``(start, end)`` outage
+    intervals, per ``(pool, datacenter)`` the ``(start, end, factor)``
+    surge intervals.  The caches are invalidated whenever the event
+    lists grow, so ``add_outage``/``add_surge`` mid-run just work.
+    """
+
+    def __init__(self, fleet, outages: Sequence, surges: Sequence) -> None:
+        self._fleet = fleet
+        self._outages = outages
+        self._surges = surges
+        self._version: Tuple[int, int] = (-1, -1)
+        self._outage_intervals: Dict[str, List[Tuple[int, int]]] = {}
+        self._surge_intervals: Dict[DeploymentKey, List[Tuple[int, int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Interval caches
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        version = (len(self._outages), len(self._surges))
+        if version == self._version:
+            return
+        outage_intervals: Dict[str, List[Tuple[int, int]]] = {}
+        for outage in self._outages:
+            outage_intervals.setdefault(outage.datacenter_id, []).append(
+                (outage.start_window, outage.start_window + outage.duration_windows)
+            )
+        # Surges are keyed per deployment so lookups never filter; a
+        # pool_id=None surge lands in every pool's interval list for its
+        # datacenter.  List order == add order == the factor multiply
+        # order of the original per-window scan.
+        surge_intervals: Dict[DeploymentKey, List[Tuple[int, int, float]]] = {}
+        for deployment in self._fleet.deployments():
+            key = (deployment.pool_id, deployment.datacenter_id)
+            intervals = [
+                (surge.start_window, surge.start_window + surge.duration_windows,
+                 surge.factor)
+                for surge in self._surges
+                if surge.datacenter_id == key[1]
+                and (surge.pool_id is None or surge.pool_id == key[0])
+            ]
+            if intervals:
+                surge_intervals[key] = intervals
+        self._outage_intervals = outage_intervals
+        self._surge_intervals = surge_intervals
+        self._version = version
+
+    # ------------------------------------------------------------------
+    # Scalar lookups (per-window engines)
+    # ------------------------------------------------------------------
+    def outage_active(self, datacenter_id: str, window: int) -> bool:
+        """Whether any outage covers ``datacenter_id`` at ``window``."""
+        self._refresh()
+        intervals = self._outage_intervals.get(datacenter_id)
+        if not intervals:
+            return False
+        return any(start <= window < end for start, end in intervals)
+
+    def surge_factor(self, pool_id: str, datacenter_id: str, window: int) -> float:
+        """Combined surge multiplier for one deployment at one window."""
+        self._refresh()
+        intervals = self._surge_intervals.get((pool_id, datacenter_id))
+        factor = 1.0
+        if intervals:
+            for start, end, surge_factor in intervals:
+                if start <= window < end:
+                    factor *= surge_factor
+        return factor
+
+    # ------------------------------------------------------------------
+    # Blocked lookups
+    # ------------------------------------------------------------------
+    def outage_mask_block(
+        self, datacenter_id: str, windows: np.ndarray
+    ) -> np.ndarray:
+        """Boolean per-window outage mask for one datacenter."""
+        self._refresh()
+        windows = np.asarray(windows, dtype=np.int64)
+        mask = np.zeros(windows.size, dtype=bool)
+        for start, end in self._outage_intervals.get(datacenter_id, ()):
+            mask |= (windows >= start) & (windows < end)
+        return mask
+
+    def surge_factor_block(
+        self, pool_id: str, datacenter_id: str, windows: np.ndarray
+    ) -> np.ndarray:
+        """Per-window surge multiplier vector for one deployment.
+
+        Factors multiply in event-list order, exactly as the scalar
+        per-window scan multiplied them.
+        """
+        self._refresh()
+        windows = np.asarray(windows, dtype=np.int64)
+        factors = np.ones(windows.size)
+        for start, end, factor in self._surge_intervals.get(
+            (pool_id, datacenter_id), ()
+        ):
+            factors[(windows >= start) & (windows < end)] *= factor
+        return factors
+
+    # ------------------------------------------------------------------
+    # The block tensor
+    # ------------------------------------------------------------------
+    def compute_demand_block(self, windows: np.ndarray) -> DemandBlock:
+        """Noise-free offered demand for every deployment and window.
+
+        Diurnal curve on the window vector, surge factors from the
+        interval cache, then per-pool outage failover as a masked
+        row-normalised redistribution.  Row ``i`` equals the old scalar
+        ``offered_demand(windows[i])`` float-for-float: all reductions
+        run along the deployment axis (window-count independent), and
+        adding a survivor share of zero is an IEEE no-op for the
+        non-negative demands involved.
+        """
+        self._refresh()
+        windows = np.asarray(windows, dtype=np.int64)
+        n_windows = windows.size
+
+        deployments = list(self._fleet.deployments())
+        keys: List[DeploymentKey] = []
+        columns: List[np.ndarray] = []
+        pool_columns: Dict[str, List[int]] = {}
+        for j, deployment in enumerate(deployments):
+            key = (deployment.pool_id, deployment.datacenter_id)
+            pattern = deployment.pattern
+            demand_block = getattr(pattern, "demand_block", None)
+            if demand_block is not None:
+                demand = np.array(demand_block(windows), dtype=float)
+            else:
+                # Duck-typed patterns (trace replay, ramps) only expose
+                # the scalar demand_at.
+                demand = np.array(
+                    [float(pattern.demand_at(int(w))) for w in windows]
+                )
+            surge_intervals = self._surge_intervals.get(key)
+            if surge_intervals:
+                demand *= self.surge_factor_block(key[0], key[1], windows)
+            keys.append(key)
+            columns.append(demand)
+            pool_columns.setdefault(deployment.pool_id, []).append(j)
+
+        base = (
+            np.stack(columns, axis=1)
+            if columns
+            else np.zeros((n_windows, 0))
+        )
+
+        if self._outage_intervals:
+            self._apply_failover(base, windows, keys, pool_columns)
+
+        return DemandBlock(
+            windows=windows,
+            keys=tuple(keys),
+            base=base,
+            _columns={key: j for j, key in enumerate(keys)},
+        )
+
+    def _apply_failover(
+        self,
+        base: np.ndarray,
+        windows: np.ndarray,
+        keys: Sequence[DeploymentKey],
+        pool_columns: Dict[str, List[int]],
+    ) -> None:
+        """Redistribute failed datacenters' demand within each pool.
+
+        Vector transcription of the scalar failover loop: failed
+        deployments drop to zero; their summed demand is split across
+        the pool's surviving datacenters proportionally to the
+        survivors' own demand, or evenly when the survivor total is
+        zero; with no survivors (or nothing displaced) the demand is
+        simply lost.
+        """
+        no_outage = np.zeros(windows.size, dtype=bool)
+        outage_masks = {
+            dc_id: self.outage_mask_block(dc_id, windows)
+            for dc_id in self._outage_intervals
+        }
+        for cols in pool_columns.values():
+            failed = np.stack(
+                [outage_masks.get(keys[j][1], no_outage) for j in cols],
+                axis=1,
+            )
+            if not failed.any():
+                continue
+            sub = base[:, cols]
+            displaced = np.where(failed, sub, 0.0).sum(axis=1)
+            survivor_vals = np.where(failed, 0.0, sub)
+            survivor_total = survivor_vals.sum(axis=1)
+            n_survivors = (~failed).sum(axis=1)
+
+            share = np.zeros_like(sub)
+            positive = survivor_total > 0.0
+            np.divide(
+                survivor_vals,
+                survivor_total[:, None],
+                out=share,
+                where=positive[:, None],
+            )
+            even = (~positive) & (n_survivors > 0)
+            if even.any():
+                even_share = np.where(
+                    even[:, None] & ~failed,
+                    1.0 / np.maximum(n_survivors, 1)[:, None],
+                    0.0,
+                )
+                share = np.where(even[:, None] & ~failed, even_share, share)
+
+            redistribute = (displaced > 0.0)[:, None] & ~failed
+            added = np.where(redistribute, displaced[:, None] * share, 0.0)
+            base[:, cols] = np.where(failed, 0.0, sub + added)

@@ -89,13 +89,37 @@ class DiurnalPattern:
         growth = 1.0 + self.weekly_growth * week
         return max(self.base_rps * shape * growth, 0.0)
 
+    def demand_block(self, windows: np.ndarray) -> np.ndarray:
+        """Vector of :meth:`demand_at` over an arbitrary window array.
+
+        The blocked demand engine's entry point: one evaluation of the
+        diurnal curve per window, as array expressions.  Every operation
+        mirrors :meth:`demand_at` term for term (and ``np.cos`` agrees
+        bitwise with ``math.cos``), so each element equals the scalar
+        evaluation float-for-float — the property the block=1
+        bit-identity guarantee of the simulator rests on.
+        """
+        windows = np.asarray(windows, dtype=np.int64)
+        day_fraction = (windows % WINDOWS_PER_DAY) / WINDOWS_PER_DAY
+        local_hour = (day_fraction * 24.0 + self.timezone_offset_hours) % 24.0
+        phase = 2.0 * math.pi * (local_hour - self.peak_hour_local) / 24.0
+        shape = (
+            1.0
+            + self.daily_amplitude * np.cos(phase)
+            + self.second_harmonic * np.cos(2.0 * phase + 0.7)
+        )
+        day_of_week = (windows // WINDOWS_PER_DAY) % 7
+        shape = np.where(day_of_week >= 5, shape * self.weekend_factor, shape)
+        week = windows / WINDOWS_PER_WEEK
+        growth = 1.0 + self.weekly_growth * week
+        return np.maximum(self.base_rps * shape * growth, 0.0)
+
     def demand_series(self, n_windows: int, start_window: int = 0) -> np.ndarray:
         """Vector of demand over ``n_windows`` consecutive windows."""
         if n_windows < 0:
             raise ValueError("n_windows must be non-negative")
-        return np.array(
-            [self.demand_at(w) for w in range(start_window, start_window + n_windows)],
-            dtype=float,
+        return self.demand_block(
+            np.arange(start_window, start_window + n_windows, dtype=np.int64)
         )
 
     def daily_peak(self) -> float:

@@ -13,9 +13,17 @@ per-class counters restore the linear relationship.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def _frozen_array(values: Sequence[float], dtype=float) -> np.ndarray:
+    """An immutable ndarray for per-mix constants shared across calls."""
+    array = np.asarray(values, dtype=dtype)
+    array.setflags(write=False)
+    return array
 
 
 @dataclass(frozen=True)
@@ -82,6 +90,45 @@ class RequestMix:
     def class_names(self) -> Tuple[str, ...]:
         return tuple(c.name for c in self.classes)
 
+    # ------------------------------------------------------------------
+    # Per-mix constants, computed once and shared by every call.
+    # ``cached_property`` stores into the instance ``__dict__`` directly,
+    # which works on a frozen dataclass; the arrays are marked read-only
+    # because ``shares_at``/``shares_block`` hand them out as-is on the
+    # drift-free fast path.
+    # ------------------------------------------------------------------
+    @cached_property
+    def proportions_array(self) -> np.ndarray:
+        """Baseline proportions as an immutable float vector."""
+        return _frozen_array(self.proportions)
+
+    @cached_property
+    def cpu_costs(self) -> np.ndarray:
+        """Per-class ``cpu_cost`` in class order (immutable)."""
+        return _frozen_array([c.cpu_cost for c in self.classes])
+
+    @cached_property
+    def bytes_per_request(self) -> np.ndarray:
+        """Per-class ``bytes_per_request`` in class order (immutable)."""
+        return _frozen_array([c.bytes_per_request for c in self.classes])
+
+    @cached_property
+    def latency_weights(self) -> np.ndarray:
+        """Per-class ``latency_weight`` in class order (immutable)."""
+        return _frozen_array([c.latency_weight for c in self.classes])
+
+    @cached_property
+    def _drift_phases(self) -> np.ndarray:
+        return _frozen_array(np.arange(len(self.classes)) * 2.3)
+
+    @cached_property
+    def _drift_periods(self) -> np.ndarray:
+        return _frozen_array(700.0 + 180.0 * np.arange(len(self.classes)))
+
+    @cached_property
+    def _by_name(self) -> Dict[str, RequestClass]:
+        return {c.name: c for c in self.classes}
+
     def mean_cpu_cost(self) -> float:
         """Expected CPU cost per request under the baseline proportions."""
         return float(
@@ -98,18 +145,47 @@ class RequestMix:
         The drift is deterministic in ``window`` (plus optional jitter)
         so traces remain reproducible under a fixed seed.
         """
-        base = np.asarray(self.proportions, dtype=float)
+        base = self.proportions_array
         if self.drift == 0.0 or base.size == 1:
             return base
         # Each class share oscillates with its own period; shares are
         # renormalised so they remain a distribution.
-        phases = np.arange(base.size) * 2.3
-        periods = 700.0 + 180.0 * np.arange(base.size)
-        wobble = self.drift * np.sin(2.0 * np.pi * window / periods + phases)
+        wobble = self.drift * np.sin(
+            2.0 * np.pi * window / self._drift_periods + self._drift_phases
+        )
         shares = np.clip(base * (1.0 + wobble), 1e-6, None)
         if rng is not None:
             shares *= rng.uniform(0.97, 1.03, size=shares.size)
         return shares / shares.sum()
+
+    def shares_block(
+        self,
+        windows: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """(n_windows, n_classes) class-share matrix for a window block.
+
+        Row ``i`` equals ``shares_at(windows[i], rng)`` float-for-float:
+        the sinusoidal drift is evaluated on the whole window vector at
+        once, and the jitter is one ``rng.uniform`` call for the whole
+        block, which consumes the generator stream in exactly the order
+        the per-window calls would (row-major, one row per window) —
+        the property that keeps block=1 simulation bit-identical to
+        per-window stepping.  Drift-free (or single-class) mixes draw
+        nothing, like :meth:`shares_at`.
+        """
+        windows = np.asarray(windows, dtype=np.int64)
+        base = self.proportions_array
+        if self.drift == 0.0 or base.size == 1:
+            return np.broadcast_to(base, (windows.size, base.size))
+        wobble = self.drift * np.sin(
+            2.0 * np.pi * windows[:, None] / self._drift_periods
+            + self._drift_phases
+        )
+        shares = np.clip(base * (1.0 + wobble), 1e-6, None)
+        if rng is not None:
+            shares *= rng.uniform(0.97, 1.03, size=shares.shape)
+        return shares / shares.sum(axis=1, keepdims=True)
 
     def split_volume(
         self,
@@ -126,7 +202,7 @@ class RequestMix:
 
     def cpu_for(self, class_rps: Dict[str, float]) -> float:
         """Ground-truth CPU (percentage points) for a per-class volume."""
-        by_name = {c.name: c for c in self.classes}
+        by_name = self._by_name
         total = 0.0
         for name, rps in class_rps.items():
             if name not in by_name:

@@ -234,8 +234,14 @@ class TestBlockedEquivalence:
             SimulationConfig(block_windows=0)
 
 
+@pytest.mark.legacy
 class TestLegacyEquivalence:
-    """The seed per-server engine agrees with the columnar engine."""
+    """The seed per-server engine agrees with the columnar engine.
+
+    Opt-in (``pytest -m legacy``): the legacy engine runs ~35 windows/s,
+    so these 720-window baselines cost more than the rest of the suite
+    combined and are excluded from the default tier-1 run.
+    """
 
     @pytest.fixture(scope="class")
     def stores(self):

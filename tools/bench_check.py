@@ -1,0 +1,95 @@
+"""Guard: the committed benchmark JSON covers every engine and backend.
+
+``make test`` runs this before pytest, so a new simulation engine
+(:data:`repro.cluster.simulation.ENGINES`) or shard backend
+(:data:`repro.telemetry.sharding.BACKENDS`) cannot land without a row
+in ``BENCH_sim_throughput.json`` pricing it — the perf trajectory
+stays complete by construction instead of by reviewer vigilance.
+
+The engine and backend lists are imported from the code, not repeated
+here: adding ``"gpu"`` to ``ENGINES`` makes this check fail until
+``make bench`` regenerates the JSON with a ``gpu`` row.
+
+Usage: ``python tools/bench_check.py [path-to-json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster.simulation import ENGINES  # noqa: E402
+from repro.telemetry.sharding import BACKENDS  # noqa: E402
+
+DEFAULT_PATH = REPO_ROOT / "BENCH_sim_throughput.json"
+
+#: Stage keys every benchmark row must break its elapsed time into.
+STAGE_KEYS = ("demand", "observe", "ingest")
+
+
+def check(path: Path) -> List[str]:
+    """Every engine, every backend, and stage breakdowns: return errors."""
+    if not path.exists():
+        return [f"{path.name} missing — run `make bench` to generate it"]
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path.name} is not valid JSON: {exc}"]
+
+    errors: List[str] = []
+    configs = data.get("configs", [])
+    engine_rows = [
+        row
+        for row in (data.get("batch"), data.get("legacy"), data.get("per_sample"))
+        if row
+    ] + configs
+
+    engines_priced = {row.get("engine") for row in engine_rows}
+    for engine in ENGINES:
+        if engine not in engines_priced:
+            errors.append(
+                f"no benchmark row for engine {engine!r} "
+                f"(have: {sorted(engines_priced)})"
+            )
+
+    backends_priced = {row.get("backend") for row in configs}
+    for backend in BACKENDS:
+        if backend not in backends_priced:
+            errors.append(
+                f"no sweep row for shard backend {backend!r} "
+                f"(have: {sorted(backends_priced)})"
+            )
+
+    for row in engine_rows:
+        stages = row.get("stages")
+        if not isinstance(stages, dict) or set(stages) != set(STAGE_KEYS):
+            errors.append(
+                f"row engine={row.get('engine')!r} "
+                f"backend={row.get('backend')!r} lacks a "
+                f"{'/'.join(STAGE_KEYS)} stage breakdown — regenerate "
+                f"with `make bench`"
+            )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    errors = check(path)
+    if errors:
+        for error in errors:
+            print(f"bench-check: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"bench-check: {path.name} covers engines {list(ENGINES)} "
+        f"and backends {list(BACKENDS)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
