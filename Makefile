@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-backends bench-tcp bench-check docs-check check
+.PHONY: test test-faults bench bench-smoke bench-backends bench-tcp bench-check docs-check check
 
 # docs-check and bench-check run first so doc drift and a stale
 # benchmark JSON fail tier-1 locally, before the (slower) pytest pass
@@ -12,6 +12,12 @@ export PYTHONPATH := src
 # (`pytest -m legacy`); see pytest.ini.
 test: docs-check bench-check
 	$(PYTHON) -m pytest -x -q
+
+# The fault-tolerance suite on its own: kill -9 against real
+# shard-server subprocesses, restart/rejoin resync round-trips, and
+# the injected-fault matrix (all of it also rides in `make test`).
+test-faults:
+	$(PYTHON) -m pytest tests/test_fault_tolerance.py -q
 
 # Fast sanity pass over the throughput benchmark (small fleet, no JSON).
 bench-smoke:

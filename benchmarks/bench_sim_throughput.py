@@ -86,6 +86,12 @@ CONFIGS = (
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "tcp",
      "pipeline_depth": 0, "binary_frames": False},  # the PR 4 wire
     {"shards": 4, "workers": 1, "block_windows": 64, "backend": "tcp"},
+    # Replicated tcp: every ingest frame is mirrored to a replica
+    # session on a second shard-server subprocess — the steady-state
+    # price of surviving a primary's death (tools/bench_check.py
+    # requires this row).
+    {"shards": 4, "workers": 1, "block_windows": 64, "backend": "tcp",
+     "replicas": 1},
 )
 
 #: The small backend comparison behind ``make bench-backends``
@@ -149,14 +155,15 @@ def _measure(
     shard_addrs: Optional[list] = None,
     pipeline_depth: Optional[int] = None,
     binary_frames: bool = True,
+    replicas: int = 0,
+    replica_addrs: Optional[list] = None,
 ) -> dict:
     if backend == "tcp" and shard_addrs is None:
-        # tcp rows own their server subprocess unless handed addresses.
+        # tcp rows own their server subprocess unless handed addresses;
+        # a replicated row gets a second subprocess for the replica
+        # sessions, so the mirror crosses a real process boundary too.
         with _loopback_shard_server(max_sessions=shards) as address:
-            return _measure(
-                engine,
-                n_windows,
-                servers,
+            kwargs = dict(
                 shards=shards,
                 workers=workers,
                 block_windows=block_windows,
@@ -164,13 +171,28 @@ def _measure(
                 shard_addrs=[address] * shards,
                 pipeline_depth=pipeline_depth,
                 binary_frames=binary_frames,
+                replicas=replicas,
             )
+            if replicas:
+                with _loopback_shard_server(
+                    max_sessions=shards * replicas
+                ) as replica_address:
+                    return _measure(
+                        engine, n_windows, servers,
+                        replica_addrs=[
+                            [replica_address] * replicas
+                        ] * shards,
+                        **kwargs,
+                    )
+            return _measure(engine, n_windows, servers, **kwargs)
     fleet = build_single_pool_fleet(
         "B", n_datacenters=1, servers_per_deployment=servers, seed=29
     )
     store_kwargs = {}
     if pipeline_depth is not None:
         store_kwargs["pipeline_depth"] = pipeline_depth
+    if replica_addrs is not None:
+        store_kwargs["replica_addrs"] = replica_addrs
     store = (
         ShardedMetricStore(
             n_shards=shards,
@@ -217,6 +239,9 @@ def _measure(
             if store is not None and store.backend == "tcp"
             else "n/a"
         ),
+        # Replica sessions mirrored per shard (tcp only); the
+        # replicated-tcp row prices the fan-out's ingest cost.
+        "replicas": replicas,
         "elapsed_s": elapsed,
         "samples": samples,
         "windows_per_sec": n_windows / elapsed,
@@ -339,6 +364,8 @@ def _config_label(entry: dict) -> str:
             f" wire={entry.get('wire', 'pickle')}"
             f" pipeline={entry.get('pipeline_depth', 0)}"
         )
+        if entry.get("replicas"):
+            label += f" replicas={entry['replicas']}"
     return label
 
 

@@ -54,10 +54,10 @@ def _nonnegative_int(text: str) -> int:
 def _check_distributed_flags(args: argparse.Namespace):
     """Validate the tcp/addrs flag combination before any work starts.
 
-    Returns the parsed address list (``None`` when not distributed) or
-    raises ``ValueError`` with a usage-style message — the flag
-    mistakes below must fail in argument validation, not as a late
-    crash deep in fleet build or store construction.
+    Returns ``(shard_addrs, replica_addrs, fault_spec)`` (each ``None``
+    when not used) or raises ``ValueError`` with a usage-style message
+    — the flag mistakes below must fail in argument validation, not as
+    a late crash deep in fleet build or store construction.
     """
     shard_addrs = (
         [addr.strip() for addr in args.shard_addrs.split(",") if addr.strip()]
@@ -76,14 +76,40 @@ def _check_distributed_flags(args: argparse.Namespace):
 
         for address in shard_addrs:
             parse_address(address)  # ValueError names the bad input
-    return shard_addrs
+    replica_addrs = None
+    if args.replica_addrs is not None:
+        if args.shard_backend != "tcp":
+            raise ValueError("--replica-addrs requires --shard-backend tcp")
+        # Keep empty entries: "a,,b" replicates shards 0 and 2 only.
+        replica_addrs = [
+            addr.strip() or None for addr in args.replica_addrs.split(",")
+        ]
+        if len(replica_addrs) != len(shard_addrs):
+            raise ValueError(
+                f"--replica-addrs must list one address per shard "
+                f"(got {len(replica_addrs)}, have {len(shard_addrs)} "
+                f"shards); leave an entry empty to skip a shard"
+            )
+        from repro.telemetry.transport import parse_address
+
+        for address in replica_addrs:
+            if address is not None:
+                parse_address(address)
+    fault_spec = None
+    if args.inject_fault is not None:
+        if args.shard_backend != "tcp":
+            raise ValueError("--inject-fault requires --shard-backend tcp")
+        from repro.telemetry.faultinject import parse_fault_spec
+
+        fault_spec = parse_fault_spec(args.inject_fault)
+    return shard_addrs, replica_addrs, fault_spec
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import time
 
     try:
-        shard_addrs = _check_distributed_flags(args)
+        shard_addrs, replica_addrs, fault_spec = _check_distributed_flags(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -109,6 +135,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 connect_timeout=args.connect_timeout,
                 pipeline_depth=args.pipeline_depth,
                 io_timeout=args.io_timeout,
+                replica_addrs=replica_addrs,
             )
             store_desc = (
                 f"{store.n_shards}-shard store "
@@ -116,9 +143,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
             if shard_addrs is not None:
                 store_desc += f" at {','.join(shard_addrs)}"
+            if replica_addrs is not None:
+                replicated = sum(1 for addr in replica_addrs if addr)
+                store_desc += f", {replicated} shard(s) replicated"
         else:
             store = MetricStore()
             store_desc = "single store"
+        if fault_spec is not None:
+            from repro.telemetry.faultinject import inject_store
+
+            inject_store(store, fault_spec)
+            print(
+                f"fault injection armed: {fault_spec.mode!r} on shard "
+                f"{fault_spec.shard} after {fault_spec.after_frames} "
+                f"frame(s)",
+                file=sys.stderr,
+            )
     except (ValueError, ConnectionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -293,6 +333,23 @@ def build_parser() -> argparse.ArgumentParser:
              "--shard-backend tcp (one session = one shard; repeating an "
              "address hosts several shards on that server); overrides "
              "--shards with the address count",
+    )
+    simulate.add_argument(
+        "--replica-addrs", default=None, metavar="HOST:PORT,...",
+        help="comma-separated replica shard-server addresses aligned "
+             "with --shard-addrs (one per shard; leave an entry empty "
+             "to skip that shard).  Every ingest frame is mirrored to "
+             "the replica, and a dead or hung primary fails over to it "
+             "with bit-identical results (--shard-backend tcp only)",
+    )
+    simulate.add_argument(
+        "--inject-fault", default=None, metavar="MODE[:AFTER]",
+        help="debugging aid: break shard 0's primary connection on "
+             "purpose after AFTER outgoing frames (default 0).  MODE "
+             "is delay, drop, hang, corrupt or kill; with "
+             "--replica-addrs the run completes via failover, without "
+             "it the run fails with the named per-shard error "
+             "(--shard-backend tcp only)",
     )
     simulate.add_argument(
         "--connect-timeout", type=float, default=5.0, metavar="SECONDS",

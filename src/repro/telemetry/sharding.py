@@ -66,6 +66,8 @@ proven by ``tests/test_sharded_store.py`` and
 
 from __future__ import annotations
 
+import pickle
+import tempfile
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
@@ -82,6 +84,7 @@ from repro.telemetry.transport import (
 from repro.telemetry.workers import (
     DEFAULT_FLUSH_ROWS,
     DEFAULT_PIPELINE_DEPTH,
+    ReplicatedShardClient,
     ShardClient,
     ShardWorker,
     TcpShardClient,
@@ -104,10 +107,121 @@ BACKENDS = ("serial", "threads", "processes", "tcp")
 _REMOTE_BACKENDS = ("processes", "tcp")
 
 #: A shard handle: a local store or a remote-shard client proxy
-#: (worker process or TCP session).  Both expose the same ingest/query
-#: surface, which is what lets the facade treat "where does this shard
-#: live" as a construction detail.
-Shard = Union[MetricStore, ShardClient]
+#: (worker process, TCP session, or replicated TCP group).  All expose
+#: the same ingest/query surface, which is what lets the facade treat
+#: "where does this shard live" as a construction detail.
+Shard = Union[MetricStore, ShardClient, ReplicatedShardClient]
+
+
+class ShardJournal:
+    """Replayable log of one shard's ingest commands, spillable to disk.
+
+    The raw material of :meth:`ShardedMetricStore.rejoin_shard`: every
+    ingest command the facade dispatches to a shard is also appended
+    here, so a restarted shard server can be replayed back to the
+    exact pre-crash store state (commands re-run in the original
+    order produce bit-identical tables).
+
+    Memory is bounded: commands are journaled *by reference* (stores
+    never mutate ingested columns, so no copy is needed), and once
+    ``memory_rows`` rows are buffered the batch is pickled to an
+    anonymous temp file and the references dropped — the journal's
+    steady-state memory is one batch, however long the run.
+    ``replay`` streams spilled batches back from disk first, then the
+    still-buffered tail, in exact append order.
+
+    Single-owner, like the facade's ingest path; not thread-safe.
+    """
+
+    def __init__(self, memory_rows: int) -> None:
+        if memory_rows < 1:
+            raise ValueError("memory_rows must be >= 1")
+        self._memory_rows = memory_rows
+        self._commands: List[Tuple[str, tuple]] = []
+        self._rows = 0
+        self._spill = None
+        #: How many batches went to disk (observable spill behaviour,
+        #: asserted by the fault-tolerance tests).
+        self.spilled_batches = 0
+
+    def append(self, method: str, args: tuple, n_rows: int) -> None:
+        self._commands.append((method, args))
+        self._rows += n_rows
+        if self._rows >= self._memory_rows:
+            self._spill_buffer()
+
+    def _spill_buffer(self) -> None:
+        if self._spill is None:
+            self._spill = tempfile.TemporaryFile(prefix="shard-journal-")
+        pickle.dump(
+            self._commands, self._spill, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._commands = []
+        self._rows = 0
+        self.spilled_batches += 1
+
+    def replay(self) -> Iterator[Tuple[str, tuple]]:
+        """Yield every journaled ``(method, args)`` in append order.
+
+        Consume fully before appending again: replay rewinds the spill
+        file and seeks back to the end only once exhausted.
+        """
+        if self._spill is not None:
+            self._spill.flush()
+            self._spill.seek(0)
+            while True:
+                try:
+                    batch = pickle.load(self._spill)
+                except EOFError:
+                    break
+                yield from batch
+            self._spill.seek(0, 2)
+        yield from list(self._commands)
+
+    def close(self) -> None:
+        """Drop the buffer and delete the spill file; idempotent."""
+        if self._spill is not None:
+            try:
+                self._spill.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+            self._spill = None
+        self._commands = []
+        self._rows = 0
+
+
+def _shard_member_addresses(
+    shard_addrs: Sequence[str],
+    replica_addrs: Optional[Sequence],
+) -> List[Tuple[str, ...]]:
+    """Resolve the tcp topology: per shard, (primary, *replicas).
+
+    ``replica_addrs`` must align with ``shard_addrs`` when given; each
+    entry is one ``host:port``, a sequence of them, or ``None``/``""``
+    for an un-replicated shard.  Every address is parse-validated here,
+    before anything is dialled.
+    """
+    if replica_addrs is not None and len(replica_addrs) != len(shard_addrs):
+        raise ValueError(
+            f"replica_addrs must align with shard_addrs "
+            f"({len(replica_addrs)} != {len(shard_addrs)})"
+        )
+    members: List[Tuple[str, ...]] = []
+    for shard_id, address in enumerate(shard_addrs):
+        parse_address(address)
+        addresses = [address]
+        if replica_addrs is not None:
+            entry = replica_addrs[shard_id]
+            replicas = (
+                []
+                if entry is None or entry == ""
+                else [entry] if isinstance(entry, str) else list(entry)
+            )
+            for replica in replicas:
+                parse_address(replica)
+            addresses.extend(replicas)
+        members.append(tuple(addresses))
+    return members
 
 
 class ShardedMetricStore:
@@ -175,6 +289,25 @@ class ShardedMetricStore:
         to each shard server (used when the peer advertises it; a PR 4
         server transparently keeps receiving pickle frames).  False
         forces pickle framing for benchmarking or debugging.
+    replica_addrs:
+        TCP backend only: replica addresses aligned with
+        ``shard_addrs`` — entry *i* is the replica (a ``host:port``
+        string) or replica set (a sequence of them) mirroring shard
+        *i*; ``None`` or ``""`` entries leave that shard
+        un-replicated.  Every ingest frame fans out to the whole
+        member set, so when a primary dies or hangs (the per-shard
+        timeout/EOF errors) queries and further ingest fail over to a
+        live replica with **bit-identical** results — replicas
+        consumed identical coalesced frames, so failover is invisible
+        in every answer and export.  The run only fails when a shard's
+        *last* member dies.
+    journal_rows:
+        TCP backend only: enable the per-shard ingest journal that
+        :meth:`rejoin_shard` replays into a restarted shard server,
+        keeping at most this many rows buffered in memory per shard
+        before spilling the batch to an anonymous temp file.  ``None``
+        (default) disables journaling — and with it ``rejoin_shard``
+        — at zero cost.
 
     A store with remote shards owns connections (and, for processes,
     child processes), so treat it like a file: use the
@@ -195,6 +328,8 @@ class ShardedMetricStore:
         pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
         io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
         binary_frames: bool = True,
+        replica_addrs: Optional[Sequence] = None,
+        journal_rows: Optional[int] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -215,22 +350,49 @@ class ShardedMetricStore:
                 f"backend={backend!r} always runs one remote shard per "
                 "partition; workers > 1 is meaningless"
             )
+        shard_addresses: Optional[List[Tuple[str, ...]]] = None
         if backend == "tcp":
             if not shard_addrs:
                 raise ValueError(
                     "backend='tcp' requires shard_addrs (one host:port "
                     "per shard)"
                 )
-            # Validate the whole address list before dialling anything:
-            # a typo in address 3 must not leave sessions 0-2 connected
-            # to servers that will never get a stop message.
-            for address in shard_addrs:
-                parse_address(address)
-            n_shards = len(shard_addrs)
-        elif shard_addrs is not None:
-            raise ValueError("shard_addrs is only meaningful with backend='tcp'")
+            # Validate the whole topology — primaries and replicas —
+            # before dialling anything: a typo in address 3 must not
+            # leave sessions 0-2 connected to servers that will never
+            # get a stop message.
+            shard_addresses = _shard_member_addresses(shard_addrs, replica_addrs)
+            n_shards = len(shard_addresses)
+            if journal_rows is not None and journal_rows < 1:
+                raise ValueError("journal_rows must be >= 1 (or None)")
+        else:
+            if shard_addrs is not None:
+                raise ValueError(
+                    "shard_addrs is only meaningful with backend='tcp'"
+                )
+            if replica_addrs is not None:
+                raise ValueError(
+                    "replica_addrs is only meaningful with backend='tcp'"
+                )
+            if journal_rows is not None:
+                raise ValueError(
+                    "journal_rows is only meaningful with backend='tcp'"
+                )
         self._backend = backend
         self._interner = ServerInterner()
+        self._shard_addresses = shard_addresses
+        self._tcp_kwargs = dict(
+            flush_rows=flush_rows,
+            connect_timeout=connect_timeout,
+            io_timeout=io_timeout,
+            binary_frames=binary_frames,
+            pipeline_depth=pipeline_depth,
+        )
+        self._journals: Optional[List[ShardJournal]] = (
+            [ShardJournal(journal_rows) for _ in range(n_shards)]
+            if backend == "tcp" and journal_rows is not None
+            else None
+        )
         self._shards: List[Shard]
         if backend == "processes":
             self._shards = [
@@ -243,19 +405,8 @@ class ShardedMetricStore:
         elif backend == "tcp":
             self._shards = []
             try:
-                for shard_id, address in enumerate(shard_addrs):
-                    self._shards.append(
-                        TcpShardClient(
-                            shard_id,
-                            self._interner,
-                            address,
-                            flush_rows=flush_rows,
-                            connect_timeout=connect_timeout,
-                            io_timeout=io_timeout,
-                            binary_frames=binary_frames,
-                            pipeline_depth=pipeline_depth,
-                        )
-                    )
+                for shard_id, addresses in enumerate(shard_addresses):
+                    self._shards.append(self._dial_shard(shard_id, addresses))
             except BaseException:
                 # A later dial failed: say goodbye to the sessions
                 # already opened instead of leaking them server-side.
@@ -317,6 +468,76 @@ class ShardedMetricStore:
         """The shard that owns a server's rows (any backend)."""
         return server_index % len(self._shards)
 
+    def _dial_shard(self, shard_id: int, addresses: Tuple[str, ...]) -> Shard:
+        """Connect one tcp shard: a plain session or a replica group."""
+        if len(addresses) == 1:
+            return TcpShardClient(
+                shard_id, self._interner, addresses[0], **self._tcp_kwargs
+            )
+        return ReplicatedShardClient(
+            shard_id, self._interner, addresses, **self._tcp_kwargs
+        )
+
+    def rejoin_shard(self, shard_id: int, address: Optional[str] = None) -> None:
+        """Re-attach a restarted shard server and replay its journal.
+
+        The recovery path for the tcp backend: after shard
+        ``shard_id``'s server died (its queries raise the per-shard
+        connection error) and was restarted — on the same address or,
+        with ``address``, somewhere new — this drops the dead session,
+        dials a fresh one, sends the ``resync`` RPC (the serve loop
+        swaps in an empty store and receives the *full* interner name
+        table), and replays every journaled ingest command in original
+        order.  The rejoined shard's store is then **bit-identical**
+        to the pre-crash one: same commands, same order, same tables —
+        every query and export answers as if the crash never happened.
+
+        Requires ``journal_rows`` (journaling) to have been enabled at
+        construction; raises ``RuntimeError`` otherwise.  For a
+        replicated shard the whole member group is re-dialled and
+        re-seeded.  On any failure the half-built session is closed
+        and the old (dead) handle stays in place, so ``rejoin_shard``
+        can simply be retried.
+        """
+        self._ensure_open()
+        if self._backend != "tcp":
+            raise ValueError("rejoin_shard requires backend='tcp'")
+        if not 0 <= shard_id < len(self._shards):
+            raise ValueError(
+                f"shard_id {shard_id} out of range "
+                f"(store has {len(self._shards)} shards)"
+            )
+        if self._journals is None:
+            raise RuntimeError(
+                "rejoin_shard requires the ingest journal — construct "
+                "the store with journal_rows=N"
+            )
+        old = self._shards[shard_id]
+        addresses = (
+            (address,) if address is not None else tuple(old.addresses)
+        )
+        for member in addresses:
+            parse_address(member)
+        try:
+            old.close()
+        except Exception:  # pragma: no cover - dead peer teardown
+            pass
+        client = self._dial_shard(shard_id, addresses)
+        try:
+            client.resync()
+            for method, args in self._journals[shard_id].replay():
+                getattr(client, method)(*args)
+            client.flush()
+        except BaseException:
+            try:
+                client.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+            raise
+        self._shards[shard_id] = client
+        self._shard_addresses[shard_id] = addresses
+        self._agg_cache.clear()
+
     def close(self) -> None:
         """Release backend resources; idempotent, fork- and race-safe.
 
@@ -351,6 +572,9 @@ class ShardedMetricStore:
         if self._backend in _REMOTE_BACKENDS:
             for shard in self._shards:
                 shard.close()
+        if self._journals is not None:
+            for journal in self._journals:
+                journal.close()
 
     def __enter__(self) -> "ShardedMetricStore":
         return self
@@ -476,6 +700,13 @@ class ShardedMetricStore:
             return
         n = len(self._shards)
         if n == 1:
+            if self._journals is not None:
+                self._journals[0].append(
+                    "record_columns",
+                    (pool_id, datacenter_id, counter, windows,
+                     server_indices, values),
+                    int(values.size),
+                )
             self._shards[0].record_columns(
                 pool_id, datacenter_id, counter, windows, server_indices, values
             )
@@ -519,6 +750,13 @@ class ShardedMetricStore:
                 )
                 for shard_id, rows, shard_windows, shard_indices in cached[2]
             ]
+            if self._journals is not None:
+                # Journal before dispatch: rows being sent to a shard
+                # that dies mid-dispatch must still be replayable.
+                for shard_id, args in parts:
+                    self._journals[shard_id].append(
+                        "record_columns", args, int(args[5].size)
+                    )
             self._dispatch(parts, "record_columns")
         if self._agg_cache:
             self._agg_cache.clear()
@@ -570,7 +808,14 @@ class ShardedMetricStore:
         """
         self._ensure_open()
         index = self._interner.intern(server_id)
-        self._shards[index % len(self._shards)].record_fast(
+        shard_id = index % len(self._shards)
+        if self._journals is not None:
+            self._journals[shard_id].append(
+                "record_fast",
+                (window, server_id, pool_id, datacenter_id, counter, value),
+                1,
+            )
+        self._shards[shard_id].record_fast(
             window, server_id, pool_id, datacenter_id, counter, value
         )
         if self._agg_cache:

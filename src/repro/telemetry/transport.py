@@ -83,7 +83,9 @@ from typing import Any, List, Sequence, Tuple
 import numpy as np
 
 #: Frame header: one 8-byte unsigned big-endian int — frame kind in
-#: the top byte, payload length in the low 7 bytes.
+#: the top byte, payload length in the low 7 bytes.  Also packed by
+#: :mod:`repro.telemetry.faultinject` to forge a bad-kind frame, so
+#: layout changes must keep that corruption path in step.
 _HEADER = struct.Struct(">Q")
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")

@@ -55,6 +55,28 @@ strictly FIFO; the wire encoding is the transport's business):
     Graceful shutdown of this session; so is a clean EOF (the client
     vanishing ends the session, never the server).
 
+A second method name is reserved: ``resync`` makes the serve loop
+drop this session's store and start over from the client's
+authoritative state — the *full* interner name table rides the resync
+call's names field (not a delta), and the client follows up with
+ordinary ingest frames replaying its journal.  This is the rejoin
+path for a restarted shard server: the rebuilt session reconverges to
+the exact pre-crash store state (see
+:meth:`~repro.telemetry.sharding.ShardedMetricStore.rejoin_shard`).
+A PR 5 serve loop answers ``resync`` with an ``AttributeError``,
+which the client reports as "peer does not support resync".
+
+**Replication**: :class:`ReplicatedShardClient` mirrors one shard
+across several TCP sessions (a primary plus replicas).  Every ingest
+call fans out to every live member, so each member buffers and
+coalesces the identical command stream into identical frames; queries
+are answered by the first live member.  When a member dies or times
+out (a :class:`ShardConnectionError` — the PR 5 timeout/EOF paths) it
+is retired and the survivors carry on: queries and subsequent ingest
+fail over with **bit-identical** answers, because every member's store
+consumed the same calls in the same order.  Only when every member of
+a shard has failed does the error reach the caller.
+
 **Pipelined ingest**: with ``pipeline_depth > 0`` (the default), a
 proxy's ``flush`` hands the coalesced frame to a per-shard writer
 thread and returns — the facade partitions its next block while prior
@@ -102,7 +124,7 @@ import os
 import socket
 import threading
 from collections import deque
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -129,7 +151,7 @@ DEFAULT_PIPELINE_DEPTH = 4
 #: probe handler and answers the probe with an ``AttributeError``,
 #: which clients treat as "no capabilities" — that asymmetry is the
 #: whole negotiation.
-SESSION_CAPABILITIES = {"binary_ingest": True}
+SESSION_CAPABILITIES = {"binary_ingest": True, "resync": True}
 
 #: How long ``close`` waits for a graceful child exit before escalating
 #: to ``terminate()`` (seconds).
@@ -169,8 +191,22 @@ def serve_shard(transport, store: Optional[MetricStore] = None) -> None:
             except BaseException as error:  # noqa: BLE001 — re-raised on next call
                 deferred = error
         elif kind == "call":
-            _replay_names(store.interner, message[1])
             _method, args, kwargs = message[2], message[3], message[4]
+            if _method == "resync":
+                # Session-level rejoin: drop whatever this session's
+                # store holds and rebuild from the client's
+                # authoritative state.  The *full* interner name table
+                # rides this message (the client reset its delta
+                # counter), so it must replay into the fresh store,
+                # not the one being discarded; the journal replay
+                # follows as ordinary ingest frames.
+                store = MetricStore()
+                deferred = None
+                _replay_names(store.interner, message[1])
+                if not _send_reply(transport, ("ok", True)):
+                    break
+                continue
+            _replay_names(store.interner, message[1])
             if _method == "protocol_capabilities":
                 # Session-level probe, answered here: capabilities
                 # describe the serve loop, not the store — and old
@@ -234,7 +270,94 @@ def _send_reply(transport, reply) -> bool:
             return False
 
 
-class ShardClient:
+class ShardConnectionError(RuntimeError):
+    """A shard's connection died, reset, or timed out.
+
+    The error every ``ShardClient`` raises on the PR 5 failure paths
+    (peer vanished → ``EOFError``/``OSError``, hung-but-alive peer →
+    ``TimeoutError``), distinct from exceptions the *remote store*
+    raised and shipped back (a bad query argument is a ``ValueError``
+    here exactly as it would be locally).  The distinction is what
+    replication keys failover on: a connection-level failure means
+    "try another member", a store-level exception means the call
+    itself was wrong and every member would answer the same.
+    Subclasses ``RuntimeError``, so pre-replication callers that
+    caught ``RuntimeError`` keep working unchanged.
+    """
+
+
+class _ShardQuerySurface:
+    """The query half of the remote-shard proxy surface.
+
+    Every method routes through ``self.call`` (provided by the
+    subclass), mirroring :class:`~repro.telemetry.store.MetricStore`'s
+    read API — shared by :class:`ShardClient` (one session) and
+    :class:`ReplicatedShardClient` (a failover group), so the facade
+    cannot tell them apart.
+    """
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        raise NotImplementedError
+
+    @property
+    def pools(self) -> Tuple[str, ...]:
+        return tuple(self.call("pools"))
+
+    @property
+    def datacenters(self) -> Tuple[str, ...]:
+        return tuple(self.call("datacenters"))
+
+    @property
+    def max_window(self) -> int:
+        return self.call("max_window")
+
+    def counters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        return self.call("counters_for_pool", pool_id)
+
+    def servers_in_pool(
+        self, pool_id: str, datacenter_id: Optional[str] = None
+    ) -> Tuple[str, ...]:
+        return self.call("servers_in_pool", pool_id, datacenter_id)
+
+    def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
+        return self.call("datacenters_for_pool", pool_id)
+
+    def datacenters_for_pool_counter(self, pool_id: str, counter: str) -> Tuple[str, ...]:
+        return self.call("datacenters_for_pool_counter", pool_id, counter)
+
+    def sample_count(self) -> int:
+        return self.call("sample_count")
+
+    def iter_tables(
+        self,
+    ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
+        """Tables materialised remotely and shipped back as a list.
+
+        One pickle of the shard's full columns — the export path's bulk
+        read, paid once per export rather than per row.
+        """
+        return iter(self.call("iter_tables"))
+
+    def gather_columns(self, *args: Any, **kwargs: Any):
+        return self.call("gather_columns", *args, **kwargs)
+
+    def pool_window_aggregate(self, *args: Any, **kwargs: Any):
+        return self.call("pool_window_aggregate", *args, **kwargs)
+
+    def per_server_values(self, *args: Any, **kwargs: Any) -> Dict[str, np.ndarray]:
+        return self.call("per_server_values", *args, **kwargs)
+
+    def server_series(self, *args: Any, **kwargs: Any):
+        return self.call("server_series", *args, **kwargs)
+
+    def pool_matrix(self, *args: Any, **kwargs: Any):
+        return self.call("pool_matrix", *args, **kwargs)
+
+    def all_values(self, *args: Any, **kwargs: Any) -> np.ndarray:
+        return self.call("all_values", *args, **kwargs)
+
+
+class ShardClient(_ShardQuerySurface):
     """Parent-side proxy to one remote ``MetricStore``, any transport.
 
     Duck-types the slice of the :class:`MetricStore` surface the
@@ -275,6 +398,7 @@ class ShardClient:
         self._pending: List[Tuple[str, tuple]] = []
         self._pending_rows = 0
         self._closed = False
+        self._close_lock = threading.Lock()
         self._owner_pid = os.getpid()
         self._transport = None  # set by subclasses
         self._io_timeout: Optional[float] = None  # set by tcp subclass
@@ -316,34 +440,42 @@ class ShardClient:
         differs from the pid that created the proxy) it only drops the
         inherited connection end: the remote shard belongs to the
         original parent, so the fork neither signals nor terminates
-        it.  Double-close is a no-op.
+        it.  Double-close is a no-op — including *concurrent*
+        double-close: a replication group retiring a dead member races
+        the facade's own ``close()`` against the same proxy, so the
+        closed flag is a lock-guarded test-and-set and exactly one
+        caller runs the teardown (the transport is never closed twice,
+        the pipeline never aborted twice); late callers wait for it
+        and return.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self._pending.clear()
-        self._pending_rows = 0
-        if os.getpid() != self._owner_pid:
-            # Forked copy: the shard is the original owner's.  Drop our
-            # duplicated connection end and leave the far side alone
-            # (the writer thread, if any, did not survive the fork).
-            self._transport.close()
-            return
-        self._abort_pipeline()
-        self._shutdown()
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending.clear()
+            self._pending_rows = 0
+            if os.getpid() != self._owner_pid:
+                # Forked copy: the shard is the original owner's.  Drop
+                # our duplicated connection end and leave the far side
+                # alone (the writer thread, if any, did not survive the
+                # fork).
+                self._transport.close()
+                return
+            self._abort_pipeline()
+            self._shutdown()
 
-    def _connection_lost(self, error: BaseException) -> RuntimeError:
+    def _connection_lost(self, error: BaseException) -> ShardConnectionError:
         if isinstance(error, TimeoutError):
             bound = (
                 f" after {self._io_timeout:g}s"
                 if self._io_timeout is not None
                 else ""
             )
-            return RuntimeError(
+            return ShardConnectionError(
                 f"shard {self._shard_id} ({self._peer()}): I/O timed "
                 f"out{bound} — peer is alive but not making progress"
             )
-        return RuntimeError(
+        return ShardConnectionError(
             f"shard {self._shard_id} ({self._peer()}): connection lost"
         )
 
@@ -513,6 +645,30 @@ class ShardClient:
             raise payload
         return payload
 
+    def resync(self) -> None:
+        """Re-seed the peer session from scratch (the rejoin handshake).
+
+        Resets the interner-delta counter so the *full* name table —
+        not a delta — rides the reserved ``resync`` call, and the serve
+        loop swaps in a fresh store for this session.  The caller
+        (:meth:`~repro.telemetry.sharding.ShardedMetricStore.\
+rejoin_shard`) then replays its journal as ordinary ingest, after
+        which the rejoined shard's store is bit-identical to the one
+        that crashed.  A PR 5 peer has no ``resync`` branch and
+        answers with ``AttributeError``, reported here as an
+        unsupported-peer error.
+        """
+        if self._closed:
+            raise RuntimeError("ShardClient is closed")
+        self._synced_names = 0
+        try:
+            self.call("resync")
+        except AttributeError as error:
+            raise RuntimeError(
+                f"shard {self._shard_id} ({self._peer()}): peer does "
+                f"not support the resync RPC (pre-replication server)"
+            ) from error
+
     # ------------------------------------------------------------------
     # Ingest (buffered, fire-and-forget)
     # ------------------------------------------------------------------
@@ -572,66 +728,6 @@ class ShardClient:
         self._pending_rows += 1
         if self._pending_rows >= self._flush_rows:
             self.flush()
-
-    # ------------------------------------------------------------------
-    # Query surface (synchronous RPC, mirrors MetricStore)
-    # ------------------------------------------------------------------
-    @property
-    def pools(self) -> Tuple[str, ...]:
-        return tuple(self.call("pools"))
-
-    @property
-    def datacenters(self) -> Tuple[str, ...]:
-        return tuple(self.call("datacenters"))
-
-    @property
-    def max_window(self) -> int:
-        return self.call("max_window")
-
-    def counters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
-        return self.call("counters_for_pool", pool_id)
-
-    def servers_in_pool(
-        self, pool_id: str, datacenter_id: Optional[str] = None
-    ) -> Tuple[str, ...]:
-        return self.call("servers_in_pool", pool_id, datacenter_id)
-
-    def datacenters_for_pool(self, pool_id: str) -> Tuple[str, ...]:
-        return self.call("datacenters_for_pool", pool_id)
-
-    def datacenters_for_pool_counter(self, pool_id: str, counter: str) -> Tuple[str, ...]:
-        return self.call("datacenters_for_pool_counter", pool_id, counter)
-
-    def sample_count(self) -> int:
-        return self.call("sample_count")
-
-    def iter_tables(
-        self,
-    ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
-        """Tables materialised remotely and shipped back as a list.
-
-        One pickle of the shard's full columns — the export path's bulk
-        read, paid once per export rather than per row.
-        """
-        return iter(self.call("iter_tables"))
-
-    def gather_columns(self, *args: Any, **kwargs: Any):
-        return self.call("gather_columns", *args, **kwargs)
-
-    def pool_window_aggregate(self, *args: Any, **kwargs: Any):
-        return self.call("pool_window_aggregate", *args, **kwargs)
-
-    def per_server_values(self, *args: Any, **kwargs: Any) -> Dict[str, np.ndarray]:
-        return self.call("per_server_values", *args, **kwargs)
-
-    def server_series(self, *args: Any, **kwargs: Any):
-        return self.call("server_series", *args, **kwargs)
-
-    def pool_matrix(self, *args: Any, **kwargs: Any):
-        return self.call("pool_matrix", *args, **kwargs)
-
-    def all_values(self, *args: Any, **kwargs: Any) -> np.ndarray:
-        return self.call("all_values", *args, **kwargs)
 
 
 class ShardWorker(ShardClient):
@@ -756,6 +852,11 @@ class TcpShardClient(ShardClient):
         """The ``host:port`` this shard's session is connected to."""
         return self._address
 
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        """The member address list (one entry — no replicas here)."""
+        return (self._address,)
+
     def _peer(self) -> str:
         return self._address
 
@@ -765,6 +866,213 @@ class TcpShardClient(ShardClient):
         except (EOFError, OSError):
             pass
         self._transport.close()
+
+
+class ReplicatedShardClient(_ShardQuerySurface):
+    """One shard mirrored across several TCP sessions, with failover.
+
+    Holds a :class:`TcpShardClient` per address — the first is the
+    primary, the rest replicas — and duck-types the single-session
+    surface, so the facade treats a replicated shard exactly like a
+    plain one.  Every ingest call (``record_columns`` /
+    ``record_fast`` / ``flush``) fans out to every live member: each
+    member buffers the identical command stream with the same
+    ``flush_rows`` threshold, so the coalesced frames on every wire —
+    and therefore every member's store — are identical.  Queries are
+    answered by the first live member.
+
+    When any operation on a member raises
+    :class:`ShardConnectionError` (dead peer, reset, I/O timeout — the
+    PR 5 failure paths), the member is retired (closed and removed)
+    and the survivors carry on; an interrupted query is retried on the
+    next member, whose answer is **bit-identical** because its store
+    consumed the same calls in the same order.  Store-level exceptions
+    (a bad query argument) are *not* failed over — every member would
+    answer the same — and propagate unchanged.  Only when the last
+    member dies does a ``ShardConnectionError`` naming every failed
+    address reach the caller.
+
+    What replication cannot save: rows buffered parent-side (pending
+    lists, pipelined frames) when the *caller* dies, same as the
+    single-session contract; and a member that fails is gone for good
+    — re-attach a replacement via the facade's ``rejoin_shard``, which
+    needs the journal.  Not thread-safe for ingest (one owner, like
+    ``ShardClient``); ``close`` may race a concurrent retirement and
+    is safe (see :meth:`ShardClient.close`).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        interner: ServerInterner,
+        addresses: Sequence[str],
+        flush_rows: int = DEFAULT_FLUSH_ROWS,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        io_timeout: Optional[float] = DEFAULT_IO_TIMEOUT,
+        binary_frames: bool = True,
+        pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+    ) -> None:
+        if not addresses:
+            raise ValueError("ReplicatedShardClient needs at least one address")
+        self._shard_id = shard_id
+        self._addresses = tuple(addresses)
+        self._closed = False
+        # Guards membership changes and the closed flag: _retire may
+        # run on whichever thread observed the failure while close()
+        # runs on another.
+        self._members_lock = threading.Lock()
+        self._members: List[TcpShardClient] = []
+        self._failures: List[str] = []
+        try:
+            for address in addresses:
+                self._members.append(
+                    TcpShardClient(
+                        shard_id,
+                        interner,
+                        address,
+                        flush_rows=flush_rows,
+                        connect_timeout=connect_timeout,
+                        io_timeout=io_timeout,
+                        binary_frames=binary_frames,
+                        pipeline_depth=pipeline_depth,
+                    )
+                )
+        except BaseException:
+            # A later member failed to dial: close the sessions already
+            # opened instead of leaking them server-side.
+            for member in self._members:
+                try:
+                    member.close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle and membership
+    # ------------------------------------------------------------------
+    @property
+    def shard_id(self) -> int:
+        return self._shard_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def address(self) -> str:
+        """The primary's address (stable even after failover)."""
+        return self._addresses[0]
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        """Every configured member address, primary first."""
+        return self._addresses
+
+    @property
+    def live_addresses(self) -> Tuple[str, ...]:
+        """Addresses of the members still serving (for tests/ops)."""
+        with self._members_lock:
+            return tuple(member.address for member in self._members)
+
+    def _live_members(self) -> List[TcpShardClient]:
+        with self._members_lock:
+            return list(self._members)
+
+    def _retire(self, member: TcpShardClient, error: BaseException) -> None:
+        """Drop a failed member: survivors own the shard from now on.
+
+        The member is closed *outside* the membership lock (close can
+        block for the bounded pipeline-abort grace) — safe against a
+        concurrent ``close()`` of the whole group because
+        :meth:`ShardClient.close` is itself lock-guarded and
+        idempotent, so the transport is never double-closed.
+        """
+        with self._members_lock:
+            if member in self._members:
+                self._members.remove(member)
+                self._failures.append(f"{member.address}: {error}")
+        try:
+            member.close()
+        except Exception:  # pragma: no cover - dead peer teardown
+            pass
+
+    def _all_members_dead(self) -> ShardConnectionError:
+        detail = "; ".join(self._failures) if self._failures else "none dialled"
+        return ShardConnectionError(
+            f"shard {self._shard_id}: every member failed "
+            f"({len(self._addresses)} configured — {detail})"
+        )
+
+    def close(self) -> None:
+        """Close every member session; idempotent and race-safe."""
+        with self._members_lock:
+            if self._closed:
+                return
+            self._closed = True
+            members = list(self._members)
+        for member in members:
+            member.close()
+
+    # ------------------------------------------------------------------
+    # Mirrored ingest and failover queries
+    # ------------------------------------------------------------------
+    def _fan_out(self, method: str, args: tuple) -> None:
+        """Run one ingest call on every live member, retiring failures.
+
+        A member that raises :class:`ShardConnectionError` mid-fan-out
+        missed this and all future calls — which is fine, because it is
+        retired on the spot and never answers a query again.  The call
+        only fails upward when it leaves *no* live member.
+        """
+        if self._closed:
+            raise RuntimeError("ShardClient is closed")
+        members = self._live_members()
+        if not members:
+            raise self._all_members_dead()
+        for member in members:
+            try:
+                getattr(member, method)(*args)
+            except ShardConnectionError as error:
+                self._retire(member, error)
+        if not self._live_members():
+            raise self._all_members_dead()
+
+    def record_columns(self, *args: Any) -> None:
+        self._fan_out("record_columns", args)
+
+    def record_fast(self, *args: Any) -> None:
+        self._fan_out("record_fast", args)
+
+    def flush(self) -> None:
+        self._fan_out("flush", ())
+
+    def resync(self) -> None:
+        """Re-seed every member session (the group rejoin handshake)."""
+        self._fan_out("resync", ())
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Query the first live member; fail over on connection loss.
+
+        Flushes *every* live member first, so whichever member ends up
+        answering — even after a mid-call failover — has consumed all
+        buffered ingest (each member's own ``call`` additionally
+        drains its pipelined frames: read-your-writes holds across
+        failover).  Exceptions the remote store raised propagate
+        without failover; only :class:`ShardConnectionError` moves on
+        to the next member.
+        """
+        if self._closed:
+            raise RuntimeError("ShardClient is closed")
+        self._fan_out("flush", ())
+        while True:
+            members = self._live_members()
+            if not members:
+                raise self._all_members_dead()
+            member = members[0]
+            try:
+                return member.call(method, *args, **kwargs)
+            except ShardConnectionError as error:
+                self._retire(member, error)
 
 
 class ShardServer:

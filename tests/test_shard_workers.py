@@ -223,3 +223,100 @@ class TestIngestProtocol:
             sums = store.pool_window_aggregate("P", "cpu", reducer="sum")
             np.testing.assert_array_equal(sums.windows, [0, 1])
             np.testing.assert_array_equal(sums.values, [3.0, 3.0])
+
+
+class TestCloseFailoverRace:
+    """Group close() racing a member retirement must not double-close.
+
+    The regression: ``ReplicatedShardClient._retire`` closes a failed
+    member on whichever thread observed the failure, *outside* the
+    membership lock, while a concurrent group ``close()`` walks the
+    same member list — before ``ShardClient.close`` became a
+    lock-guarded test-and-set, both paths could run the full teardown
+    (pipeline abort + ``stop`` + transport close) twice on one member.
+    These hammers lose the race on purpose, many times in a row.
+    """
+
+    ROUNDS = 15
+
+    def test_close_racing_failover_never_double_closes(self, shard_server):
+        import threading
+
+        from repro.telemetry.store import ServerInterner
+        from repro.telemetry.workers import ReplicatedShardClient
+
+        failures = []
+        for _ in range(self.ROUNDS):
+            client = ReplicatedShardClient(
+                0,
+                ServerInterner(),
+                [shard_server.address, shard_server.address],
+                pipeline_depth=2,
+                io_timeout=10,
+            )
+            primary = client._live_members()[0]
+            barrier = threading.Barrier(3)
+
+            def crash_then_query(client=client, primary=primary, barrier=barrier):
+                barrier.wait()
+                # The failure the failover path reacts to: the primary's
+                # socket dies under it mid-session.
+                primary._transport.close()
+                try:
+                    client.call("sample_count")
+                except RuntimeError:
+                    pass  # closed under us or every member gone: clean ends
+                except Exception as error:  # pragma: no cover - regression
+                    failures.append(error)
+
+            def close_group(client=client, barrier=barrier):
+                barrier.wait()
+                try:
+                    client.close()
+                except Exception as error:  # pragma: no cover - regression
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=crash_then_query),
+                threading.Thread(target=close_group),
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            for thread in threads:
+                thread.join(30)
+            assert not any(thread.is_alive() for thread in threads)
+            client.close()  # idempotent once the dust settles
+            assert client.closed
+        assert failures == []
+
+    def test_many_threads_close_one_session(self, shard_server):
+        """N concurrent close() calls collapse to exactly one teardown."""
+        import threading
+
+        from repro.telemetry.store import ServerInterner
+        from repro.telemetry.workers import TcpShardClient
+
+        for _ in range(self.ROUNDS):
+            client = TcpShardClient(
+                0, ServerInterner(), shard_server.address, pipeline_depth=2
+            )
+            errors = []
+            barrier = threading.Barrier(5)
+
+            def close_it(client=client, barrier=barrier, errors=errors):
+                barrier.wait()
+                try:
+                    client.close()
+                except Exception as error:  # pragma: no cover - regression
+                    errors.append(error)
+
+            threads = [threading.Thread(target=close_it) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            for thread in threads:
+                thread.join(30)
+            assert not any(thread.is_alive() for thread in threads)
+            assert errors == []
+            assert client.closed

@@ -65,6 +65,18 @@ def check(path: Path) -> List[str]:
                 f"(have: {sorted(backends_priced)})"
             )
 
+    # Replication is a distinct price point (every ingest frame goes
+    # out twice): the sweep must keep a replicated-tcp row alongside
+    # the plain tcp ones.
+    if not any(
+        row.get("backend") == "tcp" and row.get("replicas", 0) >= 1
+        for row in configs
+    ):
+        errors.append(
+            "no sweep row for replicated tcp (backend 'tcp' with "
+            "replicas >= 1) — regenerate with `make bench`"
+        )
+
     for row in engine_rows:
         stages = row.get("stages")
         if not isinstance(stages, dict) or set(stages) != set(STAGE_KEYS):

@@ -64,6 +64,8 @@ REQUIRED_COVERAGE = {
             "--connect-timeout",
             "--pipeline-depth",
             "--io-timeout",
+            "--replica-addrs",
+            "--inject-fault",
         ),
     },
 }
