@@ -4,14 +4,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults bench bench-smoke bench-backends bench-tcp bench-check docs-check check
+.PHONY: test test-stream test-faults bench bench-smoke bench-backends bench-tcp bench-check docs-check hygiene-check check
 
-# docs-check and bench-check run first so doc drift and a stale
-# benchmark JSON fail tier-1 locally, before the (slower) pytest pass
-# starts.  The legacy-engine equivalence baselines are opt-in
-# (`pytest -m legacy`); see pytest.ini.
-test: docs-check bench-check
+# docs-check, bench-check and hygiene-check run first so doc drift, a
+# stale benchmark JSON, or tracked build artifacts fail tier-1 locally,
+# before the (slower) pytest pass starts.  The legacy-engine
+# equivalence baselines are opt-in (`pytest -m legacy`); see pytest.ini.
+test: docs-check bench-check hygiene-check
 	$(PYTHON) -m pytest -x -q
+
+# The streaming suite on its own: streaming-vs-batch bit-identity
+# across all four shard backends (including post-eviction reads and
+# exports), the hot-memory bound, and the online regression alarm
+# (all of it also rides in `make test`).
+test-stream:
+	$(PYTHON) -m pytest tests/test_streaming.py -q
 
 # The fault-tolerance suite on its own: kill -9 against real
 # shard-server subprocesses, restart/rejoin resync round-trips, and
@@ -45,5 +52,10 @@ docs-check:
 # CLI-exposed engine or shard backend (lists imported from the code).
 bench-check:
 	$(PYTHON) tools/bench_check.py
+
+# Fails when build artifacts (__pycache__, *.pyc, .pytest_cache,
+# *.egg-info) are tracked by git.
+hygiene-check:
+	$(PYTHON) tools/hygiene_check.py
 
 check: docs-check test

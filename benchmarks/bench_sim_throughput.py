@@ -19,7 +19,13 @@ ShardedMetricStore`) with cross-window block emission
   CPU they document the distribution seam's cost, not a speedup; the
   ``tcp`` rows run against a real ``repro shard-server`` subprocess on
   loopback, so they additionally price the length-prefixed socket
-  framing vs the processes backend's pipe.
+  framing vs the processes backend's pipe;
+* a ``streaming`` row: a 100k-window ``simulate --stream`` clock loop
+  with rolling retention, run in its own subprocess so its
+  ``peak_rss_mb`` (``ru_maxrss``) prices exactly the streaming run —
+  the standing proof that a long horizon streams with bounded hot
+  memory (``tools/bench_check.py`` requires the row, its stage
+  breakdown, and the measured peak RSS).
 
 The best configuration must clear ``TARGET_BLOCK_SPEEDUP`` x the batch
 baseline (and batch itself ``TARGET_SPEEDUP`` x legacy); all results
@@ -40,6 +46,11 @@ import os
 import subprocess
 import sys
 import time
+
+try:
+    import resource
+except ImportError:  # non-POSIX: the streaming row reports rss 0
+    resource = None
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
@@ -99,6 +110,15 @@ CONFIGS = (
 #: (``--tcp``).
 BACKEND_SWEEP_SERVERS = 200
 BACKEND_SWEEP_WINDOWS = 200
+
+#: The streaming row (``simulate --stream``): a long-horizon clock loop
+#: with rolling retention, priced for throughput *and* peak memory —
+#: the row demonstrates that 100k windows stream with bounded hot
+#: memory.  Small fleet: the point is horizon length, not fleet width.
+STREAM_WINDOWS = 100_000
+STREAM_SERVERS = 64
+STREAM_RETAIN = 2048
+STREAM_BLOCK = 64
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -252,11 +272,93 @@ def _measure(
     }
 
 
+def _stream_row(
+    windows: int,
+    servers: int,
+    retain: int,
+    block_windows: int,
+) -> dict:
+    """The ``--stream-row`` subprocess body: stream, measure, report.
+
+    Runs in a child process because ``ru_maxrss`` is a process-lifetime
+    high-water mark — measured in the parent it would price every
+    earlier benchmark allocation, not the streaming run's bounded hot
+    set.
+    """
+    from repro.cluster.streaming import StreamingSimulator
+
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=servers, seed=29
+    )
+    sim = Simulator(
+        fleet,
+        seed=29,
+        config=SimulationConfig(engine="batch", block_windows=block_windows),
+    )
+    stream = StreamingSimulator(sim, retain_windows=retain)
+    started = time.perf_counter()
+    report = stream.run(max_windows=windows)
+    samples = sim.store.sample_count()
+    elapsed = time.perf_counter() - started
+    if resource is not None:
+        # KiB on Linux, bytes on macOS.
+        raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        peak_rss_mb = raw / (1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0)
+    else:
+        peak_rss_mb = 0.0
+    return {
+        "engine": "batch",
+        "mode": "stream",
+        "servers": servers,
+        "windows": windows,
+        "block_windows": block_windows,
+        "retain_windows": retain,
+        "elapsed_s": elapsed,
+        "samples": samples,
+        "hot_samples": sim.store.hot_sample_count(),
+        "evicted_rows": report.evicted_rows,
+        "windows_per_sec": windows / elapsed,
+        "samples_per_sec": samples / elapsed,
+        "peak_rss_mb": round(peak_rss_mb, 1),
+        "stages": {k: round(v, 6) for k, v in sim.stage_seconds.items()},
+    }
+
+
+def _measure_streaming(
+    windows: int = STREAM_WINDOWS,
+    servers: int = STREAM_SERVERS,
+    retain: int = STREAM_RETAIN,
+    block_windows: int = STREAM_BLOCK,
+) -> dict:
+    """Run the streaming row in a fresh subprocess and parse its JSON."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [
+            sys.executable, str(Path(__file__).resolve()), "--stream-row",
+            "--windows", str(windows),
+            "--servers", str(servers),
+            "--retain", str(retain),
+            "--block", str(block_windows),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
 def run_benchmark(
     windows: int = WINDOWS,
     servers: int = SERVERS,
     legacy_windows: int = LEGACY_WINDOWS,
     per_sample_windows: int = PER_SAMPLE_WINDOWS,
+    stream_windows: int = STREAM_WINDOWS,
+    stream_servers: int = STREAM_SERVERS,
+    stream_retain: int = STREAM_RETAIN,
     result_path: Optional[Path] = RESULT_PATH,
 ) -> dict:
     batch = _measure("batch", windows, servers)
@@ -265,6 +367,9 @@ def run_benchmark(
     configs = [
         _measure("batch", windows, servers, **config) for config in CONFIGS
     ]
+    streaming = _measure_streaming(
+        windows=stream_windows, servers=stream_servers, retain=stream_retain
+    )
     best = max(configs, key=lambda r: r["windows_per_sec"])
     speedup = batch["windows_per_sec"] / legacy["windows_per_sec"]
     result = {
@@ -274,6 +379,7 @@ def run_benchmark(
         "legacy": legacy,
         "per_sample": per_sample,
         "configs": configs,
+        "streaming": streaming,
         "best": best,
         "best_speedup_vs_batch": best["windows_per_sec"] / batch["windows_per_sec"],
         "target_block_speedup": TARGET_BLOCK_SPEEDUP,
@@ -393,6 +499,17 @@ def _print_result(result: dict) -> None:
             f"  {_config_label(entry):48s} {entry['windows_per_sec']:8.1f} windows/s "
             f"({entry['samples_per_sec']:,.0f} samples/s)"
         )
+    streaming = result.get("streaming")
+    if streaming:
+        print(
+            f"  {'stream retain=' + str(streaming['retain_windows']) + ' block=' + str(streaming['block_windows']):48s} "
+            f"{streaming['windows_per_sec']:8.1f} windows/s "
+            f"({streaming['samples_per_sec']:,.0f} samples/s) over "
+            f"{streaming['windows']} windows, peak rss "
+            f"{streaming['peak_rss_mb']:.0f} MB, "
+            f"{streaming['hot_samples']:,} of {streaming['samples']:,} "
+            f"samples hot"
+        )
     best = result["best"]
     stages = best.get("stages", {})
     if any(stages.values()):
@@ -419,9 +536,22 @@ def test_sim_throughput():
     assert result["best_speedup_vs_batch"] >= TARGET_BLOCK_SPEEDUP
 
 
+def _argv_int(argv: list, flag: str, default: int) -> int:
+    return int(argv[argv.index(flag) + 1]) if flag in argv else default
+
+
 if __name__ == "__main__":
     argv = sys.argv[1:]
-    if "--backends" in argv:
+    if "--stream-row" in argv:
+        # Subprocess entry of _measure_streaming: one JSON row on stdout.
+        row = _stream_row(
+            windows=_argv_int(argv, "--windows", STREAM_WINDOWS),
+            servers=_argv_int(argv, "--servers", STREAM_SERVERS),
+            retain=_argv_int(argv, "--retain", STREAM_RETAIN),
+            block_windows=_argv_int(argv, "--block", STREAM_BLOCK),
+        )
+        print(json.dumps(row))
+    elif "--backends" in argv:
         sweep = run_backend_sweep()
         print(
             f"backend sweep: {BACKEND_SWEEP_SERVERS} servers x "
@@ -456,6 +586,9 @@ if __name__ == "__main__":
             servers=100,
             legacy_windows=10,
             per_sample_windows=20,
+            stream_windows=2000,
+            stream_servers=32,
+            stream_retain=256,
             result_path=None,
         )
         _print_result(outcome)

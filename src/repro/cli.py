@@ -24,7 +24,7 @@ from typing import List, Optional
 
 from repro.cluster.builders import PAPER_DATACENTERS, build_paper_fleet
 from repro.cluster.service import service_catalog
-from repro.cluster.simulation import SimulationConfig, Simulator
+from repro.cluster.simulation import DEFAULT_COUNTERS, SimulationConfig, Simulator
 from repro.telemetry.sharding import ShardedMetricStore
 from repro.telemetry.store import MetricStore
 from repro.telemetry.workers import ShardServer
@@ -105,11 +105,77 @@ def _check_distributed_flags(args: argparse.Namespace):
     return shard_addrs, replica_addrs, fault_spec
 
 
+def _check_stream_flags(args: argparse.Namespace) -> None:
+    """Validate the streaming flag combination (raises ``ValueError``)."""
+    if not args.stream:
+        for flag, value in (
+            ("--max-windows", args.max_windows),
+            ("--retain-windows", args.retain_windows),
+            ("--alarm-pool", args.alarm_pool),
+            ("--inject-regression", args.inject_regression),
+        ):
+            if value is not None:
+                raise ValueError(f"{flag} requires --stream")
+        return
+    if args.inject_regression is not None and args.alarm_pool is None:
+        raise ValueError("--inject-regression requires --alarm-pool")
+
+
+def _run_stream(args: argparse.Namespace, simulator) -> tuple:
+    """Run the streaming clock loop; returns (samples, windows run)."""
+    from repro.cluster.streaming import StreamingSimulator
+    from repro.core.regression_analysis import OnlineRegressionAlarm
+
+    alarm = (
+        OnlineRegressionAlarm(args.alarm_pool)
+        if args.alarm_pool is not None
+        else None
+    )
+    stream = StreamingSimulator(
+        simulator, retain_windows=args.retain_windows, alarm=alarm
+    )
+    if args.inject_regression is not None:
+        from repro.cluster.deployment import leak_fix_with_latency_regression
+
+        stream.schedule(
+            args.inject_regression,
+            lambda: simulator.set_version(
+                args.alarm_pool,
+                leak_fix_with_latency_regression(queue_multiplier=3.0),
+            ),
+        )
+        print(
+            f"regression injection armed: pool {args.alarm_pool} at "
+            f"window {args.inject_regression}",
+            file=sys.stderr,
+        )
+    report = stream.run(max_windows=args.max_windows)
+    for alert in report.alerts:
+        print(
+            f"ALERT {alert.name}: pool {alert.pool_id} at window "
+            f"{alert.window} — {alert.detail}",
+            file=sys.stderr,
+        )
+    store = simulator.store
+    samples = store.sample_count()
+    if args.retain_windows is not None:
+        print(
+            f"streamed {report.blocks} block(s); retention kept "
+            f"{store.hot_sample_count()} of {samples} samples hot "
+            f"({report.evicted_rows} evicted to spill)",
+            file=sys.stderr,
+        )
+    if report.stopped_by == "interrupt":
+        print("stream interrupted; finishing up", file=sys.stderr)
+    return samples, report.windows
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import time
 
     try:
         shard_addrs, replica_addrs, fault_spec = _check_distributed_flags(args)
+        _check_stream_flags(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -162,28 +228,52 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except (ValueError, ConnectionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    horizon = (
+        f"until --max-windows={args.max_windows} or Ctrl-C"
+        if args.stream and args.max_windows is not None
+        else "until Ctrl-C" if args.stream
+        else f"for {n_windows} window(s)"
+    )
     print(
         f"simulating {fleet.total_servers()} servers "
         f"({len(fleet.pool_ids)} pools x {len(datacenters)} DCs) "
-        f"for {n_windows} window(s) with the {args.engine!r} engine "
+        f"{horizon} with the {args.engine!r} engine "
         f"(block={args.block_windows}) into a {store_desc} ...",
         file=sys.stderr,
     )
     try:
         try:
+            counters = None
+            if args.alarm_pool is not None:
+                if args.alarm_pool not in fleet.pool_ids:
+                    raise ValueError(
+                        f"--alarm-pool {args.alarm_pool!r} is not in the "
+                        f"fleet (pools: {','.join(fleet.pool_ids)})"
+                    )
+                # The alarm's profiles also need the working-set
+                # counter, which the default recorded set omits.
+                from repro.cluster.streaming import ALARM_COUNTERS
+
+                counters = tuple(
+                    dict.fromkeys(DEFAULT_COUNTERS + ALARM_COUNTERS)
+                )
             config = SimulationConfig(
                 record_request_classes=True,
                 engine=args.engine,
                 block_windows=args.block_windows,
+                **({"counters": counters} if counters is not None else {}),
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         simulator = Simulator(fleet, store=store, seed=args.seed, config=config)
         started = time.perf_counter()
-        simulator.run(n_windows)
+        if args.stream:
+            samples, n_windows = _run_stream(args, simulator)
+        else:
+            simulator.run(n_windows)
+            samples = simulator.store.sample_count()
         elapsed = time.perf_counter() - started
-        samples = simulator.store.sample_count()
         rate = n_windows / elapsed if elapsed > 0 else float("inf")
         print(
             f"simulated {n_windows} windows ({samples} samples) in {elapsed:.2f}s "
@@ -374,6 +464,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--block-windows", type=_positive_int, default=1, metavar="W",
         help="emit W windows per (pool, counter) block to amortize "
              "per-window overhead (batch engine only; 1 = per-window)",
+    )
+    simulate.add_argument(
+        "--stream", action="store_true",
+        help="streaming mode: run an unbounded clock loop emitting one "
+             "block per tick (until --max-windows or Ctrl-C), sealing "
+             "incremental aggregates and applying rolling retention "
+             "after each block; telemetry is bit-identical to a batch "
+             "run of the same horizon",
+    )
+    simulate.add_argument(
+        "--max-windows", type=_positive_int, default=None, metavar="N",
+        help="streaming mode: stop after N windows (default: stream "
+             "until interrupted; --windows/--days are batch-mode flags "
+             "and are ignored with --stream)",
+    )
+    simulate.add_argument(
+        "--retain-windows", type=_positive_int, default=None, metavar="N",
+        help="streaming mode: keep only the trailing N windows hot in "
+             "memory, evicting older rows to the spill archive "
+             "(queries and the final export still answer exactly; "
+             "default: retain everything)",
+    )
+    simulate.add_argument(
+        "--alarm-pool", default=None, metavar="POOL",
+        help="streaming mode: run the online regression alarm on this "
+             "pool — the regression gate re-fitted once per block "
+             "against a baseline profiled from the start of the run; "
+             "a named alert is printed the block it fires",
+    )
+    simulate.add_argument(
+        "--inject-regression", type=_nonnegative_int, default=None,
+        metavar="WINDOW",
+        help="debugging aid for the online alarm: deploy a latency-"
+             "regressing software version to --alarm-pool at the given "
+             "window, mid-stream (requires --stream and --alarm-pool)",
     )
     simulate.set_defaults(func=_cmd_simulate)
 

@@ -643,6 +643,20 @@ class Simulator:
         Per-server ``Server.state`` / ``working_set_mb`` are reconciled
         by :meth:`sync_server_state` on completion.
         """
+        self.run_block(n_windows)
+        self.sync_server_state()
+
+    def run_block(self, n_windows: int) -> None:
+        """Advance ``n_windows`` windows *without* the final state sync.
+
+        The streaming driver's building block: repeated ``run_block``
+        calls issue exactly the call sequence one big :meth:`run` of
+        the total horizon would (same blocks, same RNG draws, same
+        emission order), so a streamed simulation's telemetry is
+        bit-identical to the batch run by construction.  Callers that
+        read per-server ``Server.state`` afterwards must call
+        :meth:`sync_server_state` themselves — :meth:`run` does both.
+        """
         if n_windows < 0:
             raise ValueError("n_windows must be non-negative")
         block = self.config.block_windows
@@ -658,7 +672,6 @@ class Simulator:
         else:
             for _ in range(n_windows):
                 self.step()
-        self.sync_server_state()
 
     def run_days(self, days: float) -> None:
         """Simulate a number of days (720 windows per day)."""

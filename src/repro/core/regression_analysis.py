@@ -213,3 +213,125 @@ class RegressionGate:
             latency_regressed=max_latency > self.latency_tolerance_ms,
             cpu_regressed=max_cpu > self.cpu_tolerance_pct,
         )
+
+
+@dataclass(frozen=True)
+class RegressionAlert:
+    """A latched online-alarm verdict: what fired, where, and when."""
+
+    #: ``"latency-regression"``, ``"cpu-regression"`` or ``"memory-leak"``.
+    name: str
+    pool_id: str
+    #: The sealed window index at which the alarm fired.
+    window: int
+    report: RegressionReport
+    detail: str
+
+
+class OnlineRegressionAlarm:
+    """The :class:`RegressionGate` run *online*, once per sealed block.
+
+    The streaming counterpart of ``examples/regression_gate.py``: the
+    first ``baseline_windows`` of the live run are fitted once into the
+    baseline :class:`ResponseProfile`; from then on every
+    :meth:`observe` re-fits the trailing ``recent_windows`` and gates
+    the recent profile against the baseline.  The first failing verdict
+    is latched as a named :class:`RegressionAlert` — a long-running
+    fleet raises it within a bounded number of blocks of a mid-stream
+    regression (bounded by ``recent_windows`` plus one block: once the
+    trailing window is fully post-change, the shifted response curve is
+    what gets fitted).
+
+    Works against any store with the query surface (single or sharded,
+    any backend).  Observations before enough telemetry exists — or
+    whose profile fits fail (insufficient aligned samples, no
+    overlapping workload range) — are skipped, not raised: an online
+    alarm must never take the ingest loop down.
+    """
+
+    def __init__(
+        self,
+        pool_id: str,
+        datacenter_id: Optional[str] = None,
+        baseline_windows: int = 240,
+        recent_windows: int = 120,
+        gate: Optional[RegressionGate] = None,
+    ) -> None:
+        if baseline_windows < 10 or recent_windows < 10:
+            raise ValueError(
+                "baseline_windows and recent_windows must be >= 10 "
+                "(profile fits need at least 10 aligned samples)"
+            )
+        self.pool_id = pool_id
+        self.datacenter_id = datacenter_id
+        self.baseline_windows = baseline_windows
+        self.recent_windows = recent_windows
+        self.gate = gate if gate is not None else RegressionGate()
+        self._baseline: Optional[ResponseProfile] = None
+        #: The first failing verdict, latched; ``None`` while healthy.
+        self.alert: Optional[RegressionAlert] = None
+
+    @property
+    def fired(self) -> bool:
+        return self.alert is not None
+
+    def observe(
+        self, store, through_window: int
+    ) -> Optional[RegressionAlert]:
+        """Gate the trailing window range; returns the alert if it fires.
+
+        ``through_window`` is the last window whose telemetry is
+        complete (the streaming driver's sealed watermark).  Idempotent
+        after firing: the latched alert stays, further observations
+        return ``None``.
+        """
+        if self.alert is not None:
+            return None
+        if through_window + 1 < self.baseline_windows + self.recent_windows:
+            return None
+        try:
+            if self._baseline is None:
+                self._baseline = profile_response(
+                    store, self.pool_id, "baseline",
+                    datacenter_id=self.datacenter_id,
+                    start=0, stop=self.baseline_windows,
+                )
+            recent = profile_response(
+                store, self.pool_id, "recent",
+                datacenter_id=self.datacenter_id,
+                start=through_window + 1 - self.recent_windows,
+                stop=through_window + 1,
+            )
+            report = self.gate.compare(self._baseline, recent)
+        except ValueError:
+            # Not enough aligned telemetry yet, or disjoint workload
+            # ranges (e.g. a surge): skip this observation.
+            return None
+        if report.passed:
+            return None
+        if report.latency_regressed:
+            name = "latency-regression"
+            detail = (
+                f"max latency delta {report.max_latency_regression_ms:+.1f} ms "
+                f"> {self.gate.latency_tolerance_ms:.1f} ms tolerance"
+            )
+        elif report.cpu_regressed:
+            name = "cpu-regression"
+            detail = (
+                f"max CPU delta {report.max_cpu_regression_pct:+.1f} pts "
+                f"> {self.gate.cpu_tolerance_pct:.1f} pts tolerance"
+            )
+        else:
+            name = "memory-leak"
+            detail = (
+                "working set growing "
+                f"{recent.memory_slope_bytes_per_window / 1e6:.2f} MB/window"
+            )
+        self.alert = RegressionAlert(
+            name=name,
+            pool_id=self.pool_id,
+            window=through_window,
+            report=report,
+            detail=detail,
+        )
+        return self.alert

@@ -93,6 +93,7 @@ from repro.telemetry.store import (
     MetricStore,
     ServerInterner,
     TableKey,
+    _TrackedAggregate,
     columnise_samples,
     window_aggregate_arrays,
 )
@@ -425,6 +426,12 @@ class ShardedMetricStore:
         self._workers = min(workers, n_shards)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
+        #: Streaming state mirrored at the facade: the eviction
+        #: watermark applied to every shard, and the incrementally
+        #: maintained aggregate series (facade-merged, so they are
+        #: bit-identical to the unsharded store's tracked series).
+        self._evicted_before: int = 0
+        self._tracked: Dict[Tuple, _TrackedAggregate] = {}
         self._lifecycle_lock = threading.Lock()
         self._closed = False
         # One-entry partition memo: the blocked engine hands the same
@@ -840,6 +847,92 @@ class ShardedMetricStore:
             self.record_columns(pool_id, dc_id, counter, windows, indices, values)
 
     # ------------------------------------------------------------------
+    # Streaming: rolling retention and incremental aggregates
+    # ------------------------------------------------------------------
+    @property
+    def evicted_before(self) -> int:
+        """Windows below this index live in shard spill archives."""
+        return self._evicted_before
+
+    @property
+    def sealed_through(self) -> int:
+        """Largest window every tracked aggregate is final through; -1
+        with no tracked aggregates (or before the first seal)."""
+        if not self._tracked:
+            return -1
+        return min(t.sealed_through for t in self._tracked.values())
+
+    def evict_windows(self, before: int) -> int:
+        """Move rows with ``window < before`` to every shard's spill.
+
+        Same contract as :meth:`MetricStore.evict_windows`, fanned out
+        to all shards (each shard owns its servers' rows, so the union
+        of shard evictions is exactly the unsharded eviction).  The
+        command is journaled like ingest, so a rejoined shard replays
+        its eviction history and reproduces the same hot/spill split.
+        Returns the total rows evicted across shards.
+        """
+        self._ensure_open()
+        if before <= self._evicted_before:
+            return 0
+        if self._journals is not None:
+            for journal in self._journals:
+                journal.append("evict_windows", (before,), 0)
+        evicted = 0
+        for shard in self._shards:
+            evicted += int(shard.evict_windows(before) or 0)
+        self._evicted_before = before
+        if evicted and self._agg_cache:
+            self._agg_cache.clear()
+        return evicted
+
+    def hot_sample_count(self) -> int:
+        """Samples currently held in shard memory (excludes spill)."""
+        return sum(int(shard.hot_sample_count()) for shard in self._shards)
+
+    def track_aggregate(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        reducer: str = "mean",
+    ) -> None:
+        """Maintain ``pool_window_aggregate(...)`` incrementally.
+
+        Same contract as :meth:`MetricStore.track_aggregate`; the
+        series is maintained at the facade (from facade-merged shard
+        results), so it is bit-identical to the unsharded store's
+        tracked series on every backend.
+        """
+        if reducer not in _REDUCERS:
+            raise ValueError(f"unknown reducer {reducer!r}")
+        key = (pool_id, counter, datacenter_id, reducer)
+        if key not in self._tracked:
+            self._tracked[key] = _TrackedAggregate(reducer)
+
+    def seal_through(self, window: int) -> None:
+        """Mark windows ``<= window`` complete; extend tracked series.
+
+        Same contract as :meth:`MetricStore.seal_through`.  Each
+        tracked aggregate merges only the newly sealed window range
+        from the shards (partial merge for count/max, canonical
+        re-gather for sum/mean) — per-window results are final once
+        sealed, so the appended partials equal a full recompute.
+        """
+        for (pool_id, counter, datacenter_id, reducer), tracker in self._tracked.items():
+            if window <= tracker.sealed_through:
+                continue
+            lo = tracker.sealed_through + 1
+            series = self._compute_window_aggregate(
+                pool_id, counter, datacenter_id, lo, window + 1, reducer
+            )
+            tracker.extend(
+                np.asarray(series.windows, dtype=np.int64),
+                np.asarray(series.values, dtype=float),
+                window,
+            )
+
+    # ------------------------------------------------------------------
     # Introspection (shard unions)
     # ------------------------------------------------------------------
     @property
@@ -991,6 +1084,17 @@ class ShardedMetricStore:
         """
         if reducer not in _REDUCERS:
             raise ValueError(f"unknown reducer {reducer!r}")
+        if self._tracked:
+            tracked = self._tracked.get(
+                (pool_id, counter, datacenter_id, reducer)
+            )
+            if tracked is not None:
+                lo = start if start is not None else 0
+                hi = stop if stop is not None else self.max_window + 1
+                if hi - 1 <= tracked.sealed_through:
+                    # Served from the incrementally maintained series:
+                    # no shard round-trips, no re-gather.
+                    return tracked.series_slice(lo, hi)
         cache_key = (pool_id, counter, datacenter_id, start, stop, reducer)
         cached = self._agg_cache.get(cache_key)
         if cached is not None:
@@ -1002,6 +1106,23 @@ class ShardedMetricStore:
             self._agg_cache[cache_key] = series
             return series
 
+        return memoize(
+            self._compute_window_aggregate(
+                pool_id, counter, datacenter_id, start, stop, reducer
+            )
+        )
+
+    def _compute_window_aggregate(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str],
+        start: Optional[int],
+        stop: Optional[int],
+        reducer: str,
+    ) -> TimeSeries:
+        """The uncached shard-merged aggregate behind
+        :meth:`pool_window_aggregate` and :meth:`seal_through`."""
         empty = TimeSeries(np.array([], dtype=int), np.array([], dtype=float))
         if reducer in ("count", "max"):
             partials = [
@@ -1012,7 +1133,7 @@ class ShardedMetricStore:
             ]
             partials = [p for p in partials if len(p)]
             if not partials:
-                return memoize(empty)
+                return empty
             all_windows = partials[0].windows
             for part in partials[1:]:
                 all_windows = np.union1d(all_windows, part.windows)
@@ -1024,15 +1145,15 @@ class ShardedMetricStore:
                     acc[pos] += part.values
                 else:
                     np.maximum.at(acc, pos, part.values)
-            return memoize(TimeSeries.from_sorted(all_windows, acc))
+            return TimeSeries.from_sorted(all_windows, acc)
 
         windows, _servers, values = self.gather_columns(
             pool_id, counter, datacenter_id, start, stop
         )
         if windows.size == 0:
-            return memoize(empty)
+            return empty
         out_windows, out_values = window_aggregate_arrays(windows, values, reducer)
-        return memoize(TimeSeries.from_sorted(out_windows, out_values))
+        return TimeSeries.from_sorted(out_windows, out_values)
 
     def per_server_values(
         self,

@@ -34,6 +34,8 @@ interner names from per-message deltas.
 
 from __future__ import annotations
 
+import pickle
+import tempfile
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -119,6 +121,124 @@ def window_aggregate_arrays(
     return out_windows, out_values
 
 
+class SpillArchive:
+    """Append-only on-disk archive of evicted column segments.
+
+    The cold half of the streaming store's rolling retention
+    (:meth:`MetricStore.evict_windows`): evicted (windows, server
+    indices, values) segments are pickled to an anonymous temp file —
+    reclaimed by the OS when the store goes away — and indexed by an
+    in-memory per-table directory of ``(offset, lo, hi)`` window
+    spans.  Queries whose range dips below the eviction watermark read
+    the overlapping segments back (oldest first, i.e. original append
+    order) and merge them ahead of the hot columns, so every answer
+    stays exactly what an unevicted store would return; queries over
+    the hot range never touch the disk at all.
+    """
+
+    def __init__(self) -> None:
+        self._file = tempfile.TemporaryFile(prefix="metric-spill-")
+        self._directory: Dict[Tuple, List[Tuple[int, int, int]]] = {}
+        #: Total rows spilled (observable retention behaviour).
+        self.rows = 0
+
+    def append(
+        self,
+        key: Tuple,
+        windows: np.ndarray,
+        servers: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Archive one evicted segment of one table (append order)."""
+        self._file.seek(0, 2)
+        offset = self._file.tell()
+        pickle.dump(
+            (windows, servers, values), self._file,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._directory.setdefault(key, []).append(
+            (offset, int(windows.min()), int(windows.max()))
+        )
+        self.rows += int(windows.size)
+
+    def segments(self, key: Tuple) -> List[Tuple[int, int, int]]:
+        """This table's ``(offset, lo, hi)`` spans, oldest first."""
+        return self._directory.get(key, [])
+
+    def read(self, offset: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Load one archived (windows, servers, values) segment."""
+        self._file.seek(offset)
+        return pickle.load(self._file)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+        self._directory = {}
+        self.rows = 0
+
+
+class _TrackedAggregate:
+    """One incrementally maintained per-window aggregate series.
+
+    The streaming replacement for cache-invalidate-recompute: instead
+    of re-gathering the whole table on every query after every ingest,
+    :meth:`MetricStore.seal_through` appends each newly *sealed* block
+    of windows' aggregate values here exactly once.  Per-window bins of
+    :func:`window_aggregate_arrays` only ever mix rows of their own
+    window, so the per-block partials are bit-identical to what one
+    full-horizon recompute would produce — the incremental-maintenance
+    invariant ``tests/test_streaming.py`` asserts.
+    """
+
+    __slots__ = ("reducer", "sealed_through", "_window_parts", "_value_parts", "_frozen")
+
+    def __init__(self, reducer: str) -> None:
+        self.reducer = reducer
+        #: Largest window whose aggregate is final; -1 before any seal.
+        self.sealed_through = -1
+        self._window_parts: List[np.ndarray] = []
+        self._value_parts: List[np.ndarray] = []
+        self._frozen: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def extend(
+        self, windows: np.ndarray, values: np.ndarray, through: int
+    ) -> None:
+        """Append one sealed block's aggregate rows (ascending windows)."""
+        if windows.size:
+            self._window_parts.append(windows)
+            self._value_parts.append(values)
+            self._frozen = None
+        self.sealed_through = through
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The full (windows, values) series, frozen read-only."""
+        if self._frozen is None:
+            if not self._window_parts:
+                empty_w = np.array([], dtype=np.int64)
+                self._frozen = (empty_w, np.array([], dtype=float))
+            elif len(self._window_parts) == 1:
+                self._frozen = (self._window_parts[0], self._value_parts[0])
+            else:
+                self._frozen = (
+                    np.concatenate(self._window_parts),
+                    np.concatenate(self._value_parts),
+                )
+                self._window_parts = [self._frozen[0]]
+                self._value_parts = [self._frozen[1]]
+            self._frozen[0].setflags(write=False)
+            self._frozen[1].setflags(write=False)
+        return self._frozen
+
+    def series_slice(self, lo: int, hi: int) -> TimeSeries:
+        """The tracked series restricted to windows in [lo, hi)."""
+        windows, values = self.columns()
+        i = int(np.searchsorted(windows, lo, side="left"))
+        j = int(np.searchsorted(windows, hi, side="left"))
+        return TimeSeries.from_sorted(windows[i:j], values[i:j])
+
+
 @dataclass(frozen=True)
 class MetricKey:
     """Identity of a stored series: one counter on one server.
@@ -151,6 +271,7 @@ class _Table:
         "_scalar_values",
         "_frozen",
         "n_rows",
+        "spilled_rows",
     )
 
     def __init__(self) -> None:
@@ -162,6 +283,8 @@ class _Table:
         self._scalar_values: List[float] = []
         self._frozen: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self.n_rows: int = 0
+        #: Rows evicted to the spill archive (still counted in n_rows).
+        self.spilled_rows: int = 0
 
     def _spill_scalars(self) -> None:
         if self._scalar_windows:
@@ -216,6 +339,36 @@ class _Table:
                 self._server_chunks = [self._frozen[1]]
                 self._value_chunks = [self._frozen[2]]
         return self._frozen
+
+    @property
+    def hot_rows(self) -> int:
+        """Rows still held in memory (total minus spilled)."""
+        return self.n_rows - self.spilled_rows
+
+    def evict(
+        self, before: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Split off every row with ``window < before``.
+
+        Returns the evicted (windows, servers, values) columns — in
+        their original append order, for the caller to archive — and
+        keeps only the remaining hot rows; ``None`` when nothing falls
+        below the cutoff.  Rows must have arrived in non-decreasing
+        block order (the streaming engines' emission order) for
+        spill + hot concatenation to reproduce the original append
+        order exactly.
+        """
+        windows, servers, values = self.columns()
+        mask = windows < before
+        if not mask.any():
+            return None
+        keep = ~mask
+        self._frozen = (windows[keep], servers[keep], values[keep])
+        self._window_chunks = [self._frozen[0]]
+        self._server_chunks = [self._frozen[1]]
+        self._value_chunks = [self._frozen[2]]
+        self.spilled_rows += int(mask.sum())
+        return windows[mask], servers[mask], values[mask]
 
 
 #: Key of one stored table: (pool_id, datacenter_id, counter).
@@ -318,6 +471,13 @@ ShardedMetricStore` uses to keep one global id space across shards.
         self._interner = interner if interner is not None else ServerInterner()
         self._max_window: int = -1
         self._agg_cache: Dict[Tuple, TimeSeries] = {}
+        #: Rolling-retention state: rows of windows < _evicted_before
+        #: live in the spill archive, everything newer is hot.
+        self._spill: Optional[SpillArchive] = None
+        self._evicted_before: int = 0
+        #: Incrementally maintained aggregates, keyed by
+        #: (pool, counter, datacenter, reducer).
+        self._tracked: Dict[Tuple, _TrackedAggregate] = {}
 
     # ------------------------------------------------------------------
     # Server interning
@@ -464,6 +624,103 @@ ShardedMetricStore` uses to keep one global id space across shards.
             self._agg_cache.clear()
 
     # ------------------------------------------------------------------
+    # Streaming: rolling retention and incremental aggregates
+    # ------------------------------------------------------------------
+    @property
+    def evicted_before(self) -> int:
+        """Windows below this index live in the spill archive (0 = none)."""
+        return self._evicted_before
+
+    @property
+    def sealed_through(self) -> int:
+        """Largest window every tracked aggregate is final through; -1
+        with no tracked aggregates (or before the first seal)."""
+        if not self._tracked:
+            return -1
+        return min(t.sealed_through for t in self._tracked.values())
+
+    def evict_windows(self, before: int) -> int:
+        """Move every row with ``window < before`` to the spill archive.
+
+        The rolling-retention primitive of streaming mode: hot memory
+        stays bounded by the retained window span while queries keep
+        answering *exactly* — ranges that dip below the watermark merge
+        the archived segments back in original append order, ranges
+        above it never touch the disk.  Requires rows to have arrived
+        in non-decreasing block order (which every simulation engine's
+        emission guarantees); returns the number of rows evicted.
+        Evicting is idempotent — a cutoff at or below the current
+        watermark is a no-op.
+        """
+        if before <= self._evicted_before:
+            return 0
+        evicted = 0
+        for key, table in self._tables.items():
+            segment = table.evict(before)
+            if segment is None:
+                continue
+            if self._spill is None:
+                self._spill = SpillArchive()
+            self._spill.append(key, *segment)
+            evicted += int(segment[0].size)
+        self._evicted_before = before
+        if evicted and self._agg_cache:
+            self._agg_cache.clear()
+        return evicted
+
+    def hot_sample_count(self) -> int:
+        """Samples currently held in memory (excludes spilled rows)."""
+        return sum(table.hot_rows for table in self._tables.values())
+
+    def track_aggregate(
+        self,
+        pool_id: str,
+        counter: str,
+        datacenter_id: Optional[str] = None,
+        reducer: str = "mean",
+    ) -> None:
+        """Maintain ``pool_window_aggregate(...)`` incrementally.
+
+        After registration, :meth:`seal_through` appends each newly
+        sealed block's per-window aggregate to a persistent series, and
+        :meth:`pool_window_aggregate` answers any query fully inside
+        the sealed range by slicing that series — no re-gather, no
+        spill reads, however long the run.  Registering the same
+        aggregate twice is a no-op.
+        """
+        if reducer not in ("mean", "sum", "max", "count"):
+            raise ValueError(f"unknown reducer {reducer!r}")
+        key = (pool_id, counter, datacenter_id, reducer)
+        if key not in self._tracked:
+            self._tracked[key] = _TrackedAggregate(reducer)
+
+    def seal_through(self, window: int) -> None:
+        """Mark windows ``<= window`` complete; extend tracked series.
+
+        Callers must have ingested *all* rows of the sealed windows
+        first (the streaming driver seals at block boundaries).  Each
+        tracked aggregate gathers only the not-yet-sealed slice and
+        appends its per-window partials — bit-identical to a full
+        recompute because aggregate bins never mix windows.
+        """
+        for (pool_id, counter, datacenter_id, _r), tracker in self._tracked.items():
+            if window <= tracker.sealed_through:
+                continue
+            lo = tracker.sealed_through + 1
+            keyed = self._matching_tables(pool_id, counter, datacenter_id)
+            windows, _servers, values = self._gather(keyed, lo, window + 1)
+            if windows.size:
+                out_w, out_v = window_aggregate_arrays(
+                    windows, values, tracker.reducer
+                )
+                tracker.extend(out_w, out_v, window)
+            else:
+                tracker.extend(
+                    np.array([], dtype=np.int64), np.array([], dtype=float),
+                    window,
+                )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -526,10 +783,15 @@ ShardedMetricStore` uses to keep one global id space across shards.
         """Yield (key, windows, server indices, values) per table.
 
         The export module's bulk read; rows are in append order.
+        Spilled segments are merged back ahead of the hot columns, so
+        exports stay byte-identical whether or not retention evicted.
         """
-        for key in self._tables:
-            windows, servers, values = self._tables[key].columns()
-            yield key, windows, servers, values
+        for key, table in self._tables.items():
+            if table.spilled_rows and self._spill is not None:
+                yield (key,) + self._gather([(key, table)], 0, self._max_window + 1)
+            else:
+                windows, servers, values = table.columns()
+                yield key, windows, servers, values
 
     # ------------------------------------------------------------------
     # Queries
@@ -539,19 +801,65 @@ ShardedMetricStore` uses to keep one global id space across shards.
         pool_id: str,
         counter: str,
         datacenter_id: Optional[str],
-    ) -> List[_Table]:
+    ) -> List[Tuple[TableKey, _Table]]:
         keys = self._by_pool_counter.get((pool_id, counter), [])
         # Sorted by datacenter so query results never depend on table
         # creation order (which an export/import round trip reshuffles).
         return [
-            self._tables[key]
+            (key, self._tables[key])
             for key in sorted(keys, key=lambda k: k[1])
             if datacenter_id is None or key[1] == datacenter_id
         ]
 
+    def _gather_one(
+        self,
+        key: TableKey,
+        table: _Table,
+        lo: int,
+        hi: int,
+        ws: List[np.ndarray],
+        ss: List[np.ndarray],
+        vs: List[np.ndarray],
+    ) -> None:
+        """Append one table's [lo, hi) slice — spill segments first.
+
+        Spill segments precede the hot columns in original append
+        order, so the concatenation is exactly the table's pre-eviction
+        column order; queries entirely above the eviction watermark
+        skip the archive (no disk reads on the streaming hot path).
+        """
+        full = lo <= 0 and hi > self._max_window
+        if self._spill is not None and lo < self._evicted_before:
+            for offset, seg_lo, seg_hi in self._spill.segments(key):
+                if seg_hi < lo or seg_lo >= hi:
+                    continue
+                windows, servers, values = self._spill.read(offset)
+                if not (full or (lo <= seg_lo and seg_hi < hi)):
+                    mask = (windows >= lo) & (windows < hi)
+                    windows = windows[mask]
+                    servers = servers[mask]
+                    values = values[mask]
+                if windows.size:
+                    ws.append(windows)
+                    ss.append(servers)
+                    vs.append(values)
+        windows, servers, values = table.columns()
+        if windows.size == 0:
+            return
+        if full or (table.spilled_rows and lo <= self._evicted_before
+                    and hi > self._max_window):
+            ws.append(windows)
+            ss.append(servers)
+            vs.append(values)
+        else:
+            mask = (windows >= lo) & (windows < hi)
+            ws.append(windows[mask])
+            ss.append(servers[mask])
+            vs.append(values[mask])
+
     def _gather(
         self,
-        tables: List[_Table],
+        tables: List[Tuple[TableKey, _Table]],
         lo: int,
         hi: int,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -559,19 +867,8 @@ ShardedMetricStore` uses to keep one global id space across shards.
         ws: List[np.ndarray] = []
         ss: List[np.ndarray] = []
         vs: List[np.ndarray] = []
-        for table in tables:
-            windows, servers, values = table.columns()
-            if windows.size == 0:
-                continue
-            if lo <= 0 and hi > self._max_window:
-                ws.append(windows)
-                ss.append(servers)
-                vs.append(values)
-            else:
-                mask = (windows >= lo) & (windows < hi)
-                ws.append(windows[mask])
-                ss.append(servers[mask])
-                vs.append(values[mask])
+        for key, table in tables:
+            self._gather_one(key, table, lo, hi, ws, ss, vs)
         if not ws:
             empty = np.array([], dtype=np.int64)
             return empty, empty, np.array([], dtype=float)
@@ -616,19 +913,13 @@ ShardedMetricStore` uses to keep one global id space across shards.
         hi = stop if stop is not None else self._max_window + 1
         window_parts: List[np.ndarray] = []
         value_parts: List[np.ndarray] = []
-        for table in self._matching_tables(pool_id, counter, None):
-            windows, servers, values = table.columns()
+        for keyed in self._matching_tables(pool_id, counter, None):
+            windows, servers, values = self._gather([keyed], lo, hi)
             mask = servers == index
             if not mask.any():
                 continue
-            windows = windows[mask]
-            values = values[mask]
-            if start is not None or stop is not None:
-                sliced = (windows >= lo) & (windows < hi)
-                windows = windows[sliced]
-                values = values[sliced]
-            window_parts.append(windows)
-            value_parts.append(values)
+            window_parts.append(windows[mask])
+            value_parts.append(values[mask])
         if not window_parts:
             return empty
         if len(window_parts) == 1:
@@ -654,6 +945,13 @@ ShardedMetricStore` uses to keep one global id space across shards.
         """
         if reducer not in ("mean", "sum", "max", "count"):
             raise ValueError(f"unknown reducer {reducer!r}")
+        lo = start if start is not None else 0
+        hi = stop if stop is not None else self._max_window + 1
+        tracked = self._tracked.get((pool_id, counter, datacenter_id, reducer))
+        if tracked is not None and hi - 1 <= tracked.sealed_through:
+            # Served from the incrementally maintained series: no
+            # re-gather and no spill reads, however long the run.
+            return tracked.series_slice(lo, hi)
         cache_key = (pool_id, counter, datacenter_id, start, stop, reducer)
         cached = self._agg_cache.get(cache_key)
         if cached is not None:
@@ -667,8 +965,6 @@ ShardedMetricStore` uses to keep one global id space across shards.
             series.values.setflags(write=False)
             self._agg_cache[cache_key] = series
             return series
-        lo = start if start is not None else 0
-        hi = stop if stop is not None else self._max_window + 1
         tables = self._matching_tables(pool_id, counter, datacenter_id)
         windows, _servers, values = self._gather(tables, lo, hi)
         if windows.size == 0:
@@ -694,8 +990,8 @@ ShardedMetricStore` uses to keep one global id space across shards.
         lo = start if start is not None else 0
         hi = stop if stop is not None else self._max_window + 1
         out: Dict[str, np.ndarray] = {}
-        for table in self._matching_tables(pool_id, counter, datacenter_id):
-            _windows, servers, values = self._gather([table], lo, hi)
+        for keyed in self._matching_tables(pool_id, counter, datacenter_id):
+            _windows, servers, values = self._gather([keyed], lo, hi)
             if values.size == 0:
                 continue
             order = np.argsort(servers, kind="stable")
@@ -752,8 +1048,11 @@ ShardedMetricStore` uses to keep one global id space across shards.
         chunks: List[np.ndarray] = []
         for pool in pools:
             for key in self._by_pool_counter.get((pool, counter), []):
-                _windows, _servers, values = self._tables[key].columns()
-                chunks.append(values)
+                _windows, _servers, values = self._gather(
+                    [(key, self._tables[key])], 0, self._max_window + 1
+                )
+                if values.size:
+                    chunks.append(values)
         if not chunks:
             return np.array([], dtype=float)
         return np.concatenate(chunks)

@@ -328,6 +328,18 @@ class _ShardQuerySurface:
     def sample_count(self) -> int:
         return self.call("sample_count")
 
+    def hot_sample_count(self) -> int:
+        return self.call("hot_sample_count")
+
+    def evict_windows(self, before: int) -> int:
+        """Evict windows below ``before`` on the remote store.
+
+        Rides the ordered command stream like ingest (``call`` drains
+        buffered frames first), so eviction observes every previously
+        ingested row.
+        """
+        return self.call("evict_windows", before)
+
     def iter_tables(
         self,
     ) -> Iterator[Tuple[TableKey, np.ndarray, np.ndarray, np.ndarray]]:
@@ -1049,6 +1061,32 @@ class ReplicatedShardClient(_ShardQuerySurface):
     def resync(self) -> None:
         """Re-seed every member session (the group rejoin handshake)."""
         self._fan_out("resync", ())
+
+    def evict_windows(self, before: int) -> int:
+        """Evict on *every* live member, not just the query target.
+
+        Eviction mutates store state, and replicas must stay mirrors —
+        a replica that kept old rows hot would answer differently
+        after a failover.  Members hold identical state, so every
+        answer is equal; the first live member's count is returned.
+        """
+        if self._closed:
+            raise RuntimeError("ShardClient is closed")
+        self._fan_out("flush", ())
+        members = self._live_members()
+        if not members:
+            raise self._all_members_dead()
+        result: Optional[int] = None
+        for member in members:
+            try:
+                count = member.call("evict_windows", before)
+                if result is None:
+                    result = int(count)
+            except ShardConnectionError as error:
+                self._retire(member, error)
+        if result is None or not self._live_members():
+            raise self._all_members_dead()
+        return result
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         """Query the first live member; fail over on connection loss.

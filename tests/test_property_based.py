@@ -10,6 +10,7 @@ from repro.cluster.latency import LatencyModel
 from repro.stats.descriptive import empirical_cdf, percentile_profile
 from repro.stats.regression import fit_linear, fit_polynomial
 from repro.telemetry.series import TimeSeries
+from repro.telemetry.store import MetricStore
 from repro.workload.diurnal import DiurnalPattern, WINDOWS_PER_DAY
 from repro.workload.request_mix import RequestClass, RequestMix
 
@@ -165,6 +166,103 @@ class TestLatencyModelProperties:
         assume(u1 < u2)
         model = LatencyModel(base_ms=10.0, cold_ms=0.0)
         assert model.p95_ms(100.0, u1) <= model.p95_ms(100.0, u2)
+
+
+class TestRetentionProperties:
+    """Rolling retention (``evict_windows``) is a placement change only.
+
+    Random (horizon, block, retention, fleet-size) combinations, driven
+    the way the streaming loop drives the store — ingest a block, evict
+    everything below ``current - retain`` — must never drop a window
+    inside the retention horizon, must read evicted windows back from
+    the spill archive bit-equal to a never-evicted store, and must keep
+    hot rows bounded by ``retain × servers``.
+    """
+
+    @staticmethod
+    def _streamed_pair(n_windows, n_servers, block, retain, seed):
+        """(evicting store, never-evicting reference, evicted row count)."""
+        rng = np.random.default_rng(seed)
+        evicting, reference = MetricStore(), MetricStore()
+        ids = [f"s{i:02d}" for i in range(n_servers)]
+        idx = evicting.intern_servers(ids)
+        reference.intern_servers(ids)
+        evicted = 0
+        for start in range(0, n_windows, block):
+            stop = min(start + block, n_windows)
+            windows = np.repeat(
+                np.arange(start, stop, dtype=np.int64), n_servers
+            )
+            servers = np.tile(idx, stop - start)
+            values = rng.normal(100.0, 15.0, windows.size)
+            for store in (evicting, reference):
+                # record_columns takes ownership of its arrays.
+                store.record_columns(
+                    "B", "DC1", "Requests/sec",
+                    windows.copy(), servers.copy(), values.copy(),
+                )
+            cutoff = stop - retain
+            if cutoff > 0:
+                evicted += evicting.evict_windows(cutoff)
+        return evicting, reference, evicted
+
+    retention_args = dict(
+        n_windows=st.integers(min_value=1, max_value=120),
+        n_servers=st.integers(min_value=1, max_value=6),
+        block=st.integers(min_value=1, max_value=32),
+        retain=st.integers(min_value=1, max_value=48),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+    @given(**retention_args)
+    @settings(max_examples=25, deadline=None)
+    def test_retention_horizon_never_dropped(
+        self, n_windows, n_servers, block, retain, seed
+    ):
+        evicting, _, evicted = self._streamed_pair(
+            n_windows, n_servers, block, retain, seed
+        )
+        # The watermark never reaches into the retained span, and hot +
+        # evicted account for every row ever ingested.
+        assert evicting.evicted_before <= max(0, n_windows - retain)
+        assert evicting.hot_sample_count() + evicted == n_windows * n_servers
+        assert (
+            evicting.hot_sample_count()
+            == (n_windows - evicting.evicted_before) * n_servers
+        )
+
+    @given(**retention_args)
+    @settings(max_examples=25, deadline=None)
+    def test_evicted_windows_read_back_bit_equal(
+        self, n_windows, n_servers, block, retain, seed
+    ):
+        evicting, reference, _ = self._streamed_pair(
+            n_windows, n_servers, block, retain, seed
+        )
+        for reducer in ("mean", "sum", "max", "count"):
+            a = evicting.pool_window_aggregate(
+                "B", "Requests/sec", reducer=reducer
+            )
+            b = reference.pool_window_aggregate(
+                "B", "Requests/sec", reducer=reducer
+            )
+            np.testing.assert_array_equal(a.windows, b.windows)
+            np.testing.assert_array_equal(a.values, b.values)
+        for server in evicting.servers_in_pool("B"):
+            xa = evicting.server_series("B", "Requests/sec", server)
+            xb = reference.server_series("B", "Requests/sec", server)
+            np.testing.assert_array_equal(xa.windows, xb.windows)
+            np.testing.assert_array_equal(xa.values, xb.values)
+
+    @given(**retention_args)
+    @settings(max_examples=25, deadline=None)
+    def test_hot_rows_bounded(self, n_windows, n_servers, block, retain, seed):
+        evicting, _, _ = self._streamed_pair(
+            n_windows, n_servers, block, retain, seed
+        )
+        # The loop evicts after each block, so at rest the hot span is
+        # at most the retained span (plus nothing — eviction ran last).
+        assert evicting.hot_sample_count() <= retain * n_servers
 
 
 class TestErlangCProperties:

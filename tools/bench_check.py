@@ -86,6 +86,32 @@ def check(path: Path) -> List[str]:
                 f"{'/'.join(STAGE_KEYS)} stage breakdown — regenerate "
                 f"with `make bench`"
             )
+
+    # Streaming mode is a distinct operating regime (clock loop +
+    # rolling retention): the JSON must price it with a stage breakdown
+    # and a *measured* peak RSS — the standing evidence that a long
+    # horizon streams with bounded hot memory.
+    streaming = data.get("streaming")
+    if not isinstance(streaming, dict):
+        errors.append(
+            "no 'streaming' row (simulate --stream) — regenerate with "
+            "`make bench`"
+        )
+    else:
+        stages = streaming.get("stages")
+        if not isinstance(stages, dict) or set(stages) != set(STAGE_KEYS):
+            errors.append(
+                f"streaming row lacks a {'/'.join(STAGE_KEYS)} stage "
+                f"breakdown — regenerate with `make bench`"
+            )
+        rss = streaming.get("peak_rss_mb")
+        if not isinstance(rss, (int, float)) or rss <= 0:
+            errors.append(
+                "streaming row lacks a measured peak_rss_mb — "
+                "regenerate with `make bench` on a POSIX host"
+            )
+        if not isinstance(streaming.get("retain_windows"), int):
+            errors.append("streaming row lacks retain_windows")
     return errors
 
 

@@ -68,6 +68,23 @@ REQUIRED_COVERAGE = {
             "--inject-fault",
         ),
     },
+    "ARCHITECTURE.md": {
+        "commands": (),
+        "flags": (
+            "--stream",
+            "--max-windows",
+            "--retain-windows",
+            "--alarm-pool",
+            "--inject-regression",
+        ),
+    },
+    "TELEMETRY.md": {
+        "commands": (),
+        "flags": (
+            "--stream",
+            "--retain-windows",
+        ),
+    },
 }
 
 _FENCE = re.compile(r"```(?:bash|sh|console|text)?\n(.*?)```", re.DOTALL)

@@ -1,0 +1,68 @@
+"""Fail when build artifacts are tracked by git.
+
+PR 7 accidentally committed ``__pycache__/*.pyc`` files; this guard
+(part of ``make test``) keeps them from ever reappearing: it scans
+``git ls-files`` for bytecode caches, pytest caches, and egg-info
+directories.  The root ``.gitignore`` prevents the accident, this
+check catches a force-add or an ignore-file regression.
+
+Run via ``make hygiene-check`` or directly:
+``python tools/hygiene_check.py``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Path fragments that must never be tracked.
+FORBIDDEN = ("__pycache__/", ".pytest_cache/", ".egg-info/")
+#: File suffixes that must never be tracked.
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
+
+
+def tracked_artifacts() -> list:
+    """Every tracked path that matches a forbidden pattern."""
+    listing = subprocess.run(
+        ["git", "ls-files", "-z"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        check=True,
+    )
+    offenders = []
+    for path in listing.stdout.decode().split("\0"):
+        if not path:
+            continue
+        if path.endswith(FORBIDDEN_SUFFIXES) or any(
+            fragment in path for fragment in FORBIDDEN
+        ):
+            offenders.append(path)
+    return offenders
+
+
+def main() -> int:
+    try:
+        offenders = tracked_artifacts()
+    except (OSError, subprocess.CalledProcessError) as error:
+        print(f"hygiene-check: cannot list tracked files: {error}",
+              file=sys.stderr)
+        return 1
+    if offenders:
+        for path in offenders:
+            print(f"hygiene-check: build artifact is tracked: {path}",
+                  file=sys.stderr)
+        print(
+            f"hygiene-check: {len(offenders)} tracked artifact(s) — "
+            f"`git rm --cached` them (they are .gitignore'd)",
+            file=sys.stderr,
+        )
+        return 1
+    print("hygiene-check: no tracked build artifacts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
