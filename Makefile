@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stream test-faults bench bench-smoke bench-backends bench-tcp bench-check docs-check hygiene-check check
+.PHONY: test test-stream test-faults test-server bench bench-smoke bench-backends bench-tcp bench-check docs-check hygiene-check check
 
 # docs-check, bench-check and hygiene-check run first so doc drift, a
 # stale benchmark JSON, or tracked build artifacts fail tier-1 locally,
@@ -25,6 +25,12 @@ test-stream:
 # the injected-fault matrix (all of it also rides in `make test`).
 test-faults:
 	$(PYTHON) -m pytest tests/test_fault_tolerance.py -q
+
+# The live-query-server suite on its own: bit-identity at every block
+# boundary on all four backends, the concurrent hammer, and the
+# kill-mid-query bound (all of it also rides in `make test`).
+test-server:
+	$(PYTHON) -m pytest tests/test_query_server.py -q
 
 # Fast sanity pass over the throughput benchmark (small fleet, no JSON).
 bench-smoke:

@@ -25,7 +25,11 @@ ShardedMetricStore`) with cross-window block emission
   ``peak_rss_mb`` (``ru_maxrss``) prices exactly the streaming run —
   the standing proof that a long horizon streams with bounded hot
   memory (``tools/bench_check.py`` requires the row, its stage
-  breakdown, and the measured peak RSS).
+  breakdown, and the measured peak RSS);
+* a ``query_latency`` row: the same streamed horizon with a live
+  query server attached, hammered by a concurrent client — p50/p99
+  round-trip of a live aggregate query, lock-seam waits included
+  (``tools/bench_check.py`` requires this row too).
 
 The best configuration must clear ``TARGET_BLOCK_SPEEDUP`` x the batch
 baseline (and batch itself ``TARGET_SPEEDUP`` x legacy); all results
@@ -324,6 +328,108 @@ def _stream_row(
     }
 
 
+def _query_row(
+    windows: int,
+    servers: int,
+    retain: int,
+    block_windows: int,
+) -> dict:
+    """The ``--query-row`` subprocess body: hammer a live run, report.
+
+    Streams the same run as the streaming row but with a query server
+    attached, and measures the round-trip latency of live aggregate
+    queries issued from a second thread WHILE the clock loop ingests —
+    the number an operator watching ``repro query --watch`` actually
+    experiences.  The p99 includes waits for the block mutation span
+    (the lock seam readers queue behind), so it prices the consistency
+    guarantee, not just the wire.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.cluster.streaming import StreamingSimulator
+    from repro.telemetry.counters import Counter
+    from repro.telemetry.query_server import QueryClient
+
+    fleet = build_single_pool_fleet(
+        "B", n_datacenters=1, servers_per_deployment=servers, seed=29
+    )
+    sim = Simulator(
+        fleet,
+        seed=29,
+        config=SimulationConfig(engine="batch", block_windows=block_windows),
+    )
+    pool, counter = "B", Counter.REQUESTS.value
+    stream = StreamingSimulator(
+        sim,
+        retain_windows=retain,
+        track=((pool, counter, None, "mean"),),
+        query_listen="127.0.0.1:0",
+    )
+    runner = threading.Thread(target=lambda: stream.run(max_windows=windows))
+    latencies = []
+    started = time.perf_counter()
+    try:
+        with QueryClient(stream.query_address, io_timeout=60) as client:
+            runner.start()
+            # Keep hammering while the run is live; a short post-run
+            # tail guarantees a measurable sample even on smoke sizes.
+            while runner.is_alive() or len(latencies) < 32:
+                t0 = time.perf_counter()
+                answer = client.aggregate(pool, counter)
+                latencies.append(time.perf_counter() - t0)
+        runner.join()
+    finally:
+        stream.close()
+    elapsed = time.perf_counter() - started
+    lat_ms = np.asarray(latencies) * 1000.0
+    return {
+        "mode": "query_latency",
+        "servers": servers,
+        "windows": windows,
+        "block_windows": block_windows,
+        "retain_windows": retain,
+        "queries": int(lat_ms.size),
+        "p50_ms": round(float(np.percentile(lat_ms, 50)), 4),
+        "p99_ms": round(float(np.percentile(lat_ms, 99)), 4),
+        "queries_per_sec": lat_ms.size / elapsed,
+        "final_sealed_through": int(answer["sealed_through"]),
+    }
+
+
+def _measure_query_latency(
+    windows: int = STREAM_WINDOWS,
+    servers: int = STREAM_SERVERS,
+    retain: int = STREAM_RETAIN,
+    block_windows: int = STREAM_BLOCK,
+) -> dict:
+    """Run the query-latency row in a fresh subprocess, parse its JSON.
+
+    A subprocess for the same reason as the streaming row: the hammer
+    thread and the clock loop must share a machine state no earlier
+    benchmark allocation distorts.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [
+            sys.executable, str(Path(__file__).resolve()), "--query-row",
+            "--windows", str(windows),
+            "--servers", str(servers),
+            "--retain", str(retain),
+            "--block", str(block_windows),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
 def _measure_streaming(
     windows: int = STREAM_WINDOWS,
     servers: int = STREAM_SERVERS,
@@ -370,6 +476,9 @@ def run_benchmark(
     streaming = _measure_streaming(
         windows=stream_windows, servers=stream_servers, retain=stream_retain
     )
+    query_latency = _measure_query_latency(
+        windows=stream_windows, servers=stream_servers, retain=stream_retain
+    )
     best = max(configs, key=lambda r: r["windows_per_sec"])
     speedup = batch["windows_per_sec"] / legacy["windows_per_sec"]
     result = {
@@ -380,6 +489,7 @@ def run_benchmark(
         "per_sample": per_sample,
         "configs": configs,
         "streaming": streaming,
+        "query_latency": query_latency,
         "best": best,
         "best_speedup_vs_batch": best["windows_per_sec"] / batch["windows_per_sec"],
         "target_block_speedup": TARGET_BLOCK_SPEEDUP,
@@ -510,6 +620,15 @@ def _print_result(result: dict) -> None:
             f"{streaming['hot_samples']:,} of {streaming['samples']:,} "
             f"samples hot"
         )
+    query_latency = result.get("query_latency")
+    if query_latency:
+        print(
+            f"  {'live query latency':48s} "
+            f"p50 {query_latency['p50_ms']:.2f} ms, "
+            f"p99 {query_latency['p99_ms']:.2f} ms over "
+            f"{query_latency['queries']:,} queries during a "
+            f"{query_latency['windows']:,}-window streamed run"
+        )
     best = result["best"]
     stages = best.get("stages", {})
     if any(stages.values()):
@@ -545,6 +664,15 @@ if __name__ == "__main__":
     if "--stream-row" in argv:
         # Subprocess entry of _measure_streaming: one JSON row on stdout.
         row = _stream_row(
+            windows=_argv_int(argv, "--windows", STREAM_WINDOWS),
+            servers=_argv_int(argv, "--servers", STREAM_SERVERS),
+            retain=_argv_int(argv, "--retain", STREAM_RETAIN),
+            block_windows=_argv_int(argv, "--block", STREAM_BLOCK),
+        )
+        print(json.dumps(row))
+    elif "--query-row" in argv:
+        # Subprocess entry of _measure_query_latency: one JSON row.
+        row = _query_row(
             windows=_argv_int(argv, "--windows", STREAM_WINDOWS),
             servers=_argv_int(argv, "--servers", STREAM_SERVERS),
             retain=_argv_int(argv, "--retain", STREAM_RETAIN),

@@ -113,12 +113,17 @@ def _check_stream_flags(args: argparse.Namespace) -> None:
             ("--retain-windows", args.retain_windows),
             ("--alarm-pool", args.alarm_pool),
             ("--inject-regression", args.inject_regression),
+            ("--query-listen", args.query_listen),
         ):
             if value is not None:
                 raise ValueError(f"{flag} requires --stream")
         return
     if args.inject_regression is not None and args.alarm_pool is None:
         raise ValueError("--inject-regression requires --alarm-pool")
+    if args.query_listen is not None:
+        from repro.telemetry.transport import parse_address
+
+        parse_address(args.query_listen)  # ValueError names the bad input
 
 
 def _run_stream(args: argparse.Namespace, simulator) -> tuple:
@@ -132,8 +137,13 @@ def _run_stream(args: argparse.Namespace, simulator) -> tuple:
         else None
     )
     stream = StreamingSimulator(
-        simulator, retain_windows=args.retain_windows, alarm=alarm
+        simulator, retain_windows=args.retain_windows, alarm=alarm,
+        query_listen=args.query_listen,
     )
+    if stream.query_address is not None:
+        # stdout + flush: the scripting interface for --query-listen
+        # port 0, mirroring the shard-server line.
+        print(f"query server listening on {stream.query_address}", flush=True)
     if args.inject_regression is not None:
         from repro.cluster.deployment import leak_fix_with_latency_regression
 
@@ -149,7 +159,10 @@ def _run_stream(args: argparse.Namespace, simulator) -> tuple:
             f"window {args.inject_regression}",
             file=sys.stderr,
         )
-    report = stream.run(max_windows=args.max_windows)
+    try:
+        report = stream.run(max_windows=args.max_windows)
+    finally:
+        stream.close()
     for alert in report.alerts:
         print(
             f"ALERT {alert.name}: pool {alert.pool_id} at window "
@@ -313,6 +326,106 @@ def _cmd_shard_server(args: argparse.Namespace) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _print_query_status(status: dict) -> None:
+    progress = ""
+    if "windows" in status:
+        progress = (
+            f" windows={status['windows']} blocks={status['blocks']}"
+        )
+    print(
+        f"sealed_through={status['sealed_through']} "
+        f"max_window={status['max_window']} "
+        f"evicted_before={status['evicted_before']} "
+        f"hot_samples={status['hot_samples']} "
+        f"samples={status['samples']} "
+        f"pools={','.join(status['pools'])}{progress}"
+    )
+    for alert in status["alerts"]:
+        print(
+            f"ALERT {alert['name']}: pool {alert['pool_id']} at window "
+            f"{alert['window']} — {alert['detail']}"
+        )
+
+
+def _print_aggregate_tail(answer: dict, since: int, last: int) -> int:
+    """Print sealed windows newer than ``since``; returns the new high."""
+    windows, values = answer["windows"], answer["values"]
+    start = 0
+    if since >= 0:
+        import numpy as np
+
+        start = int(np.searchsorted(windows, since + 1))
+    if last is not None and windows.size - start > last:
+        start = windows.size - last
+    for window, value in zip(windows[start:], values[start:]):
+        print(f"{int(window):>10d}  {float(value)!r}")
+    return int(windows[-1]) if windows.size else since
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.telemetry.query_server import QueryClient
+    from repro.telemetry.transport import parse_address
+
+    if (args.pool is None) != (args.counter is None):
+        print("error: --pool and --counter must be given together",
+              file=sys.stderr)
+        return 2
+    try:
+        parse_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        client = QueryClient(
+            args.address,
+            connect_timeout=args.connect_timeout,
+            io_timeout=args.io_timeout,
+        )
+    except ConnectionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        sealed = -1
+        while True:
+            if args.pool is None:
+                _print_query_status(client.status())
+            else:
+                answer = client.aggregate(
+                    args.pool, args.counter,
+                    datacenter_id=args.dc, reducer=args.reducer,
+                )
+                if answer["sealed_through"] > sealed or not args.watch:
+                    # One-shot prints the newest --last windows; watch
+                    # clamps only the initial backlog, then prints every
+                    # newly sealed window.
+                    clamp = (
+                        args.last if (not args.watch or sealed < 0) else None
+                    )
+                    sealed = _print_aggregate_tail(
+                        answer, sealed if args.watch else -1, clamp
+                    )
+                    print(
+                        f"# sealed through window "
+                        f"{answer['sealed_through']}",
+                        file=sys.stderr,
+                    )
+            if not args.watch:
+                return 0
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except RuntimeError as error:
+        # The server died or hung mid-session: the named, bounded
+        # connection error — same contract as a shard session.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def _qos_for_pools(store) -> dict:
@@ -500,6 +613,15 @@ def build_parser() -> argparse.ArgumentParser:
              "regressing software version to --alarm-pool at the given "
              "window, mid-stream (requires --stream and --alarm-pool)",
     )
+    simulate.add_argument(
+        "--query-listen", default=None, metavar="HOST:PORT",
+        help="streaming mode: serve live operator queries (repro query) "
+             "on this address while the stream runs; answers are as of "
+             "the sealed watermark, bit-identical to a batch run of the "
+             "sealed horizon.  Port 0 picks an ephemeral port (printed "
+             "to stdout); bind only to loopback or a trusted network — "
+             "the protocol is pickle-based (docs/DISTRIBUTED.md)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     shard_server = sub.add_parser(
@@ -519,6 +641,59 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: serve until interrupted)",
     )
     shard_server.set_defaults(func=_cmd_shard_server)
+
+    query = sub.add_parser(
+        "query",
+        help="query a running simulate --stream --query-listen server",
+    )
+    query.add_argument(
+        "address", metavar="HOST:PORT",
+        help="the stream's --query-listen address (printed on its "
+             "stdout when listening on port 0)",
+    )
+    query.add_argument(
+        "--pool", default=None, metavar="POOL",
+        help="pool to aggregate (with --counter); omit both to print "
+             "run status instead: watermark, retention, progress, and "
+             "any latched alarm alerts",
+    )
+    query.add_argument(
+        "--counter", default=None, metavar="NAME",
+        help="counter to aggregate (with --pool)",
+    )
+    query.add_argument(
+        "--dc", default=None, metavar="DC",
+        help="restrict the aggregate to one datacenter (default: all)",
+    )
+    query.add_argument(
+        "--reducer", default="mean", choices=("mean", "sum", "max", "count"),
+        help="per-window reduction over the pool's servers",
+    )
+    query.add_argument(
+        "--last", type=_positive_int, default=10, metavar="N",
+        help="print only the newest N sealed windows of a one-shot "
+             "aggregate (watch mode prints every newly sealed window)",
+    )
+    query.add_argument(
+        "--watch", action="store_true",
+        help="poll until Ctrl-C, printing newly sealed windows (or the "
+             "status line) every --interval seconds",
+    )
+    query.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="watch-mode poll interval",
+    )
+    query.add_argument(
+        "--connect-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long to retry a refused dial before failing",
+    )
+    query.add_argument(
+        "--io-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-operation socket timeout: a query stuck this long "
+             "fails with a clear error instead of hanging on a "
+             "hung-but-alive server (0 = no timeout)",
+    )
+    query.set_defaults(func=_cmd_query)
 
     plan = sub.add_parser("plan", help="right-size pools from an archive")
     plan.add_argument("archive")

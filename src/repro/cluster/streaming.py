@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.simulation import Simulator
 from repro.core.regression_analysis import OnlineRegressionAlarm, RegressionAlert
 from repro.telemetry.counters import Counter
+from repro.telemetry.query_server import LiveQuerySurface, QueryServer
 
 #: The counters the online alarm's response profiles are fitted from;
 #: tracked incrementally (mean) so per-block alarm evaluation never
@@ -93,6 +94,18 @@ class StreamingSimulator:
         Extra aggregates to maintain incrementally: an iterable of
         ``(pool_id, counter, datacenter_id, reducer)`` tuples passed
         to the store's ``track_aggregate``.
+    query_listen:
+        ``host:port`` to serve live operator queries on (port 0 picks
+        an ephemeral port — read it back from :attr:`query_address`).
+        Starts a :class:`~repro.telemetry.query_server.QueryServer`
+        whose sessions share one read-only
+        :class:`~repro.telemetry.query_server.LiveQuerySurface` over
+        ``sim.store``.  The clock loop holds the store's lock across
+        every whole block, so readers observe only sealed block
+        boundaries — a live answer for any window ``w <=
+        sealed_through`` is bit-identical to a finished batch twin.
+        The server outlives :meth:`run` (so a finished run stays
+        queryable); call :meth:`close` to stop it.
     """
 
     def __init__(
@@ -101,6 +114,7 @@ class StreamingSimulator:
         retain_windows: Optional[int] = None,
         alarm: Optional[OnlineRegressionAlarm] = None,
         track: Sequence[Tuple[str, str, Optional[str], str]] = (),
+        query_listen: Optional[str] = None,
     ) -> None:
         if retain_windows is not None and retain_windows < 1:
             raise ValueError("retain_windows must be >= 1 (or None)")
@@ -116,6 +130,30 @@ class StreamingSimulator:
                 store.track_aggregate(
                     alarm.pool_id, counter, alarm.datacenter_id, "mean"
                 )
+        #: Live progress mirrored for the query surface, updated under
+        #: the store lock at each block boundary: the sealed watermark,
+        #: windows/blocks advanced, and every latched alert so far.
+        self.sealed_window: int = -1
+        self.windows: int = 0
+        self.blocks: int = 0
+        self.alerts: List[RegressionAlert] = []
+        self._query_server: Optional[QueryServer] = None
+        if query_listen is not None:
+            surface = LiveQuerySurface(store, streamer=self)
+            self._query_server = QueryServer(surface, address=query_listen)
+            self._query_server.start()
+
+    @property
+    def query_address(self) -> Optional[str]:
+        """The query server's bound ``host:port`` (None when not serving)."""
+        if self._query_server is None:
+            return None
+        return self._query_server.address
+
+    def close(self) -> None:
+        """Stop the query server, if one is running (idempotent)."""
+        if self._query_server is not None:
+            self._query_server.stop()
 
     def schedule(self, window: int, action: Callable[[], None]) -> None:
         """Run ``action`` before the block containing ``window`` starts.
@@ -157,22 +195,33 @@ class StreamingSimulator:
                     if step <= 0:
                         report.stopped_by = "max-windows"
                         break
-                self._fire_due_actions(sim.current_window + step)
-                sim.run_block(step)
-                report.windows += step
-                report.blocks += 1
-                sealed = sim.current_window - 1
-                store.seal_through(sealed)
-                if self.alarm is not None:
-                    alert = self.alarm.observe(store, sealed)
-                    if alert is not None:
-                        report.alerts.append(alert)
-                if self.retain_windows is not None:
-                    cutoff = sim.current_window - self.retain_windows
-                    if cutoff > 0:
-                        report.evicted_rows += int(
-                            store.evict_windows(cutoff) or 0
-                        )
+                # The whole block span — ingest, seal, alarm, evict —
+                # mutates under the store lock, so a live query-server
+                # reader only ever observes sealed block boundaries
+                # (every visible window final), never a half-ingested
+                # block.  Between iterations the lock is free and
+                # readers drain.
+                with store.lock:
+                    self._fire_due_actions(sim.current_window + step)
+                    sim.run_block(step)
+                    report.windows += step
+                    report.blocks += 1
+                    sealed = sim.current_window - 1
+                    store.seal_through(sealed)
+                    if self.alarm is not None:
+                        alert = self.alarm.observe(store, sealed)
+                        if alert is not None:
+                            report.alerts.append(alert)
+                            self.alerts.append(alert)
+                    if self.retain_windows is not None:
+                        cutoff = sim.current_window - self.retain_windows
+                        if cutoff > 0:
+                            report.evicted_rows += int(
+                                store.evict_windows(cutoff) or 0
+                            )
+                    self.sealed_window = sealed
+                    self.windows = report.windows
+                    self.blocks = report.blocks
         except KeyboardInterrupt:
             report.stopped_by = "interrupt"
         finally:

@@ -434,6 +434,11 @@ class ShardedMetricStore:
         self._tracked: Dict[Tuple, _TrackedAggregate] = {}
         self._lifecycle_lock = threading.Lock()
         self._closed = False
+        #: Synchronization seam for concurrent readers (the live query
+        #: server) — same contract as :attr:`MetricStore.lock`: the
+        #: facade stays single-owner, a streaming writer holds the lock
+        #: across each block span and readers take it per query.
+        self._lock = threading.RLock()
         # One-entry partition memo: the blocked engine hands the same
         # (windows, server_indices) array pair to record_columns once
         # per counter, so the shard routing of a block is computed once
@@ -441,6 +446,18 @@ class ShardedMetricStore:
         # keyed arrays keeps the identity check sound (their ids cannot
         # be recycled while cached).
         self._partition_cache: Optional[Tuple] = None
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """Reentrant lock serializing a clock-loop writer and readers.
+
+        Queries on remote backends flush shard ingest buffers, so a
+        reader thread must never interleave with the writer's block —
+        the streaming loop holds this across each ingest→seal→evict
+        span and :class:`~repro.telemetry.query_server.\
+LiveQuerySurface` takes it around every read.
+        """
+        return self._lock
 
     # ------------------------------------------------------------------
     # Topology

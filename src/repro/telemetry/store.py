@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import pickle
 import tempfile
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -478,6 +479,23 @@ ShardedMetricStore` uses to keep one global id space across shards.
         #: Incrementally maintained aggregates, keyed by
         #: (pool, counter, datacenter, reducer).
         self._tracked: Dict[Tuple, _TrackedAggregate] = {}
+        #: Synchronization seam for concurrent readers (the live query
+        #: server).  The store itself stays single-owner — methods do
+        #: not self-lock — but a writer holding :attr:`lock` across a
+        #: mutation span and readers taking it per query observe the
+        #: store only at the boundaries the writer chooses.
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """Reentrant lock serializing a clock-loop writer and readers.
+
+        The streaming loop holds it across each ingest→seal→evict
+        block span; :class:`~repro.telemetry.query_server.\
+LiveQuerySurface` takes it around every read, so a live reader only
+        ever sees sealed block boundaries, never a half-ingested block.
+        """
+        return self._lock
 
     # ------------------------------------------------------------------
     # Server interning

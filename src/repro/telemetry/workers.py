@@ -1277,6 +1277,16 @@ class ShardServer:
             except OSError:  # pragma: no cover
                 pass
 
+    def _session_store(self):
+        """The store a new session serves; ``None`` = fresh per session.
+
+        The shard-server default (one connection = one empty shard
+        store) — :class:`~repro.telemetry.query_server.QueryServer`
+        overrides this to hand every session one shared read-only
+        surface over the live store.
+        """
+        return None
+
     def _serve_session(self, transport: TcpTransport) -> None:
         """One session thread: serve, then drop the bookkeeping entry.
 
@@ -1285,7 +1295,7 @@ class ShardServer:
         ever accepted.
         """
         try:
-            serve_shard(transport)
+            serve_shard(transport, store=self._session_store())
         finally:
             with self._lock:
                 self._sessions = [

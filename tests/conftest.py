@@ -7,6 +7,11 @@ mutate simulators build their own.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -17,6 +22,8 @@ from repro.cluster.builders import (
 )
 from repro.cluster.simulation import SimulationConfig, Simulator
 from repro.telemetry.counters import Counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Counter set including the per-class workload splits (pool A needs them).
 FULL_COUNTERS = (
@@ -96,6 +103,66 @@ def fleet_store(fleet_sim):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+class ShardServerProcesses:
+    """Spawn and reap real ``repro shard-server`` subprocesses.
+
+    The one place the Popen/stdout-line/reap dance lives (it used to be
+    copy-pasted across the CLI, fault-tolerance and benchmark suites).
+    ``spawn`` returns ``(process, address)`` — the address parsed from
+    the server's first stdout line, the documented scripting interface
+    for ``--listen`` port 0.  Callers that end servers with signals
+    still own the timing; the fixture's teardown reaps whatever is
+    left, so a failing test never leaks a child.
+    """
+
+    def __init__(self) -> None:
+        self._processes: list = []
+
+    def spawn(self, max_sessions: int | None = None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        argv = [
+            sys.executable, "-m", "repro", "shard-server",
+            "--listen", "127.0.0.1:0",
+        ]
+        if max_sessions is not None:
+            argv += ["--max-sessions", str(max_sessions)]
+        process = subprocess.Popen(
+            argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        self._processes.append(process)
+        line = process.stdout.readline()
+        assert line.startswith("shard-server listening on "), line
+        return process, line.rsplit(" ", 1)[-1].strip()
+
+    def reap(self, process) -> None:
+        """Kill (if still alive) and wait; idempotent."""
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=30)
+        if process.stdout is not None and not process.stdout.closed:
+            process.stdout.close()
+
+    def reap_all(self) -> None:
+        for process in self._processes:
+            self.reap(process)
+        self._processes.clear()
+
+
+@pytest.fixture(scope="session")
+def shard_server_processes():
+    """Session-scoped spawner/reaper for shard-server subprocesses."""
+    spawner = ShardServerProcesses()
+    yield spawner
+    spawner.reap_all()
 
 
 @pytest.fixture(scope="session")

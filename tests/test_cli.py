@@ -7,9 +7,6 @@ remote shards that ``simulate --shard-backend tcp`` writes through.
 """
 
 import importlib.util
-import os
-import subprocess
-import sys
 from pathlib import Path
 
 import pytest
@@ -17,33 +14,6 @@ import pytest
 from repro.cli import build_parser, main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _spawn_shard_server(max_sessions):
-    """``repro shard-server`` as a real subprocess on an ephemeral port.
-
-    Returns ``(process, address)``; the address is parsed from the
-    server's first stdout line, which is the documented scripting
-    interface for ``--listen`` port 0.
-    """
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    process = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "shard-server",
-            "--listen", "127.0.0.1:0",
-            "--max-sessions", str(max_sessions),
-        ],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.DEVNULL,
-        text=True,
-        env=env,
-    )
-    line = process.stdout.readline()
-    assert line.startswith("shard-server listening on "), line
-    return process, line.rsplit(" ", 1)[-1].strip()
 
 
 def _load_docs_check():
@@ -281,12 +251,15 @@ class TestSimulateExecution:
                          "--connect-timeout", "0.3"]
         ) == 2
 
-    def test_tcp_archive_matches_single_via_real_server(self, tmp_path):
+    @pytest.mark.slow
+    def test_tcp_archive_matches_single_via_real_server(
+        self, tmp_path, shard_server_processes
+    ):
         """The acceptance path: ``--shard-backend tcp`` against a real
         ``repro shard-server`` subprocess on loopback writes an archive
         byte-identical to a single store's, and the server exits 0 once
         its ``--max-sessions`` sessions ended."""
-        server, address = _spawn_shard_server(max_sessions=2)
+        server, address = shard_server_processes.spawn(max_sessions=2)
         try:
             single = tmp_path / "single.csv"
             tcp = tmp_path / "tcp.csv"
@@ -301,15 +274,16 @@ class TestSimulateExecution:
             assert single.read_bytes() == tcp.read_bytes()
             assert server.wait(timeout=30) == 0
         finally:
-            if server.poll() is None:  # pragma: no cover - failure path
-                server.kill()
-            server.stdout.close()
+            shard_server_processes.reap(server)
 
-    def test_tcp_pipeline_flags_through_cli(self, tmp_path):
+    @pytest.mark.slow
+    def test_tcp_pipeline_flags_through_cli(
+        self, tmp_path, shard_server_processes
+    ):
         """--pipeline-depth / --io-timeout reach the store: a pipelined
         run and a synchronous (depth 0) run both write archives
         byte-identical to the unsharded baseline."""
-        server, address = _spawn_shard_server(max_sessions=4)
+        server, address = shard_server_processes.spawn(max_sessions=4)
         try:
             single = tmp_path / "single.csv"
             assert main(self.BASE + [str(single)]) == 0
@@ -327,9 +301,48 @@ class TestSimulateExecution:
                 assert single.read_bytes() == archive.read_bytes()
             assert server.wait(timeout=30) == 0
         finally:
-            if server.poll() is None:  # pragma: no cover - failure path
-                server.kill()
-            server.stdout.close()
+            shard_server_processes.reap(server)
+
+
+class TestQueryCliValidation:
+    """Bad --query-listen / repro-query input is a usage error (exit 2)
+    raised before any socket is dialed."""
+
+    def test_query_listen_requires_stream(self, capsys):
+        assert main(["simulate", "--windows", "4",
+                     "--query-listen", "127.0.0.1:0"]) == 2
+        assert "--query-listen requires --stream" in capsys.readouterr().err
+
+    def test_query_listen_address_validated_before_run(self, capsys):
+        assert main(["simulate", "--stream", "--windows", "4",
+                     "--query-listen", "localhost"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "localhost" in err
+
+    def test_query_address_validated_before_dial(self, capsys):
+        assert main(["query", "not-an-address"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not-an-address" in err
+
+    def test_query_pool_and_counter_must_pair(self, capsys):
+        assert main(["query", "127.0.0.1:9400", "--pool", "B"]) == 2
+        assert "--pool and --counter" in capsys.readouterr().err
+
+    def test_query_refused_connection_exits_2(self, capsys):
+        """A dead address is a clean usage-level failure, not a traceback."""
+        import socket
+
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()  # nothing listens here any more
+        assert main(["query", f"127.0.0.1:{port}",
+                     "--connect-timeout", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert str(port) in err
 
 
 class TestDocsCheck:

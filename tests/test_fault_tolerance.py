@@ -24,11 +24,7 @@ Equivalence of healthy replicated stores rides the usual parametrized
 suites; this file is exclusively about runs where something dies.
 """
 
-import os
-import subprocess
-import sys
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -45,42 +41,11 @@ from repro.telemetry.sharding import ShardedMetricStore, ShardJournal
 from repro.telemetry.store import MetricStore
 from repro.telemetry.workers import ShardServer
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 REDUCERS = ("mean", "sum", "max", "count")
 
 #: Generous wall-clock ceiling for operations that must fail *promptly*
 #: (the io_timeout used below is 2s; anything near this bound is a hang).
 PROMPT_S = 20.0
-
-
-def _spawn_server():
-    """A real ``repro shard-server`` subprocess on an ephemeral port.
-
-    Returns ``(process, address)`` — no ``--max-sessions`` (these tests
-    end servers with signals), so callers must reap in ``finally``.
-    """
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "shard-server",
-         "--listen", "127.0.0.1:0"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.DEVNULL,
-        text=True,
-        env=env,
-    )
-    line = process.stdout.readline()
-    assert line.startswith("shard-server listening on "), line
-    return process, line.rsplit(" ", 1)[-1].strip()
-
-
-def _reap(process):
-    if process.poll() is None:
-        process.kill()
-    process.wait(timeout=30)
-    process.stdout.close()
 
 
 def _fill_windows(store, start, stop, n_servers=16):
@@ -135,10 +100,13 @@ def _assert_twins(single, sharded, tmp_path, tag):
 class TestKillPrimaryMidIngest:
     """The tentpole acceptance test: SIGKILL the primary, keep going."""
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("pipeline_depth", [0, 4], ids=["sync", "pipelined"])
-    def test_archive_byte_identical_after_kill9(self, tmp_path, pipeline_depth):
-        primary, primary_addr = _spawn_server()
-        replica, replica_addr = _spawn_server()
+    def test_archive_byte_identical_after_kill9(
+        self, tmp_path, pipeline_depth, shard_server_processes
+    ):
+        primary, primary_addr = shard_server_processes.spawn()
+        replica, replica_addr = shard_server_processes.spawn()
         store = None
         try:
             single = _fill_windows(MetricStore(), 0, 40)
@@ -166,8 +134,8 @@ class TestKillPrimaryMidIngest:
         finally:
             if store is not None:
                 store.close()
-            _reap(primary)
-            _reap(replica)
+            shard_server_processes.reap(primary)
+            shard_server_processes.reap(replica)
 
 
 class TestRestartRejoin:
@@ -425,12 +393,15 @@ class TestCliFaultSurface:
             "--inject-fault", "explode",
         ]) == 2
 
-    def test_injected_kill_fails_over_with_replica(self, tmp_path):
+    @pytest.mark.slow
+    def test_injected_kill_fails_over_with_replica(
+        self, tmp_path, shard_server_processes
+    ):
         """End to end: the replicated CLI run survives its own fault
         injection and writes the byte-identical archive; the same fault
         without a replica is the named per-shard failure (exit 1)."""
-        primary, primary_addr = _spawn_server()
-        replica, replica_addr = _spawn_server()
+        primary, primary_addr = shard_server_processes.spawn()
+        replica, replica_addr = shard_server_processes.spawn()
         try:
             single = tmp_path / "single.csv"
             failover = tmp_path / "failover.csv"
@@ -450,5 +421,5 @@ class TestCliFaultSurface:
                 "--inject-fault", "kill",
             ]) == 1
         finally:
-            _reap(primary)
-            _reap(replica)
+            shard_server_processes.reap(primary)
+            shard_server_processes.reap(replica)

@@ -4,11 +4,18 @@ import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
 
 from repro.baselines.queuing import erlang_c_wait_probability
 from repro.cluster.latency import LatencyModel
 from repro.stats.descriptive import empirical_cdf, percentile_profile
 from repro.stats.regression import fit_linear, fit_polynomial
+from repro.telemetry.query_server import LiveQuerySurface
 from repro.telemetry.series import TimeSeries
 from repro.telemetry.store import MetricStore
 from repro.workload.diurnal import DiurnalPattern, WINDOWS_PER_DAY
@@ -263,6 +270,186 @@ class TestRetentionProperties:
         # The loop evicts after each block, so at rest the hot span is
         # at most the retained span (plus nothing — eviction ran last).
         assert evicting.hot_sample_count() <= retain * n_servers
+
+
+#: Fixed topology of the interleaving machine: two DCs, two servers
+#: each.  Small on purpose — hypothesis explores interleavings, not
+#: fleet size (the retention suite above randomizes sizes).
+_SM_DCS = ("DC1", "DC2")
+_SM_SERVERS_PER_DC = 2
+_SM_N = len(_SM_DCS) * _SM_SERVERS_PER_DC
+
+
+class StreamedStoreMachine(RuleBasedStateMachine):
+    """Arbitrary ingest / ``seal_through`` / ``evict_windows`` / query
+    interleavings against a naive recompute oracle.
+
+    The machine drives one :class:`MetricStore` exactly the way the
+    streaming loop is allowed to — windows ingested in order, seals at
+    any completed window, evictions at any cutoff inside the sealed
+    span — but in *every* order hypothesis can shrink to, reading
+    through the same :class:`LiveQuerySurface` the query server serves.
+    The oracle is deliberately dumb: plain dicts of every row ever
+    ingested, recomputed per query.  Values are small integers, so
+    every reducer (mean included: an exact integer sum, one division)
+    is bit-exact on both sides.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.store = MetricStore()
+        self.surface = LiveQuerySurface(self.store)
+        ids = [f"s{i}" for i in range(_SM_N)]
+        self.idx = self.store.intern_servers(ids)
+        self.names = ids
+        self.store.track_aggregate("B", "rps", None, "mean")
+        #: dc -> window -> {server index -> value}: the naive oracle.
+        self.rows = {dc: {} for dc in _SM_DCS}
+        self.next_window = 0
+        self.sealed = -1
+        self.watermark = 0
+        self.evicted_rows = 0
+
+    # -- mutations (the streaming loop's alphabet) ---------------------
+    @rule(
+        masks=st.lists(
+            st.booleans(), min_size=_SM_N, max_size=_SM_N
+        ),
+        values=st.lists(
+            st.integers(min_value=0, max_value=1000),
+            min_size=_SM_N, max_size=_SM_N,
+        ),
+    )
+    def ingest_window(self, masks, values):
+        """One whole window arrives: a per-DC subset of servers reports."""
+        window = self.next_window
+        for dc_i, dc in enumerate(_SM_DCS):
+            lo = dc_i * _SM_SERVERS_PER_DC
+            members = [
+                (self.idx[i], values[i])
+                for i in range(lo, lo + _SM_SERVERS_PER_DC)
+                if masks[i]
+            ]
+            if not members:
+                continue
+            indices = np.array([m[0] for m in members], dtype=np.int64)
+            vals = np.array([m[1] for m in members], dtype=np.float64)
+            self.store.record_batch("B", dc, "rps", window, indices, vals)
+            self.rows[dc][window] = {
+                index: value for index, value in members
+            }
+        self.next_window += 1
+
+    @precondition(lambda self: self.next_window > 0)
+    @rule(back=st.integers(min_value=0, max_value=8))
+    def seal(self, back):
+        """Seal through any completed window (re-sealing lower: no-op)."""
+        target = self.next_window - 1 - back
+        if target < 0:
+            return
+        self.store.seal_through(target)
+        self.sealed = max(self.sealed, target)
+
+    @rule(back=st.integers(min_value=0, max_value=8))
+    def evict(self, back):
+        """Evict at any cutoff inside the sealed span (idempotent below
+        the watermark); the return value must equal the oracle's count
+        of rows crossing the watermark."""
+        cutoff = self.sealed + 1 - back
+        if cutoff < 0:
+            return
+        expected = sum(
+            len(by_server)
+            for dc in _SM_DCS
+            for w, by_server in self.rows[dc].items()
+            if self.watermark <= w < cutoff
+        )
+        moved = self.store.evict_windows(cutoff)
+        if cutoff <= self.watermark:
+            assert moved == 0
+        else:
+            assert moved == expected
+            self.watermark = cutoff
+            self.evicted_rows += moved
+
+    # -- queries (through the served surface) --------------------------
+    def _oracle_aggregate(self, datacenter_id, reducer):
+        per_window = {}
+        for dc in _SM_DCS:
+            if datacenter_id is not None and dc != datacenter_id:
+                continue
+            for window, by_server in self.rows[dc].items():
+                per_window.setdefault(window, []).extend(by_server.values())
+        windows = sorted(per_window)
+        reduce = {
+            "mean": lambda v: float(sum(v)) / len(v),
+            "sum": lambda v: float(sum(v)),
+            "max": lambda v: float(max(v)),
+            "count": lambda v: float(len(v)),
+        }[reducer]
+        return (
+            np.array(windows, dtype=np.int64),
+            np.array([reduce(per_window[w]) for w in windows]),
+        )
+
+    @precondition(lambda self: any(self.rows[dc] for dc in _SM_DCS))
+    @rule(
+        datacenter_id=st.sampled_from((None,) + _SM_DCS),
+        reducer=st.sampled_from(("mean", "sum", "max", "count")),
+    )
+    def query_aggregate(self, datacenter_id, reducer):
+        if datacenter_id is not None and not self.rows[datacenter_id]:
+            return
+        series = self.surface.pool_window_aggregate(
+            "B", "rps", datacenter_id=datacenter_id, reducer=reducer
+        )
+        windows, values = self._oracle_aggregate(datacenter_id, reducer)
+        np.testing.assert_array_equal(series.windows, windows)
+        np.testing.assert_array_equal(series.values, values)
+
+    @rule(server=st.integers(min_value=0, max_value=_SM_N - 1))
+    def query_server_series(self, server):
+        dc = _SM_DCS[server // _SM_SERVERS_PER_DC]
+        index = self.idx[server]
+        expected = sorted(
+            (w, by_server[index])
+            for w, by_server in self.rows[dc].items()
+            if index in by_server
+        )
+        if not expected:
+            return
+        series = self.surface.server_series("B", "rps", self.names[server])
+        np.testing.assert_array_equal(
+            series.windows, np.array([w for w, _ in expected], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            series.values, np.array([v for _, v in expected])
+        )
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def accounting_holds(self):
+        total = sum(
+            len(by_server)
+            for dc in _SM_DCS
+            for by_server in self.rows[dc].values()
+        )
+        assert self.store.sample_count() == total
+        assert (
+            self.store.hot_sample_count() + self.evicted_rows == total
+        )
+        assert self.store.evicted_before == self.watermark
+
+    @invariant()
+    def watermarks_monotone(self):
+        assert self.store.sealed_through == self.sealed
+        assert self.watermark <= max(self.sealed + 1, 0)
+
+
+TestStreamedStoreMachine = StreamedStoreMachine.TestCase
+TestStreamedStoreMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
 
 
 class TestErlangCProperties:

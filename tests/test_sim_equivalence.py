@@ -235,6 +235,7 @@ class TestBlockedEquivalence:
 
 
 @pytest.mark.legacy
+@pytest.mark.slow
 class TestLegacyEquivalence:
     """The seed per-server engine agrees with the columnar engine.
 

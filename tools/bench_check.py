@@ -112,6 +112,26 @@ def check(path: Path) -> List[str]:
             )
         if not isinstance(streaming.get("retain_windows"), int):
             errors.append("streaming row lacks retain_windows")
+
+    # The live query server is part of the streaming regime's contract:
+    # the JSON must price what an operator's live aggregate query costs
+    # (p50/p99 round-trip against a streaming run, lock waits included).
+    query_latency = data.get("query_latency")
+    if not isinstance(query_latency, dict):
+        errors.append(
+            "no 'query_latency' row (live repro-query hammer) — "
+            "regenerate with `make bench`"
+        )
+    else:
+        for key in ("p50_ms", "p99_ms"):
+            value = query_latency.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(
+                    f"query_latency row lacks a measured {key} — "
+                    f"regenerate with `make bench`"
+                )
+        if not isinstance(query_latency.get("windows"), int):
+            errors.append("query_latency row lacks windows")
     return errors
 
 

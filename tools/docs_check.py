@@ -57,7 +57,7 @@ NON_CLI_FLAGS = {
 #: parser so the contract tracks the CLI automatically.
 REQUIRED_COVERAGE = {
     "DISTRIBUTED.md": {
-        "commands": ("shard-server",),
+        "commands": ("shard-server", "query"),
         "flags": (
             "--shard-backend",
             "--shard-addrs",
@@ -66,6 +66,7 @@ REQUIRED_COVERAGE = {
             "--io-timeout",
             "--replica-addrs",
             "--inject-fault",
+            "--query-listen",
         ),
     },
     "ARCHITECTURE.md": {
