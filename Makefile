@@ -4,13 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stream test-faults test-server bench bench-smoke bench-backends bench-tcp bench-check docs-check hygiene-check check
+.PHONY: test test-stream test-faults test-server bench bench-smoke bench-backends bench-tcp bench-check docs-check hygiene-check lint run-checks check
 
-# docs-check, bench-check and hygiene-check run first so doc drift, a
-# stale benchmark JSON, or tracked build artifacts fail tier-1 locally,
-# before the (slower) pytest pass starts.  The legacy-engine
-# equivalence baselines are opt-in (`pytest -m legacy`); see pytest.ini.
-test: docs-check bench-check hygiene-check
+# The static gates run first so doc drift, a stale benchmark JSON,
+# tracked build artifacts, or a lint invariant violation fail tier-1
+# locally, before the (slower) pytest pass starts.  `run-checks` wraps
+# docs-check, bench-check, hygiene-check and lint with uniform
+# PASS/FAIL reporting; each also remains an individual target.  The
+# legacy-engine equivalence baselines are opt-in (`pytest -m legacy`);
+# see pytest.ini.
+test: run-checks
 	$(PYTHON) -m pytest -x -q
 
 # The streaming suite on its own: streaming-vs-batch bit-identity
@@ -64,4 +67,16 @@ bench-check:
 hygiene-check:
 	$(PYTHON) tools/hygiene_check.py
 
-check: docs-check test
+# AST-based invariant checks over src/repro: determinism (no hidden
+# entropy or wall-clock reads), lock discipline (single-owner seam),
+# rpc-surface (string dispatch resolves; query surface stays
+# read-only), wire-capabilities (advertised == probed).  See
+# docs/LINTING.md; `--json` gives machine-readable findings.
+lint:
+	$(PYTHON) tools/repro_lint
+
+# All four checkers behind one entry point with uniform PASS/FAIL.
+run-checks:
+	$(PYTHON) tools/run_checks.py
+
+check: run-checks test

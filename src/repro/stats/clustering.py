@@ -31,7 +31,13 @@ class ClusteringResult:
 
 
 class KMeans:
-    """Lloyd's algorithm with k-means++ initialisation."""
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    ``rng`` shares a caller's generator; otherwise ``seed`` names the
+    stream explicitly (k-means++ seeding and restarts are the only
+    stochastic steps, so the same seed reproduces the same clustering
+    bit for bit).
+    """
 
     def __init__(
         self,
@@ -39,13 +45,14 @@ class KMeans:
         max_iterations: int = 100,
         n_init: int = 5,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
         self.max_iterations = max_iterations
         self.n_init = n_init
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def _init_centers(self, points: np.ndarray) -> np.ndarray:
         """k-means++ seeding: spread initial centers apart."""
@@ -139,6 +146,7 @@ def select_k(
     max_k: int = 4,
     min_silhouette: float = 0.6,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> ClusteringResult:
     """Choose the cluster count by silhouette score.
 
@@ -148,11 +156,14 @@ def select_k(
     Fig 3).  The threshold makes the splitter conservative: we only
     partition a pool when the sub-groups are unambiguous, because every
     extra group multiplies the experiment cost downstream.
+
+    ``rng`` shares a caller's generator across the candidate fits;
+    otherwise ``seed`` names the stream explicitly.
     """
     array = np.asarray(points, dtype=float)
     if array.ndim == 1:
         array = array.reshape(-1, 1)
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     single = KMeans(1, rng=rng).fit(array)
     best = single
     best_score = min_silhouette

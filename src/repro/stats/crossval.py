@@ -20,13 +20,19 @@ def k_fold_indices(
     n: int,
     k: int,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-    """Yield (train_idx, test_idx) pairs for shuffled k-fold CV."""
+    """Yield (train_idx, test_idx) pairs for shuffled k-fold CV.
+
+    The shuffle draws from ``rng`` when given; otherwise from a
+    generator seeded with ``seed`` — an explicit parameter so the fold
+    assignment is reproducible by construction, not by accident.
+    """
     if k < 2:
         raise ValueError(f"k must be >= 2, got {k}")
     if n < k:
         raise ValueError(f"cannot split {n} samples into {k} folds")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     order = rng.permutation(n)
     folds = np.array_split(order, k)
     for i in range(k):
@@ -109,19 +115,22 @@ def cross_validate_classifier(
     labels: Sequence[int],
     k: int = 5,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> CrossValidationResult:
     """Run k-fold CV for a probabilistic binary classifier.
 
     ``make_classifier`` is a zero-argument factory returning an object
     with ``fit(X, y)`` and ``predict_proba(X)``.  Out-of-fold
     probabilities are pooled before computing AUC / R^2 / accuracy,
-    mirroring the single summary numbers the paper reports.
+    mirroring the single summary numbers the paper reports.  The fold
+    shuffle uses ``rng`` when given, else a generator seeded with
+    ``seed`` (see :func:`k_fold_indices`).
     """
     x = np.asarray(features, dtype=float)
     y = np.asarray(labels, dtype=int)
     pooled_scores = np.zeros(y.size, dtype=float)
     fold_aucs: List[float] = []
-    for train_idx, test_idx in k_fold_indices(y.size, k, rng=rng):
+    for train_idx, test_idx in k_fold_indices(y.size, k, rng=rng, seed=seed):
         clf = make_classifier()
         clf.fit(x[train_idx], y[train_idx])
         scores = clf.predict_proba(x[test_idx])

@@ -66,6 +66,14 @@ class RansacRegressor:
         rejected; if no acceptable consensus is found the regressor
         falls back to a plain OLS fit on all points (so callers always
         get a usable model, matching the paper's "start simple" ethos).
+    rng:
+        The random generator driving subset sampling.  Pass one to
+        share a stream with a larger pipeline.
+    seed:
+        Seed for the generator built when ``rng`` is not given.  The
+        fit is fully deterministic either way; this makes the default
+        stream an explicit, documented choice rather than a hidden
+        constant.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class RansacRegressor:
         max_iterations: int = 200,
         min_inlier_fraction: float = 0.5,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> None:
         if degree < 1:
             raise ValueError(f"degree must be >= 1, got {degree}")
@@ -86,7 +95,7 @@ class RansacRegressor:
         self.residual_threshold = residual_threshold
         self.max_iterations = max_iterations
         self.min_inlier_fraction = min_inlier_fraction
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def _fit_subset(self, xs: np.ndarray, ys: np.ndarray) -> FittedModel:
         if self.degree == 1:

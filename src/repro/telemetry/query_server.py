@@ -52,6 +52,31 @@ from repro.telemetry.transport import (
 )
 from repro.telemetry.workers import ShardConnectionError, ShardServer
 
+#: Store methods that mutate state — the read-only deny-list.  The
+#: query surface enforces read-only *by omission*: none of these names
+#: has a passthrough on :class:`LiveQuerySurface`, so a client calling
+#: one gets an ``AttributeError`` shipped back as the RPC error reply.
+#: ``tools/repro_lint`` (rpc-surface pass) keeps this honest in both
+#: directions: every statically detected mutator on
+#: ``MetricStore``/``ShardedMetricStore`` must be listed here, and no
+#: listed name may ever appear on the surface — so a new mutator cannot
+#: silently become reachable by live readers.
+STORE_MUTATORS = frozenset({
+    "record",
+    "record_many",
+    "record_batch",
+    "record_columns",
+    "record_fast",
+    "evict_windows",
+    "seal_through",
+    "track_aggregate",
+    "intern_server",
+    "intern_servers",
+    "rejoin_shard",
+    "flush",
+    "close",
+})
+
 
 class LiveQuerySurface:
     """Read-only, lock-serialized view of a live (possibly sharded) store.

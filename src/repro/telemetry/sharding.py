@@ -993,6 +993,14 @@ LiveQuerySurface` takes it around every read.
             names.update(shard.datacenters_for_pool(pool_id))
         return tuple(sorted(names))
 
+    def datacenters_for_pool_counter(
+        self, pool_id: str, counter: str
+    ) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for shard in self._shards:
+            names.update(shard.datacenters_for_pool_counter(pool_id, counter))
+        return tuple(sorted(names))
+
     def sample_count(self) -> int:
         """Total number of stored samples across all shards.
 

@@ -20,12 +20,17 @@ and every ``docs/*.md`` file) and ``repro.cli.build_parser()``:
    commands and flags — ``docs/DISTRIBUTED.md`` must cover the
    ``shard-server`` command, *every* flag it defines (derived from
    the live parser, so adding a server flag without documenting it
-   fails), and the distributed ``simulate`` flags.
+   fails), and the distributed ``simulate`` flags;
+6. ``docs/LINTING.md`` must document every registered ``repro_lint``
+   rule (names come from the live rule registry, so a new lint pass
+   cannot land undocumented — same idiom as deriving flags from the
+   live parser).
 
 Also verifies that relative markdown links in each checked file point
 at files that exist (e.g. ``docs/ARCHITECTURE.md``).
 
-Run via ``make docs-check`` (part of ``make test``) or directly:
+Run via ``make docs-check`` (part of ``make test``, also wrapped by
+``tools/run_checks.py``) or directly:
 ``PYTHONPATH=src python tools/docs_check.py``.
 """
 
@@ -49,6 +54,10 @@ NON_CLI_FLAGS = {
     "--tcp",
     "--no-use-pep517",
     "--no-build-isolation",
+    # tools/repro_lint flags (documented in docs/LINTING.md)
+    "--json",
+    "--only",
+    "--list-rules",
 }
 
 #: Per-file documentation contracts (direction 5): file name ->
@@ -235,8 +244,38 @@ def check(readme_path: Path = README, doc_paths: Optional[List[Path]] = None) ->
     if readme_path == README:
         all_text = "".join(path.read_text() for path in doc_paths)
         errors.extend(undocumented_commands(commands, all_text))
+        # Direction 6: every lint pass must be documented.
+        errors.extend(undocumented_lint_rules())
 
     return errors
+
+
+def lint_rule_names() -> List[str]:
+    """Registered repro_lint rule names, from the live registry."""
+    import importlib.util
+
+    path = REPO_ROOT / "tools" / "repro_lint" / "engine.py"
+    spec = importlib.util.spec_from_file_location("_repro_lint_engine", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["_repro_lint_engine"] = module
+    spec.loader.exec_module(module)
+    return list(module.load_rules()) + ["unused-suppression"]
+
+
+def undocumented_lint_rules() -> List[str]:
+    """Direction 6: lint rules docs/LINTING.md never mentions."""
+    linting = DOCS_DIR / "LINTING.md"
+    if not linting.exists():
+        return [
+            "docs/LINTING.md is missing — it owns the `make lint` "
+            "invariant documentation"
+        ]
+    text = linting.read_text()
+    return [
+        f"docs/LINTING.md does not document lint rule {rule!r}"
+        for rule in lint_rule_names()
+        if rule not in text
+    ]
 
 
 def undocumented_commands(commands: dict, all_text: str) -> List[str]:

@@ -1,0 +1,10 @@
+"""Entry point: ``python tools/repro_lint [--json] [--only RULE]``."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import engine  # noqa: E402
+
+sys.exit(engine.main())

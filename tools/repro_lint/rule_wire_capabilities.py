@@ -1,0 +1,150 @@
+"""wire-capabilities: advertised capabilities and probe sites agree.
+
+Session capability negotiation is stringly typed on both sides: the
+serve loop answers a ``protocol_capabilities`` probe with
+:data:`SESSION_CAPABILITIES`, and clients read specific keys out of the
+reply (``capabilities.get("binary_ingest", False)``).  A typo'd key, a
+capability advertised but never implemented, or a probe for a
+capability no server advertises all degrade silently to the
+compatibility path — which is exactly the kind of quiet drift that
+erodes the upgrade story.  This pass checks both directions across
+``workers.py`` and ``transport.py``:
+
+* every probed capability key must be advertised in
+  ``SESSION_CAPABILITIES``;
+* every advertised capability must have at least one probe or handler
+  site (a string occurrence outside the advertisement itself — e.g.
+  the serve loop's ``_method == "resync"`` branch).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from astutil import SourceFile, str_const
+
+RULE_NAME = "wire-capabilities"
+
+WORKERS = "src/repro/telemetry/workers.py"
+TRANSPORT = "src/repro/telemetry/transport.py"
+CAPABILITIES_CONSTANT = "SESSION_CAPABILITIES"
+
+Findings = List[Tuple[str, int, str]]
+
+
+def _advertised(
+    workers: SourceFile,
+) -> Tuple[Optional[Dict[str, int]], Optional[Tuple[int, int]]]:
+    """Capability -> lineno, plus the advertisement's line span."""
+    for node in workers.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == CAPABILITIES_CONSTANT
+            for t in node.targets
+        ):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None, None
+        caps: Dict[str, int] = {}
+        for key in node.value.keys:
+            name = str_const(key) if key is not None else None
+            if name is not None:
+                caps[name] = key.lineno
+        span = (node.lineno, node.end_lineno or node.lineno)
+        return caps, span
+    return None, None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _probes(src: SourceFile) -> List[Tuple[str, int]]:
+    """``(key, lineno)`` for every ``<capabilities>.get("key", ...)``."""
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(src.tree):
+        if not (isinstance(node, ast.Call) and node.args):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "get"):
+            continue
+        receiver = _terminal_name(func.value)
+        if receiver is None or "capabilit" not in receiver.lower():
+            continue
+        key = str_const(node.args[0])
+        if key is not None:
+            out.append((key, node.lineno))
+    return out
+
+
+def _string_sites(
+    src: SourceFile, exclude_span: Optional[Tuple[int, int]]
+) -> Set[str]:
+    """Every string constant in the file, outside ``exclude_span``."""
+    strings: Set[str] = set()
+    for node in ast.walk(src.tree):
+        value = str_const(node)
+        if value is None:
+            continue
+        if exclude_span is not None and (
+            exclude_span[0] <= node.lineno <= exclude_span[1]
+        ):
+            continue
+        strings.add(value)
+    return strings
+
+
+def run(files: Dict[str, SourceFile]) -> Findings:
+    workers = files.get(WORKERS)
+    if workers is None:
+        return []
+    findings: Findings = []
+
+    caps, span = _advertised(workers)
+    if caps is None:
+        findings.append((
+            workers.rel,
+            1,
+            f"must define {CAPABILITIES_CONSTANT} as a literal dict of "
+            f"capability-name strings",
+        ))
+        return findings
+
+    sources = [workers]
+    transport = files.get(TRANSPORT)
+    if transport is not None:
+        sources.append(transport)
+
+    probed: Set[str] = set()
+    for src in sources:
+        for key, line in _probes(src):
+            probed.add(key)
+            if key not in caps:
+                findings.append((
+                    src.rel,
+                    line,
+                    f"probes capability {key!r}, which "
+                    f"{CAPABILITIES_CONSTANT} does not advertise — the "
+                    f"probe can never succeed",
+                ))
+
+    handler_strings: Set[str] = set()
+    for src in sources:
+        exclude = span if src is workers else None
+        handler_strings |= _string_sites(src, exclude)
+
+    for cap in sorted(caps):
+        if cap not in probed and cap not in handler_strings:
+            findings.append((
+                workers.rel,
+                caps[cap],
+                f"advertises capability {cap!r}, but no probe or handler "
+                f"site in workers.py/transport.py ever uses it",
+            ))
+    return findings
